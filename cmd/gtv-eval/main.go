@@ -1,0 +1,209 @@
+// Command gtv-eval scores a synthetic CSV against a real CSV using the
+// paper's evaluation metrics: statistical similarity (avg JSD, avg WD,
+// Diff.Corr), ML utility difference when a target column is named, and the
+// distance-to-closest-record privacy smoke test.
+//
+// Column kinds are inferred: a column is categorical when any cell is
+// non-numeric (or when listed in -categorical); otherwise continuous.
+// Category vocabularies are shared between the two files.
+//
+// Usage:
+//
+//	gtv-eval -real train.csv -synth synthetic.csv -target income
+package main
+
+import (
+	"encoding/csv"
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"sort"
+	"strconv"
+	"strings"
+
+	"repro/internal/encoding"
+	"repro/internal/ml"
+	"repro/internal/stats"
+	"repro/internal/tensor"
+)
+
+func main() {
+	if err := run(os.Args[1:], os.Stdout); err != nil {
+		fmt.Fprintln(os.Stderr, "gtv-eval:", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string, stdout io.Writer) error {
+	fs := flag.NewFlagSet("gtv-eval", flag.ContinueOnError)
+	var (
+		realPath    = fs.String("real", "", "real data CSV (required)")
+		synthPath   = fs.String("synth", "", "synthetic data CSV (required)")
+		target      = fs.String("target", "", "target column name for the ML-utility pipeline (optional)")
+		categorical = fs.String("categorical", "", "comma-separated column names to force categorical")
+		testFrac    = fs.Float64("test-frac", 0.25, "tail fraction of the real file held out as the ML test set")
+		seed        = fs.Int64("seed", 1, "random seed for the utility classifiers")
+	)
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if *realPath == "" || *synthPath == "" {
+		return fmt.Errorf("-real and -synth are required")
+	}
+
+	realRows, header, err := readRawCSV(*realPath)
+	if err != nil {
+		return err
+	}
+	synthRows, synthHeader, err := readRawCSV(*synthPath)
+	if err != nil {
+		return err
+	}
+	if len(header) != len(synthHeader) {
+		return fmt.Errorf("column count mismatch: real %d vs synthetic %d", len(header), len(synthHeader))
+	}
+	for j := range header {
+		if header[j] != synthHeader[j] {
+			return fmt.Errorf("column %d named %q in real but %q in synthetic", j, header[j], synthHeader[j])
+		}
+	}
+
+	forced := map[string]bool{}
+	if *categorical != "" {
+		for _, name := range strings.Split(*categorical, ",") {
+			forced[strings.TrimSpace(name)] = true
+		}
+	}
+	specs, err := inferSpecs(header, [][][]string{realRows, synthRows}, forced)
+	if err != nil {
+		return err
+	}
+	realTable, err := buildTable(specs, realRows)
+	if err != nil {
+		return fmt.Errorf("real file: %w", err)
+	}
+	synthTable, err := buildTable(specs, synthRows)
+	if err != nil {
+		return fmt.Errorf("synthetic file: %w", err)
+	}
+	fmt.Fprintf(stdout, "real: %d rows, synthetic: %d rows, %d columns\n",
+		realTable.Rows(), synthTable.Rows(), realTable.Cols())
+
+	sim, err := stats.Similarity(realTable, synthTable)
+	if err != nil {
+		return err
+	}
+	fmt.Fprintf(stdout, "statistical similarity: avg JSD %.4f, avg WD %.4f, Diff.Corr %.3f\n",
+		sim.AvgJSD, sim.AvgWD, sim.DiffCorr)
+
+	dcr, err := stats.DistanceToClosestRecord(realTable, synthTable)
+	if err != nil {
+		return err
+	}
+	fmt.Fprintf(stdout, "privacy: %s\n", dcr)
+
+	if *target != "" {
+		tIdx := realTable.ColumnByName(*target)
+		if tIdx < 0 {
+			return fmt.Errorf("target column %q not found", *target)
+		}
+		if *testFrac <= 0 || *testFrac >= 1 {
+			return fmt.Errorf("test-frac %v out of (0,1)", *testFrac)
+		}
+		cut := int(float64(realTable.Rows()) * (1 - *testFrac))
+		if cut < 1 || cut >= realTable.Rows() {
+			return fmt.Errorf("real file too small for test-frac %v", *testFrac)
+		}
+		train := realTable.SliceRows(0, cut)
+		test := realTable.SliceRows(cut, realTable.Rows())
+		util, err := ml.UtilityDifference(train, synthTable, test, tIdx, *seed)
+		if err != nil {
+			return err
+		}
+		fmt.Fprintf(stdout, "ML utility difference (real - synthetic): %s\n", util)
+	}
+	return nil
+}
+
+// readRawCSV loads a CSV file as strings.
+func readRawCSV(path string) (rows [][]string, header []string, err error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, nil, err
+	}
+	defer f.Close()
+	cr := csv.NewReader(f)
+	all, err := cr.ReadAll()
+	if err != nil {
+		return nil, nil, fmt.Errorf("reading %s: %w", path, err)
+	}
+	if len(all) < 2 {
+		return nil, nil, fmt.Errorf("%s has no data rows", path)
+	}
+	return all[1:], all[0], nil
+}
+
+// inferSpecs derives a shared schema: a column is categorical when forced
+// or when any cell (in any file) fails numeric parsing; vocabularies are
+// the union over all files, sorted for determinism.
+func inferSpecs(header []string, files [][][]string, forced map[string]bool) ([]encoding.ColumnSpec, error) {
+	specs := make([]encoding.ColumnSpec, len(header))
+	for j, name := range header {
+		isCat := forced[name]
+		vocab := map[string]bool{}
+		for _, rows := range files {
+			for _, row := range rows {
+				if len(row) != len(header) {
+					return nil, fmt.Errorf("ragged CSV row with %d cells, want %d", len(row), len(header))
+				}
+				if _, err := strconv.ParseFloat(row[j], 64); err != nil {
+					isCat = true
+				}
+				vocab[row[j]] = true
+			}
+		}
+		specs[j] = encoding.ColumnSpec{Name: name, Kind: encoding.KindContinuous}
+		if isCat {
+			cats := make([]string, 0, len(vocab))
+			for v := range vocab {
+				cats = append(cats, v)
+			}
+			sort.Strings(cats)
+			specs[j] = encoding.ColumnSpec{Name: name, Kind: encoding.KindCategorical, Categories: cats}
+		}
+	}
+	return specs, nil
+}
+
+// buildTable converts raw string rows into a typed table under specs.
+func buildTable(specs []encoding.ColumnSpec, rows [][]string) (*encoding.Table, error) {
+	catIndex := make([]map[string]int, len(specs))
+	for j, s := range specs {
+		if s.Kind == encoding.KindCategorical {
+			catIndex[j] = make(map[string]int, len(s.Categories))
+			for k, c := range s.Categories {
+				catIndex[j][c] = k
+			}
+		}
+	}
+	data := tensor.New(len(rows), len(specs))
+	for i, row := range rows {
+		for j, s := range specs {
+			if s.Kind == encoding.KindCategorical {
+				k, ok := catIndex[j][row[j]]
+				if !ok {
+					return nil, fmt.Errorf("row %d: unknown category %q in column %q", i+1, row[j], s.Name)
+				}
+				data.Set(i, j, float64(k))
+				continue
+			}
+			v, err := strconv.ParseFloat(row[j], 64)
+			if err != nil {
+				return nil, fmt.Errorf("row %d column %q: %w", i+1, s.Name, err)
+			}
+			data.Set(i, j, v)
+		}
+	}
+	return encoding.NewTable(specs, data)
+}

@@ -1,0 +1,86 @@
+package main
+
+import (
+	"bytes"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+const sampleCSV = `age,segment,income
+34,a,50000
+41,b,72000
+29,a,41000
+55,b,91000
+38,a,56000
+47,b,80000
+33,a,47000
+60,b,99000
+`
+
+func writeTemp(t *testing.T, name, content string) string {
+	t.Helper()
+	path := filepath.Join(t.TempDir(), name)
+	if err := os.WriteFile(path, []byte(content), 0o644); err != nil {
+		t.Fatalf("writing %s: %v", name, err)
+	}
+	return path
+}
+
+func TestEvalSelfComparison(t *testing.T) {
+	real := writeTemp(t, "real.csv", sampleCSV)
+	synth := writeTemp(t, "synth.csv", sampleCSV)
+	var out bytes.Buffer
+	if err := run([]string{"-real", real, "-synth", synth, "-target", "segment", "-test-frac", "0.25"}, &out); err != nil {
+		t.Fatalf("run: %v", err)
+	}
+	s := out.String()
+	if !strings.Contains(s, "avg JSD 0.0000") {
+		t.Fatalf("self comparison should have zero JSD:\n%s", s)
+	}
+	if !strings.Contains(s, "exact=8") {
+		t.Fatalf("self comparison should report all exact DCR matches:\n%s", s)
+	}
+	if !strings.Contains(s, "ML utility difference") {
+		t.Fatalf("missing utility section:\n%s", s)
+	}
+}
+
+func TestEvalDetectsSchemaMismatch(t *testing.T) {
+	real := writeTemp(t, "real.csv", sampleCSV)
+	synth := writeTemp(t, "synth.csv", "age,other\n1,2\n3,4\n")
+	var out bytes.Buffer
+	if err := run([]string{"-real", real, "-synth", synth}, &out); err == nil {
+		t.Fatal("expected column mismatch error")
+	}
+}
+
+func TestEvalForcedCategorical(t *testing.T) {
+	// A numeric column forced categorical participates in JSD instead of WD.
+	real := writeTemp(t, "real.csv", "flag,x\n0,1.5\n1,2.5\n0,3.5\n1,4.5\n")
+	synth := writeTemp(t, "synth.csv", "flag,x\n0,1.6\n1,2.4\n0,3.4\n1,4.6\n")
+	var out bytes.Buffer
+	if err := run([]string{"-real", real, "-synth", synth, "-categorical", "flag"}, &out); err != nil {
+		t.Fatalf("run: %v", err)
+	}
+	if !strings.Contains(out.String(), "avg JSD 0.0000") {
+		t.Fatalf("identical flag marginals should give zero JSD:\n%s", out.String())
+	}
+}
+
+func TestEvalMissingFlags(t *testing.T) {
+	var out bytes.Buffer
+	if err := run(nil, &out); err == nil {
+		t.Fatal("expected required-flag error")
+	}
+}
+
+func TestEvalUnknownTarget(t *testing.T) {
+	real := writeTemp(t, "real.csv", sampleCSV)
+	synth := writeTemp(t, "synth.csv", sampleCSV)
+	var out bytes.Buffer
+	if err := run([]string{"-real", real, "-synth", synth, "-target", "nope"}, &out); err == nil {
+		t.Fatal("expected unknown-target error")
+	}
+}

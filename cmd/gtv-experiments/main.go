@@ -1,0 +1,214 @@
+// Command gtv-experiments regenerates the GTV paper's tables and figures.
+//
+// Usage:
+//
+//	gtv-experiments -exp fig8 [-rows 500] [-rounds 300] [-datasets loan,adult] [-out results.txt]
+//
+// Experiments: fig3, fig8, fig10, fig11, table2, fig12, fig13, table3, all.
+// Absolute numbers are produced at the configured (laptop) scale; the
+// paper-scale run is selected with -rows 50000 -rounds 3000 -block 256.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"strings"
+	"time"
+
+	"repro/internal/experiments"
+	"repro/internal/vfl"
+)
+
+func main() {
+	if err := run(os.Args[1:], os.Stdout); err != nil {
+		fmt.Fprintln(os.Stderr, "gtv-experiments:", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string, stdout io.Writer) error {
+	fs := flag.NewFlagSet("gtv-experiments", flag.ContinueOnError)
+	var (
+		exp         = fs.String("exp", "all", "experiment to run: fig3|fig8|fig10|fig11|table2|fig12|fig13|table3|shuffle-attack|comm|all")
+		rows        = fs.Int("rows", 500, "rows per dataset")
+		rounds      = fs.Int("rounds", 300, "training rounds per cell")
+		discSteps   = fs.Int("disc-steps", 3, "critic steps per round")
+		batch       = fs.Int("batch", 64, "batch size")
+		block       = fs.Int("block", 64, "block width (paper: 256)")
+		noise       = fs.Int("noise", 24, "generator noise width (paper: 128)")
+		lr          = fs.Float64("lr", 5e-4, "Adam learning rate")
+		repeats     = fs.Int("repeats", 1, "repeats per cell (paper: 3)")
+		parallelism = fs.Int("parallelism", 0, "concurrent cells (0 = NumCPU)")
+		seed        = fs.Int64("seed", 1, "base random seed")
+		datasetsArg = fs.String("datasets", "", "comma-separated dataset subset (default: all five)")
+		out         = fs.String("out", "", "also append output to this file")
+	)
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	scale := experiments.DefaultScale()
+	scale.Rows = *rows
+	scale.Rounds = *rounds
+	scale.DiscSteps = *discSteps
+	scale.BatchSize = *batch
+	scale.BlockDim = *block
+	scale.NoiseDim = *noise
+	scale.LR = *lr
+	scale.Repeats = *repeats
+	scale.Parallelism = *parallelism
+	scale.Seed = *seed
+	if *datasetsArg != "" {
+		scale.Datasets = strings.Split(*datasetsArg, ",")
+	}
+
+	w := stdout
+	if *out != "" {
+		f, err := os.OpenFile(*out, os.O_CREATE|os.O_WRONLY|os.O_APPEND, 0o644)
+		if err != nil {
+			return fmt.Errorf("opening -out file: %w", err)
+		}
+		defer f.Close()
+		w = io.MultiWriter(stdout, f)
+	}
+
+	planG20 := vfl.Plan{DiscServer: 2, GenClient: 2} // paper's D_0^2 G_2^0
+	planG02 := vfl.Plan{DiscServer: 2, GenServer: 2} // paper's D_0^2 G_0^2
+
+	// Expensive sub-runs are cached so that "all" (and table2/table3 after
+	// fig10-13) does not recompute them.
+	dataPartCache := map[string]*experiments.DataPartitionResult{}
+	dataPart := func(plan vfl.Plan) (*experiments.DataPartitionResult, error) {
+		if r, ok := dataPartCache[plan.Name()]; ok {
+			return r, nil
+		}
+		r, err := experiments.RunDataPartition(scale, plan)
+		if err == nil {
+			dataPartCache[plan.Name()] = r
+		}
+		return r, err
+	}
+	clientCountCache := map[string]*experiments.ClientCountResult{}
+	clientCount := func(plan vfl.Plan) (*experiments.ClientCountResult, error) {
+		if r, ok := clientCountCache[plan.Name()]; ok {
+			return r, nil
+		}
+		r, err := experiments.RunClientCount(scale, plan, nil)
+		if err == nil {
+			clientCountCache[plan.Name()] = r
+		}
+		return r, err
+	}
+
+	runOne := func(name string) error {
+		start := time.Now()
+		fmt.Fprintf(w, "\n=== %s (rows=%d rounds=%d block=%d datasets=%v) ===\n",
+			name, scale.Rows, scale.Rounds, scale.BlockDim, scale.Datasets)
+		switch name {
+		case "fig3":
+			r, err := experiments.RunFig3(scale)
+			if err != nil {
+				return err
+			}
+			if err := r.Render(w); err != nil {
+				return err
+			}
+		case "fig8":
+			r, err := experiments.RunFig8(scale)
+			if err != nil {
+				return err
+			}
+			if err := r.Render(w); err != nil {
+				return err
+			}
+		case "fig10":
+			r, err := dataPart(planG20)
+			if err != nil {
+				return err
+			}
+			if err := r.Render(w); err != nil {
+				return err
+			}
+		case "fig11":
+			r, err := dataPart(planG02)
+			if err != nil {
+				return err
+			}
+			if err := r.Render(w); err != nil {
+				return err
+			}
+		case "table2":
+			r20, err := dataPart(planG20)
+			if err != nil {
+				return err
+			}
+			r02, err := dataPart(planG02)
+			if err != nil {
+				return err
+			}
+			if err := experiments.RenderTable2(w, []*experiments.DataPartitionResult{r20, r02}); err != nil {
+				return err
+			}
+		case "fig12":
+			r, err := clientCount(planG02)
+			if err != nil {
+				return err
+			}
+			if err := r.Render(w); err != nil {
+				return err
+			}
+		case "fig13":
+			r, err := clientCount(planG20)
+			if err != nil {
+				return err
+			}
+			if err := r.Render(w); err != nil {
+				return err
+			}
+		case "table3":
+			r20, err := clientCount(planG20)
+			if err != nil {
+				return err
+			}
+			r02, err := clientCount(planG02)
+			if err != nil {
+				return err
+			}
+			if err := experiments.RenderTable3(w, []*experiments.ClientCountResult{r20, r02}, scale.Datasets); err != nil {
+				return err
+			}
+		case "shuffle-attack":
+			r, err := experiments.RunShuffleAttack(scale)
+			if err != nil {
+				return err
+			}
+			if err := r.Render(w); err != nil {
+				return err
+			}
+		case "comm":
+			r, err := experiments.RunCommOverhead(scale)
+			if err != nil {
+				return err
+			}
+			if err := r.Render(w); err != nil {
+				return err
+			}
+		default:
+			return fmt.Errorf("unknown experiment %q", name)
+		}
+		fmt.Fprintf(w, "[%s completed in %.1fs]\n", name, time.Since(start).Seconds())
+		return nil
+	}
+
+	names := []string{*exp}
+	if *exp == "all" {
+		names = []string{"fig3", "fig8", "fig10", "fig11", "table2", "fig12", "fig13", "table3", "shuffle-attack", "comm"}
+	}
+	for _, name := range names {
+		if err := runOne(name); err != nil {
+			return fmt.Errorf("experiment %s: %w", name, err)
+		}
+	}
+	return nil
+}

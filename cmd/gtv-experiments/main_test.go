@@ -1,0 +1,60 @@
+package main
+
+import (
+	"bytes"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+func TestRunFig3Tiny(t *testing.T) {
+	if testing.Short() {
+		t.Skip("experiment run in -short mode")
+	}
+	var out bytes.Buffer
+	err := run([]string{
+		"-exp", "fig3", "-rows", "160", "-rounds", "4", "-batch", "32",
+		"-block", "24", "-noise", "8", "-datasets", "loan",
+	}, &out)
+	if err != nil {
+		t.Fatalf("run: %v", err)
+	}
+	if !strings.Contains(out.String(), "Setting-C") {
+		t.Fatalf("missing fig3 output:\n%s", out.String())
+	}
+	if !strings.Contains(out.String(), "completed") {
+		t.Fatal("missing completion line")
+	}
+}
+
+func TestRunCommWritesOutFile(t *testing.T) {
+	if testing.Short() {
+		t.Skip("experiment run in -short mode")
+	}
+	outFile := filepath.Join(t.TempDir(), "results.txt")
+	var out bytes.Buffer
+	err := run([]string{
+		"-exp", "comm", "-rows", "160", "-rounds", "4", "-batch", "32",
+		"-block", "24", "-noise", "8", "-datasets", "loan", "-out", outFile,
+	}, &out)
+	if err != nil {
+		t.Fatalf("run: %v", err)
+	}
+	if !strings.Contains(out.String(), "bytes/round") {
+		t.Fatalf("missing comm output:\n%s", out.String())
+	}
+}
+
+func TestRunUnknownExperiment(t *testing.T) {
+	var out bytes.Buffer
+	if err := run([]string{"-exp", "nope"}, &out); err == nil {
+		t.Fatal("expected unknown-experiment error")
+	}
+}
+
+func TestRunBadFlag(t *testing.T) {
+	var out bytes.Buffer
+	if err := run([]string{"-definitely-not-a-flag"}, &out); err == nil {
+		t.Fatal("expected flag error")
+	}
+}

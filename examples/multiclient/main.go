@@ -1,0 +1,67 @@
+// Multi-client example: four organizations with unequal feature counts
+// train one GTV system. Demonstrates the ratio vector P_r, an imbalanced
+// column assignment, and the paper's "enlarged generator" remedy for
+// quality degradation at higher client counts.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"repro/internal/core"
+	"repro/internal/datasets"
+	"repro/internal/stats"
+)
+
+func main() {
+	d, err := datasets.Generate("intrusion", datasets.Config{Rows: 600, Seed: 3})
+	if err != nil {
+		log.Fatal(err)
+	}
+	// Imbalanced ownership: client 0 gets 5 columns, client 1 gets 3,
+	// clients 2 and 3 get the rest.
+	cols := d.Table.Cols()
+	assignment := make([]int, cols)
+	for j := range assignment {
+		switch {
+		case j < 5:
+			assignment[j] = 0
+		case j < 8:
+			assignment[j] = 1
+		case j < 10:
+			assignment[j] = 2
+		default:
+			assignment[j] = 3
+		}
+	}
+
+	for _, enlarged := range []bool{false, true} {
+		opts := core.DefaultOptions()
+		opts.Rounds = 250
+		if enlarged {
+			opts.GenBlockDim = 3 * opts.BlockDim
+		}
+		g, err := core.NewFromAssignment(d.Table, assignment, 4, opts)
+		if err != nil {
+			log.Fatal(err)
+		}
+		label := "default generator"
+		if enlarged {
+			label = "enlarged generator (3x block width)"
+		}
+		fmt.Printf("%s: P_r = %.2f\n", label, g.Ratios())
+		if err := g.Train(nil); err != nil {
+			log.Fatal(err)
+		}
+		_, parts, err := g.SynthesizeParts(600)
+		if err != nil {
+			log.Fatal(err)
+		}
+		realParts := g.ClientTables()
+		avg, err := stats.AvgClientDiff(realParts, parts)
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("  avg-client Diff.Corr: %.3f\n", avg)
+	}
+}

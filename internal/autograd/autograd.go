@@ -1,0 +1,202 @@
+// Package autograd implements an eager, tape-free reverse-mode automatic
+// differentiation engine over tensor.Dense matrices.
+//
+// Every operation immediately computes its result and records its inputs,
+// forming a DAG of *Value nodes. Grad walks that DAG in reverse topological
+// order. Crucially, the backward pass of every operation is itself expressed
+// in terms of differentiable operations, so the gradients returned by Grad
+// are ordinary *Values that can be differentiated again. This higher-order
+// capability is what lets the GTV discriminator train with the WGAN-GP
+// gradient penalty, which requires differentiating the norm of an input
+// gradient with respect to the model weights.
+//
+// Shape misuse panics (as in package tensor); Grad never returns an error —
+// variables unreachable from the output receive zero gradients.
+package autograd
+
+import (
+	"fmt"
+
+	"repro/internal/tensor"
+)
+
+// Value is a node in the autodiff graph: a matrix plus a record of how it
+// was computed. Leaf Values are created with Var (differentiable) or Const
+// (not differentiable); interior Values are created by the package-level
+// operations.
+type Value struct {
+	data         *tensor.Dense
+	op           op
+	inputs       []*Value
+	requiresGrad bool
+}
+
+// op describes how a Value was computed and how gradients flow to its inputs.
+type op interface {
+	// backward returns one gradient Value per input, given the output value
+	// and the gradient of the loss with respect to the output. Each returned
+	// gradient must have exactly the shape of the corresponding input. A nil
+	// entry means "no gradient" (e.g. for integer-index inputs).
+	backward(inputs []*Value, output, grad *Value) []*Value
+	name() string
+}
+
+// Var returns a differentiable leaf holding d. The matrix is used directly
+// (not copied); training code mutates it in place via optimizer steps.
+func Var(d *tensor.Dense) *Value {
+	return &Value{data: d, requiresGrad: true}
+}
+
+// Const returns a non-differentiable leaf holding d.
+func Const(d *tensor.Dense) *Value {
+	return &Value{data: d}
+}
+
+// Scalar returns a 1x1 non-differentiable leaf holding v.
+func Scalar(v float64) *Value { return Const(tensor.Scalar(v)) }
+
+// Data returns the underlying matrix. Mutating it mutates the Value.
+func (v *Value) Data() *tensor.Dense { return v.data }
+
+// Shape returns (rows, cols) of the underlying matrix.
+func (v *Value) Shape() (int, int) { return v.data.Shape() }
+
+// RequiresGrad reports whether gradients flow through this Value.
+func (v *Value) RequiresGrad() bool { return v.requiresGrad }
+
+// Detach returns a new constant leaf sharing v's data, cutting the graph.
+func (v *Value) Detach() *Value { return Const(v.data) }
+
+// Item returns the single element of a 1x1 Value.
+func (v *Value) Item() float64 {
+	if r, c := v.data.Shape(); r != 1 || c != 1 {
+		panic(fmt.Sprintf("autograd: Item on %dx%d value", r, c))
+	}
+	return v.data.At(0, 0)
+}
+
+// newValue wires up an interior node. requiresGrad is inherited from inputs.
+func newValue(data *tensor.Dense, o op, inputs ...*Value) *Value {
+	rg := false
+	for _, in := range inputs {
+		if in != nil && in.requiresGrad {
+			rg = true
+			break
+		}
+	}
+	return &Value{data: data, op: o, inputs: inputs, requiresGrad: rg}
+}
+
+// Grad computes the gradients of the scalar (or seed-weighted) output y with
+// respect to each of xs. The returned gradients are themselves graph Values
+// and can be differentiated again (e.g. for gradient penalties). Variables
+// not reachable from y receive zero gradients of the appropriate shape.
+func Grad(y *Value, xs ...*Value) []*Value {
+	r, c := y.Shape()
+	return GradWithSeed(y, Const(tensor.Full(r, c, 1)), xs...)
+}
+
+// GradWithSeed is Grad with an explicit output gradient (vector-Jacobian
+// seed), which must have y's shape.
+func GradWithSeed(y, seed *Value, xs ...*Value) []*Value {
+	yr, yc := y.Shape()
+	sr, sc := seed.Shape()
+	if yr != sr || yc != sc {
+		panic(fmt.Sprintf("autograd: seed shape %dx%d does not match output %dx%d", sr, sc, yr, yc))
+	}
+
+	order := topoOrder(y)
+	grads := make(map[*Value]*Value, len(order))
+	grads[y] = seed
+
+	// Walk in reverse topological order so each node's gradient is complete
+	// before it is propagated to its inputs.
+	for i := len(order) - 1; i >= 0; i-- {
+		node := order[i]
+		g, ok := grads[node]
+		if !ok || node.op == nil {
+			continue
+		}
+		contribs := node.op.backward(node.inputs, node, g)
+		if len(contribs) != len(node.inputs) {
+			panic(fmt.Sprintf("autograd: op %s returned %d gradients for %d inputs",
+				node.op.name(), len(contribs), len(node.inputs)))
+		}
+		for j, in := range node.inputs {
+			if in == nil || !in.requiresGrad || contribs[j] == nil {
+				continue
+			}
+			ir, ic := in.Shape()
+			gr, gc := contribs[j].Shape()
+			if ir != gr || ic != gc {
+				panic(fmt.Sprintf("autograd: op %s produced gradient %dx%d for input %dx%d",
+					node.op.name(), gr, gc, ir, ic))
+			}
+			if prev, ok := grads[in]; ok {
+				grads[in] = Add(prev, contribs[j])
+			} else {
+				grads[in] = contribs[j]
+			}
+		}
+	}
+
+	out := make([]*Value, len(xs))
+	for i, x := range xs {
+		if g, ok := grads[x]; ok {
+			out[i] = g
+		} else {
+			xr, xc := x.Shape()
+			out[i] = Const(tensor.New(xr, xc))
+		}
+	}
+	return out
+}
+
+// topoOrder returns the nodes reachable from y that participate in
+// differentiation, in topological order (inputs before outputs).
+func topoOrder(y *Value) []*Value {
+	var order []*Value
+	visited := make(map[*Value]bool)
+	// Iterative DFS to keep deep graphs (e.g. unrolled double-backprop
+	// chains) from overflowing the goroutine stack.
+	type frame struct {
+		v    *Value
+		next int
+	}
+	stack := []frame{{v: y}}
+	visited[y] = true
+	for len(stack) > 0 {
+		f := &stack[len(stack)-1]
+		if f.next < len(f.v.inputs) {
+			in := f.v.inputs[f.next]
+			f.next++
+			if in != nil && in.requiresGrad && !visited[in] {
+				visited[in] = true
+				stack = append(stack, frame{v: in})
+			}
+			continue
+		}
+		order = append(order, f.v)
+		stack = stack[:len(stack)-1]
+	}
+	return order
+}
+
+// reduceTo sums g down to the given target shape, inverting broadcasting.
+// Supported targets are the broadcast-compatible shapes: same, 1xC, Rx1, 1x1.
+func reduceTo(g *Value, rows, cols int) *Value {
+	gr, gc := g.Shape()
+	if gr == rows && gc == cols {
+		return g
+	}
+	if rows == 1 && cols == 1 {
+		return SumAll(g)
+	}
+	if rows == 1 && cols == gc {
+		return SumRows(g)
+	}
+	if cols == 1 && rows == gr {
+		return SumCols(g)
+	}
+	panic(fmt.Sprintf("autograd: cannot reduce %dx%d to %dx%d", gr, gc, rows, cols))
+}

@@ -1,0 +1,497 @@
+package autograd
+
+import (
+	"math"
+
+	"repro/internal/tensor"
+)
+
+// ---- element-wise binary operations (with broadcasting) ----
+//
+// As in package tensor, the second operand may broadcast onto the first:
+// its rows and cols must each equal the first operand's or be 1. The output
+// always has the first operand's shape.
+
+type addOp struct{}
+
+func (addOp) name() string { return "add" }
+func (addOp) backward(inputs []*Value, _, grad *Value) []*Value {
+	ar, ac := inputs[0].Shape()
+	br, bc := inputs[1].Shape()
+	return []*Value{reduceTo(grad, ar, ac), reduceTo(grad, br, bc)}
+}
+
+// Add returns a+b, broadcasting b onto a.
+func Add(a, b *Value) *Value {
+	return newValue(tensor.Add(a.data, b.data), addOp{}, a, b)
+}
+
+type subOp struct{}
+
+func (subOp) name() string { return "sub" }
+func (subOp) backward(inputs []*Value, _, grad *Value) []*Value {
+	ar, ac := inputs[0].Shape()
+	br, bc := inputs[1].Shape()
+	return []*Value{reduceTo(grad, ar, ac), Neg(reduceTo(grad, br, bc))}
+}
+
+// Sub returns a-b, broadcasting b onto a.
+func Sub(a, b *Value) *Value {
+	return newValue(tensor.Sub(a.data, b.data), subOp{}, a, b)
+}
+
+type mulOp struct{}
+
+func (mulOp) name() string { return "mul" }
+func (mulOp) backward(inputs []*Value, _, grad *Value) []*Value {
+	a, b := inputs[0], inputs[1]
+	ar, ac := a.Shape()
+	br, bc := b.Shape()
+	ga := reduceTo(Mul(grad, b), ar, ac)
+	gb := reduceTo(Mul(grad, a), br, bc)
+	return []*Value{ga, gb}
+}
+
+// Mul returns the element-wise product a*b, broadcasting b onto a.
+func Mul(a, b *Value) *Value {
+	return newValue(tensor.Mul(a.data, b.data), mulOp{}, a, b)
+}
+
+type divOp struct{}
+
+func (divOp) name() string { return "div" }
+func (divOp) backward(inputs []*Value, _, grad *Value) []*Value {
+	a, b := inputs[0], inputs[1]
+	ar, ac := a.Shape()
+	br, bc := b.Shape()
+	ga := reduceTo(Div(grad, b), ar, ac)
+	gb := reduceTo(Neg(Div(Mul(grad, a), Mul(b, b))), br, bc)
+	return []*Value{ga, gb}
+}
+
+// Div returns the element-wise quotient a/b, broadcasting b onto a.
+func Div(a, b *Value) *Value {
+	return newValue(tensor.Div(a.data, b.data), divOp{}, a, b)
+}
+
+// ---- unary element-wise operations ----
+
+type negOp struct{}
+
+func (negOp) name() string { return "neg" }
+func (negOp) backward(_ []*Value, _, grad *Value) []*Value {
+	return []*Value{Neg(grad)}
+}
+
+// Neg returns -a.
+func Neg(a *Value) *Value {
+	return newValue(a.data.Scale(-1), negOp{}, a)
+}
+
+type scaleOp struct{ s float64 }
+
+func (scaleOp) name() string { return "scale" }
+func (o scaleOp) backward(_ []*Value, _, grad *Value) []*Value {
+	return []*Value{Scale(grad, o.s)}
+}
+
+// Scale returns a*s for a scalar s.
+func Scale(a *Value, s float64) *Value {
+	return newValue(a.data.Scale(s), scaleOp{s: s}, a)
+}
+
+type addScalarOp struct{}
+
+func (addScalarOp) name() string { return "addScalar" }
+func (addScalarOp) backward(_ []*Value, _, grad *Value) []*Value {
+	return []*Value{grad}
+}
+
+// AddScalar returns a+s element-wise for a scalar s.
+func AddScalar(a *Value, s float64) *Value {
+	return newValue(a.data.AddScalar(s), addScalarOp{}, a)
+}
+
+// Square returns the element-wise square of a.
+func Square(a *Value) *Value { return Mul(a, a) }
+
+type sqrtOp struct{}
+
+func (sqrtOp) name() string { return "sqrt" }
+func (sqrtOp) backward(_ []*Value, output, grad *Value) []*Value {
+	// d/dx sqrt(x) = 1 / (2*sqrt(x)) = 1/(2*output).
+	return []*Value{Div(grad, Scale(output, 2))}
+}
+
+// Sqrt returns the element-wise square root of a.
+func Sqrt(a *Value) *Value {
+	return newValue(a.data.Apply(math.Sqrt), sqrtOp{}, a)
+}
+
+type expOp struct{}
+
+func (expOp) name() string { return "exp" }
+func (expOp) backward(_ []*Value, output, grad *Value) []*Value {
+	return []*Value{Mul(grad, output)}
+}
+
+// Exp returns the element-wise exponential of a.
+func Exp(a *Value) *Value {
+	return newValue(a.data.Apply(math.Exp), expOp{}, a)
+}
+
+type logOp struct{}
+
+func (logOp) name() string { return "log" }
+func (logOp) backward(inputs []*Value, _, grad *Value) []*Value {
+	return []*Value{Div(grad, inputs[0])}
+}
+
+// Log returns the element-wise natural logarithm of a.
+func Log(a *Value) *Value {
+	return newValue(a.data.Apply(math.Log), logOp{}, a)
+}
+
+// ---- activations ----
+//
+// The piecewise-linear activations (ReLU, LeakyReLU) have an exactly-zero
+// second derivative almost everywhere, so treating their input mask as a
+// constant in backward is correct for higher-order differentiation too.
+
+type reluOp struct{}
+
+func (reluOp) name() string { return "relu" }
+func (reluOp) backward(inputs []*Value, _, grad *Value) []*Value {
+	mask := inputs[0].data.Apply(func(v float64) float64 {
+		if v > 0 {
+			return 1
+		}
+		return 0
+	})
+	return []*Value{Mul(grad, Const(mask))}
+}
+
+// ReLU returns max(a, 0) element-wise.
+func ReLU(a *Value) *Value {
+	out := a.data.Apply(func(v float64) float64 {
+		if v > 0 {
+			return v
+		}
+		return 0
+	})
+	return newValue(out, reluOp{}, a)
+}
+
+type leakyReLUOp struct{ slope float64 }
+
+func (leakyReLUOp) name() string { return "leakyrelu" }
+func (o leakyReLUOp) backward(inputs []*Value, _, grad *Value) []*Value {
+	mask := inputs[0].data.Apply(func(v float64) float64 {
+		if v > 0 {
+			return 1
+		}
+		return o.slope
+	})
+	return []*Value{Mul(grad, Const(mask))}
+}
+
+// LeakyReLU returns a where a > 0 and slope*a elsewhere.
+func LeakyReLU(a *Value, slope float64) *Value {
+	out := a.data.Apply(func(v float64) float64 {
+		if v > 0 {
+			return v
+		}
+		return slope * v
+	})
+	return newValue(out, leakyReLUOp{slope: slope}, a)
+}
+
+type tanhOp struct{}
+
+func (tanhOp) name() string { return "tanh" }
+func (tanhOp) backward(_ []*Value, output, grad *Value) []*Value {
+	// d tanh = 1 - tanh^2, expressed on the output so it stays differentiable.
+	return []*Value{Mul(grad, AddScalar(Neg(Square(output)), 1))}
+}
+
+// Tanh returns the element-wise hyperbolic tangent of a.
+func Tanh(a *Value) *Value {
+	return newValue(a.data.Apply(math.Tanh), tanhOp{}, a)
+}
+
+type sigmoidOp struct{}
+
+func (sigmoidOp) name() string { return "sigmoid" }
+func (sigmoidOp) backward(_ []*Value, output, grad *Value) []*Value {
+	return []*Value{Mul(grad, Mul(output, AddScalar(Neg(output), 1)))}
+}
+
+// Sigmoid returns 1/(1+exp(-a)) element-wise.
+func Sigmoid(a *Value) *Value {
+	out := a.data.Apply(func(v float64) float64 { return 1 / (1 + math.Exp(-v)) })
+	return newValue(out, sigmoidOp{}, a)
+}
+
+type softmaxOp struct{}
+
+func (softmaxOp) name() string { return "softmaxRows" }
+func (softmaxOp) backward(_ []*Value, output, grad *Value) []*Value {
+	// dL/dx = y * (g - sum_j g_j y_j), row-wise.
+	dot := SumCols(Mul(grad, output)) // Rx1
+	return []*Value{Mul(output, Sub(grad, dot))}
+}
+
+// SoftmaxRows applies a numerically stable softmax independently to each row.
+func SoftmaxRows(a *Value) *Value {
+	rows, cols := a.data.Shape()
+	out := tensor.New(rows, cols)
+	for i := 0; i < rows; i++ {
+		src := a.data.RawRow(i)
+		dst := out.RawRow(i)
+		maxv := math.Inf(-1)
+		for _, v := range src {
+			if v > maxv {
+				maxv = v
+			}
+		}
+		var sum float64
+		for j, v := range src {
+			e := math.Exp(v - maxv)
+			dst[j] = e
+			sum += e
+		}
+		for j := range dst {
+			dst[j] /= sum
+		}
+	}
+	return newValue(out, softmaxOp{}, a)
+}
+
+// ---- matrix operations ----
+
+type matmulOp struct{}
+
+func (matmulOp) name() string { return "matmul" }
+func (matmulOp) backward(inputs []*Value, _, grad *Value) []*Value {
+	a, b := inputs[0], inputs[1]
+	return []*Value{
+		MatMul(grad, Transpose(b)),
+		MatMul(Transpose(a), grad),
+	}
+}
+
+// MatMul returns the matrix product a*b.
+func MatMul(a, b *Value) *Value {
+	return newValue(tensor.MatMul(a.data, b.data), matmulOp{}, a, b)
+}
+
+type transposeOp struct{}
+
+func (transposeOp) name() string { return "transpose" }
+func (transposeOp) backward(_ []*Value, _, grad *Value) []*Value {
+	return []*Value{Transpose(grad)}
+}
+
+// Transpose returns the matrix transpose of a.
+func Transpose(a *Value) *Value {
+	return newValue(a.data.Transpose(), transposeOp{}, a)
+}
+
+// ---- shape operations ----
+
+type expandOp struct{}
+
+func (expandOp) name() string { return "expand" }
+func (expandOp) backward(inputs []*Value, _, grad *Value) []*Value {
+	ar, ac := inputs[0].Shape()
+	return []*Value{reduceTo(grad, ar, ac)}
+}
+
+// Expand broadcasts a (1x1, 1xC or Rx1) to rows x cols.
+func Expand(a *Value, rows, cols int) *Value {
+	return newValue(a.data.Expand(rows, cols), expandOp{}, a)
+}
+
+type sumAllOp struct{}
+
+func (sumAllOp) name() string { return "sumAll" }
+func (sumAllOp) backward(inputs []*Value, _, grad *Value) []*Value {
+	ar, ac := inputs[0].Shape()
+	return []*Value{Expand(grad, ar, ac)}
+}
+
+// SumAll returns the 1x1 sum of all elements of a.
+func SumAll(a *Value) *Value {
+	return newValue(tensor.Scalar(a.data.Sum()), sumAllOp{}, a)
+}
+
+// MeanAll returns the 1x1 mean of all elements of a.
+func MeanAll(a *Value) *Value {
+	r, c := a.Shape()
+	n := r * c
+	if n == 0 {
+		return Scalar(0)
+	}
+	return Scale(SumAll(a), 1/float64(n))
+}
+
+type sumRowsOp struct{}
+
+func (sumRowsOp) name() string { return "sumRows" }
+func (sumRowsOp) backward(inputs []*Value, _, grad *Value) []*Value {
+	ar, ac := inputs[0].Shape()
+	return []*Value{Expand(grad, ar, ac)}
+}
+
+// SumRows returns the 1xC per-column sums of a.
+func SumRows(a *Value) *Value {
+	return newValue(a.data.SumRows(), sumRowsOp{}, a)
+}
+
+// MeanRows returns the 1xC per-column means of a.
+func MeanRows(a *Value) *Value {
+	r, _ := a.Shape()
+	if r == 0 {
+		return SumRows(a)
+	}
+	return Scale(SumRows(a), 1/float64(r))
+}
+
+type sumColsOp struct{}
+
+func (sumColsOp) name() string { return "sumCols" }
+func (sumColsOp) backward(inputs []*Value, _, grad *Value) []*Value {
+	ar, ac := inputs[0].Shape()
+	return []*Value{Expand(grad, ar, ac)}
+}
+
+// SumCols returns the Rx1 per-row sums of a.
+func SumCols(a *Value) *Value {
+	return newValue(a.data.SumCols(), sumColsOp{}, a)
+}
+
+type concatColsOp struct{ widths []int }
+
+func (concatColsOp) name() string { return "concatCols" }
+func (o concatColsOp) backward(_ []*Value, _, grad *Value) []*Value {
+	out := make([]*Value, len(o.widths))
+	off := 0
+	for i, w := range o.widths {
+		out[i] = SliceCols(grad, off, off+w)
+		off += w
+	}
+	return out
+}
+
+// ConcatCols horizontally concatenates values with equal row counts.
+func ConcatCols(vs ...*Value) *Value {
+	mats := make([]*tensor.Dense, len(vs))
+	widths := make([]int, len(vs))
+	for i, v := range vs {
+		mats[i] = v.data
+		widths[i] = v.data.Cols()
+	}
+	return newValue(tensor.ConcatCols(mats...), concatColsOp{widths: widths}, vs...)
+}
+
+type sliceColsOp struct{ from, to int }
+
+func (sliceColsOp) name() string { return "sliceCols" }
+func (o sliceColsOp) backward(inputs []*Value, _, grad *Value) []*Value {
+	_, ac := inputs[0].Shape()
+	return []*Value{PadCols(grad, o.from, ac)}
+}
+
+// SliceCols returns columns [from, to) of a.
+func SliceCols(a *Value, from, to int) *Value {
+	return newValue(a.data.SliceCols(from, to), sliceColsOp{from: from, to: to}, a)
+}
+
+type padColsOp struct{ left, total int }
+
+func (padColsOp) name() string { return "padCols" }
+func (o padColsOp) backward(inputs []*Value, _, grad *Value) []*Value {
+	_, ac := inputs[0].Shape()
+	return []*Value{SliceCols(grad, o.left, o.left+ac)}
+}
+
+// PadCols embeds a into a wider zero matrix with `left` zero columns before
+// it and total columns overall.
+func PadCols(a *Value, left, total int) *Value {
+	ar, ac := a.Shape()
+	if left < 0 || left+ac > total {
+		panic("autograd: PadCols out of range")
+	}
+	out := tensor.New(ar, total)
+	for i := 0; i < ar; i++ {
+		copy(out.RawRow(i)[left:left+ac], a.data.RawRow(i))
+	}
+	return newValue(out, padColsOp{left: left, total: total}, a)
+}
+
+type gatherRowsOp struct{ idx []int }
+
+func (gatherRowsOp) name() string { return "gatherRows" }
+func (o gatherRowsOp) backward(inputs []*Value, _, grad *Value) []*Value {
+	ar, _ := inputs[0].Shape()
+	return []*Value{ScatterRows(grad, o.idx, ar)}
+}
+
+// GatherRows returns the matrix whose row k is a's row idx[k].
+func GatherRows(a *Value, idx []int) *Value {
+	idxCopy := make([]int, len(idx))
+	copy(idxCopy, idx)
+	return newValue(a.data.GatherRows(idxCopy), gatherRowsOp{idx: idxCopy}, a)
+}
+
+type scatterRowsOp struct {
+	idx  []int
+	rows int
+}
+
+func (scatterRowsOp) name() string { return "scatterRows" }
+func (o scatterRowsOp) backward(_ []*Value, _, grad *Value) []*Value {
+	return []*Value{GatherRows(grad, o.idx)}
+}
+
+// ScatterRows returns a rows x Cols(a) matrix where row idx[k] accumulates
+// a's row k (the adjoint of GatherRows).
+func ScatterRows(a *Value, idx []int, rows int) *Value {
+	ar, ac := a.Shape()
+	if len(idx) != ar {
+		panic("autograd: ScatterRows index length mismatch")
+	}
+	out := tensor.New(rows, ac)
+	for k, i := range idx {
+		dst := out.RawRow(i)
+		src := a.data.RawRow(k)
+		for j, v := range src {
+			dst[j] += v
+		}
+	}
+	idxCopy := make([]int, len(idx))
+	copy(idxCopy, idx)
+	return newValue(out, scatterRowsOp{idx: idxCopy, rows: rows}, a)
+}
+
+// ---- composed helpers ----
+
+// RowL2Norm returns the Rx1 Euclidean norm of each row of a, smoothed by
+// eps inside the square root for differentiability at zero.
+func RowL2Norm(a *Value, eps float64) *Value {
+	return Sqrt(AddScalar(SumCols(Square(a)), eps))
+}
+
+type reshapeOp struct{ fromRows, fromCols int }
+
+func (reshapeOp) name() string { return "reshape" }
+func (o reshapeOp) backward(_ []*Value, _, grad *Value) []*Value {
+	return []*Value{Reshape(grad, o.fromRows, o.fromCols)}
+}
+
+// Reshape returns a value with the same elements viewed as rows x cols
+// (row-major). The element count must match.
+func Reshape(a *Value, rows, cols int) *Value {
+	ar, ac := a.Shape()
+	return newValue(a.Data().Reshape(rows, cols), reshapeOp{fromRows: ar, fromCols: ac}, a)
+}

@@ -1,0 +1,232 @@
+// Package condvec implements CTGAN's conditional-vector machinery
+// ("training-by-sampling") for one party's categorical columns.
+//
+// A conditional vector (CV) is the concatenation of one one-hot block per
+// categorical column; exactly one bit is set across the whole vector,
+// naming one category of one column. CVs are sampled by first choosing a
+// column uniformly and then a category from the column's log-frequency
+// distribution, which over-samples minority categories so the GAN does not
+// collapse onto majority classes. Alongside each CV, a matching training-row
+// index is sampled from the rows whose column value equals the chosen
+// category — the idx_p of the GTV paper.
+package condvec
+
+import (
+	"errors"
+	"fmt"
+	"math"
+	"math/rand"
+
+	"repro/internal/encoding"
+	"repro/internal/tensor"
+)
+
+// Choice records which column and category a sampled CV selects, as needed
+// for the generator's conditioning cross-entropy loss.
+type Choice struct {
+	// Span is the index into the sampler's categorical span list.
+	Span int
+	// Category is the selected category within that span.
+	Category int
+}
+
+// Batch is one sampled batch of conditional vectors.
+type Batch struct {
+	// CV is batch x Width, one one-hot condition per row.
+	CV *tensor.Dense
+	// Rows holds, per CV, the index of a real training row matching the
+	// condition (the idx_p the selected client shares with the server).
+	Rows []int
+	// Choices records the selected span/category per CV.
+	Choices []Choice
+}
+
+// Sampler draws conditional vectors and matching row indices for one
+// party's local table.
+type Sampler struct {
+	spans     []encoding.Span
+	width     int
+	numRows   int
+	probs     [][]float64 // per span: log-frequency category distribution
+	rawProbs  [][]float64 // per span: raw category frequencies
+	rowsByCat [][][]int   // per span, per category: matching row indices
+	// offsets[i] is the first CV position of span i (spans are re-based to
+	// the CV coordinate space, which contains only categorical one-hots).
+	offsets []int
+}
+
+// NewSampler builds a sampler from a party's raw table and its fitted
+// transformer. Tables without categorical columns yield a zero-width
+// sampler whose Sample returns empty CVs and uniform row indices.
+func NewSampler(t *encoding.Table, tr *encoding.Transformer) (*Sampler, error) {
+	if t.Rows() == 0 {
+		return nil, errors.New("condvec: empty table")
+	}
+	spans := tr.CategoricalSpans()
+	s := &Sampler{
+		spans:     spans,
+		numRows:   t.Rows(),
+		probs:     make([][]float64, len(spans)),
+		rawProbs:  make([][]float64, len(spans)),
+		rowsByCat: make([][][]int, len(spans)),
+		offsets:   make([]int, len(spans)),
+	}
+	for i, sp := range spans {
+		s.offsets[i] = s.width
+		s.width += sp.Width
+
+		freq, err := encoding.CategoryFrequencies(t, sp.Column)
+		if err != nil {
+			return nil, fmt.Errorf("condvec: span %d: %w", i, err)
+		}
+		// Log-frequency sampling: p_k proportional to log(1 + count_k).
+		probs := make([]float64, len(freq))
+		var total float64
+		for k, f := range freq {
+			probs[k] = math.Log1p(f * float64(t.Rows()))
+			total += probs[k]
+		}
+		if total == 0 {
+			return nil, fmt.Errorf("condvec: column %d has no observed categories", sp.Column)
+		}
+		for k := range probs {
+			probs[k] /= total
+		}
+		s.probs[i] = probs
+		s.rawProbs[i] = freq
+
+		byCat := make([][]int, len(freq))
+		col := t.Column(sp.Column)
+		for row, v := range col {
+			byCat[int(v)] = append(byCat[int(v)], row)
+		}
+		s.rowsByCat[i] = byCat
+	}
+	return s, nil
+}
+
+// Width returns the conditional-vector width (total categories across the
+// party's categorical columns).
+func (s *Sampler) Width() int { return s.width }
+
+// NumSpans returns the number of conditionable columns.
+func (s *Sampler) NumSpans() int { return len(s.spans) }
+
+// SpanOffset returns the CV offset of categorical span i.
+func (s *Sampler) SpanOffset(i int) int { return s.offsets[i] }
+
+// Spans returns the categorical spans (in encoded-data coordinates) the
+// sampler conditions on.
+func (s *Sampler) Spans() []encoding.Span { return s.spans }
+
+// Sample draws a training batch of conditional vectors with matching row
+// indices, using log-frequency category sampling (which over-represents
+// minority categories, CTGAN's anti-mode-collapse device).
+func (s *Sampler) Sample(rng *rand.Rand, batch int) (*Batch, error) {
+	return s.sample(rng, batch, s.probs)
+}
+
+// SampleSynthesis draws conditional vectors from the *raw* category
+// frequencies, which is what CTGAN uses at generation time so the synthetic
+// marginals match the training data rather than the rebalanced training
+// distribution.
+func (s *Sampler) SampleSynthesis(rng *rand.Rand, batch int) (*Batch, error) {
+	return s.sample(rng, batch, s.rawProbs)
+}
+
+func (s *Sampler) sample(rng *rand.Rand, batch int, probs [][]float64) (*Batch, error) {
+	if batch <= 0 {
+		return nil, fmt.Errorf("condvec: batch size %d must be positive", batch)
+	}
+	cv := tensor.New(batch, s.width)
+	rows := make([]int, batch)
+	choices := make([]Choice, batch)
+	for b := 0; b < batch; b++ {
+		if len(s.spans) == 0 {
+			// No categorical columns: unconditioned row sampling.
+			rows[b] = rng.Intn(s.numRows)
+			choices[b] = Choice{Span: -1, Category: -1}
+			continue
+		}
+		span := rng.Intn(len(s.spans))
+		cat := sampleDiscrete(rng, probs[span])
+		candidates := s.rowsByCat[span][cat]
+		if len(candidates) == 0 {
+			// Category absent from current data (cannot happen with
+			// frequencies derived from the same table, but guard anyway).
+			rows[b] = rng.Intn(s.numRows)
+		} else {
+			rows[b] = candidates[rng.Intn(len(candidates))]
+		}
+		cv.Set(b, s.offsets[span]+cat, 1)
+		choices[b] = Choice{Span: span, Category: cat}
+	}
+	return &Batch{CV: cv, Rows: rows, Choices: choices}, nil
+}
+
+// Reindex updates the sampler's row-index lists after the party shuffles its
+// local data with permutation perm (new row k holds old row perm[k]).
+func (s *Sampler) Reindex(perm []int) error {
+	if len(perm) != s.numRows {
+		return fmt.Errorf("condvec: permutation length %d, table has %d rows", len(perm), s.numRows)
+	}
+	// invert: old row i is now at position inv[i].
+	inv := make([]int, len(perm))
+	for k, old := range perm {
+		if old < 0 || old >= len(perm) {
+			return fmt.Errorf("condvec: invalid permutation entry %d", old)
+		}
+		inv[old] = k
+	}
+	for i := range s.rowsByCat {
+		for c := range s.rowsByCat[i] {
+			lst := s.rowsByCat[i][c]
+			for k, old := range lst {
+				lst[k] = inv[old]
+			}
+		}
+	}
+	return nil
+}
+
+// sampleDiscrete draws an index from the given probability vector.
+func sampleDiscrete(rng *rand.Rand, probs []float64) int {
+	u := rng.Float64()
+	var cum float64
+	for i, p := range probs {
+		cum += p
+		if u < cum {
+			return i
+		}
+	}
+	return len(probs) - 1
+}
+
+// SampleFixed builds a batch whose every conditional vector selects the
+// given category of categorical span spanIdx — the "control the class of
+// generation" use of CVs. Row indices are drawn from the matching rows.
+func (s *Sampler) SampleFixed(rng *rand.Rand, batch, spanIdx, category int) (*Batch, error) {
+	if batch <= 0 {
+		return nil, fmt.Errorf("condvec: batch size %d must be positive", batch)
+	}
+	if spanIdx < 0 || spanIdx >= len(s.spans) {
+		return nil, fmt.Errorf("condvec: span %d out of range %d", spanIdx, len(s.spans))
+	}
+	if category < 0 || category >= s.spans[spanIdx].Width {
+		return nil, fmt.Errorf("condvec: category %d out of range %d", category, s.spans[spanIdx].Width)
+	}
+	cv := tensor.New(batch, s.width)
+	rows := make([]int, batch)
+	choices := make([]Choice, batch)
+	candidates := s.rowsByCat[spanIdx][category]
+	for b := 0; b < batch; b++ {
+		cv.Set(b, s.offsets[spanIdx]+category, 1)
+		if len(candidates) > 0 {
+			rows[b] = candidates[rng.Intn(len(candidates))]
+		} else {
+			rows[b] = rng.Intn(s.numRows)
+		}
+		choices[b] = Choice{Span: spanIdx, Category: category}
+	}
+	return &Batch{CV: cv, Rows: rows, Choices: choices}, nil
+}

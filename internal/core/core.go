@@ -1,0 +1,249 @@
+// Package core is the top-level GTV API: it wires vertically-partitioned
+// tabular data, the partition plan and the training hyper-parameters into a
+// ready-to-train system, and exposes synthesis of the joint synthetic table.
+//
+// A GTV system consists of one trusted-third-party server and N clients,
+// each owning a disjoint set of columns for the same (aligned) rows. The
+// generator and discriminator are split into top models (server) and bottom
+// models (clients) according to a Plan; training follows Algorithm 1 of the
+// paper, with conditional vectors accommodated by training-with-shuffling.
+//
+// Typical use:
+//
+//	tables, _ := table.VerticalSplit(assignment, 2)
+//	g, _ := core.New(tables, core.DefaultOptions())
+//	_ = g.Train(nil)
+//	synthetic, _ := g.Synthesize(table.Rows())
+//
+// The centralized CTGAN baseline from the paper's evaluation is available
+// as core.NewCentralized.
+package core
+
+import (
+	"errors"
+	"fmt"
+
+	"repro/internal/encoding"
+	"repro/internal/gan"
+	"repro/internal/vfl"
+)
+
+// Options configures a GTV system. The zero value is not usable; start
+// from DefaultOptions.
+type Options struct {
+	// Plan is the neural-network partition (D^{n3}_{n4} G^{n1}_{n2}).
+	Plan vfl.Plan
+	// Rounds, DiscSteps and BatchSize control the training loop.
+	Rounds, DiscSteps, BatchSize int
+	// NoiseDim, BlockDim and GenBlockDim size the networks. GenBlockDim=0
+	// means BlockDim; the paper's "enlarged generator" sets it to
+	// 3*BlockDim.
+	NoiseDim, BlockDim, GenBlockDim int
+	// LR is the Adam learning rate for every party.
+	LR float64
+	// Pac is the PacGAN packing degree at the critic (CTGAN uses 10);
+	// BatchSize must be divisible by it. 0 means no packing.
+	Pac int
+	// DPLogitNoise optionally adds Gaussian noise to intermediate logits
+	// received by the server (local-DP style; the paper discusses and
+	// rejects this for its accuracy cost — see §3.3).
+	DPLogitNoise float64
+	// Seed drives model initialization and training randomness.
+	Seed int64
+	// ShuffleSecret is the secret the clients share for
+	// training-with-shuffling. It must be withheld from the server; in this
+	// in-process construction that is a convention enforced by the API
+	// surface (the server type has no access to it).
+	ShuffleSecret int64
+	// FaithfulRealPass selects the paper's index-privacy mode (see
+	// vfl.Config.FaithfulRealPass).
+	FaithfulRealPass bool
+}
+
+// DefaultOptions returns a laptop-scale configuration with the paper's
+// preferred partition D2_0 G2_0 (discriminator on the server, generator on
+// the clients — the scalable choice for evenly distributed columns).
+func DefaultOptions() Options {
+	return Options{
+		Plan:          vfl.Plan{DiscServer: 2, DiscClient: 0, GenServer: 0, GenClient: 2},
+		Rounds:        400,
+		DiscSteps:     3,
+		BatchSize:     64,
+		NoiseDim:      32,
+		BlockDim:      64,
+		LR:            5e-4,
+		Seed:          1,
+		ShuffleSecret: 0x67747673, // any value shared by the clients
+	}
+}
+
+// PaperOptions returns the paper-scale configuration: block width 256,
+// CTGAN's learning rate and five critic steps per round. It is roughly two
+// orders of magnitude more compute than DefaultOptions.
+func PaperOptions() Options {
+	o := DefaultOptions()
+	o.Rounds = 3000
+	o.DiscSteps = 5
+	o.BatchSize = 500
+	o.NoiseDim = 128
+	o.BlockDim = 256
+	o.LR = 2e-4
+	o.Pac = 10
+	return o
+}
+
+func (o Options) vflConfig() vfl.Config {
+	return vfl.Config{
+		Plan:             o.Plan,
+		Rounds:           o.Rounds,
+		DiscSteps:        o.DiscSteps,
+		BatchSize:        o.BatchSize,
+		NoiseDim:         o.NoiseDim,
+		BlockDim:         o.BlockDim,
+		GenBlockDim:      o.GenBlockDim,
+		LR:               o.LR,
+		Pac:              o.Pac,
+		DPLogitNoise:     o.DPLogitNoise,
+		Seed:             o.Seed,
+		FaithfulRealPass: o.FaithfulRealPass,
+	}
+}
+
+// GTV is a configured vertical-federated tabular GAN.
+type GTV struct {
+	server  *vfl.Server
+	clients []*vfl.LocalClient
+}
+
+// New builds a GTV system from pre-partitioned client tables (all with the
+// same number of aligned rows).
+func New(clientTables []*encoding.Table, opts Options) (*GTV, error) {
+	if len(clientTables) == 0 {
+		return nil, errors.New("core: no client tables")
+	}
+	coord := vfl.NewShuffleCoordinator(opts.ShuffleSecret)
+	clients := make([]*vfl.LocalClient, len(clientTables))
+	ifaces := make([]vfl.Client, len(clientTables))
+	for i, t := range clientTables {
+		c, err := vfl.NewLocalClient(t, coord, opts.Seed+int64(i)*1000)
+		if err != nil {
+			return nil, fmt.Errorf("core: client %d: %w", i, err)
+		}
+		clients[i] = c
+		ifaces[i] = c
+	}
+	server, err := vfl.NewServer(ifaces, opts.vflConfig())
+	if err != nil {
+		return nil, fmt.Errorf("core: server setup: %w", err)
+	}
+	return &GTV{server: server, clients: clients}, nil
+}
+
+// NewFromAssignment vertically splits a single logical table across
+// numClients parties (assignment[j] = owning party of column j) and builds
+// the GTV system.
+func NewFromAssignment(table *encoding.Table, assignment []int, numClients int, opts Options) (*GTV, error) {
+	parts, err := table.VerticalSplit(assignment, numClients)
+	if err != nil {
+		return nil, fmt.Errorf("core: splitting table: %w", err)
+	}
+	return New(parts, opts)
+}
+
+// EvenAssignment distributes numCols columns across numClients parties in
+// contiguous runs, preserving column order (the paper's neural-network
+// partition experiment setup). Leftover columns go to the earliest parties.
+func EvenAssignment(numCols, numClients int) ([]int, error) {
+	if numClients <= 0 || numCols < numClients {
+		return nil, fmt.Errorf("core: cannot split %d columns across %d clients", numCols, numClients)
+	}
+	out := make([]int, numCols)
+	base := numCols / numClients
+	extra := numCols % numClients
+	j := 0
+	for p := 0; p < numClients; p++ {
+		width := base
+		if p < extra {
+			width++
+		}
+		for k := 0; k < width; k++ {
+			out[j] = p
+			j++
+		}
+	}
+	return out, nil
+}
+
+// Train runs the full training loop. The optional progress callback
+// receives (round, criticLoss, generatorLoss).
+func (g *GTV) Train(progress func(round int, dLoss, gLoss float64)) error {
+	return g.server.Train(progress)
+}
+
+// TrainRound runs a single round (for callers driving their own loop).
+func (g *GTV) TrainRound() (dLoss, gLoss float64, err error) {
+	return g.server.TrainRound()
+}
+
+// Synthesize generates n rows of joint synthetic data.
+func (g *GTV) Synthesize(n int) (*encoding.Table, error) {
+	return g.server.Synthesize(n)
+}
+
+// SynthesizeParts generates n rows and also returns each client's
+// synthetic slice (needed by the Avg-client/Across-client metrics).
+func (g *GTV) SynthesizeParts(n int) (*encoding.Table, []*encoding.Table, error) {
+	return g.server.SynthesizeParts(n)
+}
+
+// ClientTables returns the clients' current (shuffled) local tables. The
+// column order matches the order client tables were passed to New.
+func (g *GTV) ClientTables() []*encoding.Table {
+	out := make([]*encoding.Table, len(g.clients))
+	for i, c := range g.clients {
+		out[i] = c.Table()
+	}
+	return out
+}
+
+// Ratios exposes the feature-ratio vector P_r.
+func (g *GTV) Ratios() []float64 { return g.server.Ratios() }
+
+// CommStats returns the accumulated server<->client payload accounting.
+func (g *GTV) CommStats() vfl.CommStats { return g.server.CommStats() }
+
+// Centralized re-exports the baseline so downstream code only imports core.
+type Centralized = gan.Centralized
+
+// NewCentralized builds the paper's centralized CTGAN baseline with
+// hyper-parameters matching the given options.
+func NewCentralized(table *encoding.Table, opts Options) (*Centralized, error) {
+	cfg := gan.Config{
+		Rounds:     opts.Rounds,
+		DiscSteps:  opts.DiscSteps,
+		BatchSize:  opts.BatchSize,
+		NoiseDim:   opts.NoiseDim,
+		BlockDim:   opts.BlockDim,
+		GenBlocks:  2,
+		DiscBlocks: 2,
+		LR:         opts.LR,
+		Pac:        opts.Pac,
+		Seed:       opts.Seed,
+	}
+	return gan.NewCentralized(table, cfg)
+}
+
+// SynthesizeCondition generates n rows conditioned on one category of one
+// client's categorical column ("control the class of generation", §2.2).
+// clientIdx names the owning client (in the order tables were passed to
+// New); column and categoryLabel refer to that client's schema.
+func (g *GTV) SynthesizeCondition(n, clientIdx int, column, categoryLabel string) (*encoding.Table, error) {
+	if clientIdx < 0 || clientIdx >= len(g.clients) {
+		return nil, fmt.Errorf("core: client %d out of range %d", clientIdx, len(g.clients))
+	}
+	spanIdx, category, err := g.clients[clientIdx].ResolveCondition(column, categoryLabel)
+	if err != nil {
+		return nil, err
+	}
+	return g.server.SynthesizeCondition(n, clientIdx, spanIdx, category)
+}

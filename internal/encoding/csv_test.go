@@ -1,0 +1,62 @@
+package encoding
+
+import (
+	"bytes"
+	"math/rand"
+	"strings"
+	"testing"
+)
+
+func TestCSVRoundTrip(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	tbl := sampleTable(t, rng, 40)
+	var buf bytes.Buffer
+	if err := WriteCSV(&buf, tbl); err != nil {
+		t.Fatalf("WriteCSV: %v", err)
+	}
+	back, err := ReadCSV(&buf, tbl.Specs)
+	if err != nil {
+		t.Fatalf("ReadCSV: %v", err)
+	}
+	if !back.Data.AllClose(tbl.Data, 1e-12) {
+		t.Fatal("CSV round trip changed data")
+	}
+}
+
+func TestCSVHeaderHasLabels(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	tbl := sampleTable(t, rng, 3)
+	var buf bytes.Buffer
+	if err := WriteCSV(&buf, tbl); err != nil {
+		t.Fatalf("WriteCSV: %v", err)
+	}
+	out := buf.String()
+	if !strings.HasPrefix(out, "gender,income,mortgage") {
+		t.Fatalf("header = %q", strings.SplitN(out, "\n", 2)[0])
+	}
+	// Categorical cells must carry labels, not indices.
+	if !strings.Contains(out, "M") && !strings.Contains(out, "F") {
+		t.Fatal("categorical labels missing from CSV body")
+	}
+}
+
+func TestReadCSVErrors(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	tbl := sampleTable(t, rng, 3)
+	tests := []struct {
+		name string
+		csv  string
+	}{
+		{"wrong header", "a,b,c\nM,1,2\n"},
+		{"unknown category", "gender,income,mortgage\nX,1,2\n"},
+		{"bad float", "gender,income,mortgage\nM,abc,2\n"},
+		{"no rows", "gender,income,mortgage\n"},
+	}
+	for _, tc := range tests {
+		t.Run(tc.name, func(t *testing.T) {
+			if _, err := ReadCSV(strings.NewReader(tc.csv), tbl.Specs); err == nil {
+				t.Fatal("expected error")
+			}
+		})
+	}
+}

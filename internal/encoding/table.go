@@ -1,0 +1,208 @@
+// Package encoding implements the tabular feature engineering used by
+// CTGAN/CTAB-GAN and therefore by GTV: one-hot encoding for categorical
+// columns, mode-specific normalization (via a per-column Gaussian mixture)
+// for continuous columns, and the mixed-type encoder for columns that hold
+// both special discrete values and a continuous part. A fitted Transformer
+// maps raw tables to the GAN's training representation and back.
+package encoding
+
+import (
+	"errors"
+	"fmt"
+	"math"
+
+	"repro/internal/tensor"
+)
+
+// ColumnKind classifies a raw table column.
+type ColumnKind int
+
+// Column kinds.
+const (
+	// KindCategorical columns hold one of a finite set of categories,
+	// stored as 0-based category indices.
+	KindCategorical ColumnKind = iota + 1
+	// KindContinuous columns hold real values.
+	KindContinuous
+	// KindMixed columns hold real values interleaved with special discrete
+	// values (e.g. 0 meaning "no mortgage"), per the CTAB-GAN encoder.
+	KindMixed
+)
+
+// String returns a human-readable kind name.
+func (k ColumnKind) String() string {
+	switch k {
+	case KindCategorical:
+		return "categorical"
+	case KindContinuous:
+		return "continuous"
+	case KindMixed:
+		return "mixed"
+	default:
+		return fmt.Sprintf("ColumnKind(%d)", int(k))
+	}
+}
+
+// ColumnSpec describes one raw column.
+type ColumnSpec struct {
+	Name string
+	Kind ColumnKind
+	// Categories names the categories of a categorical column; cells store
+	// indices into this slice. Required for KindCategorical.
+	Categories []string
+	// SpecialValues lists the discrete special values of a mixed column.
+	// Required (non-empty) for KindMixed.
+	SpecialValues []float64
+}
+
+// NumCategories returns the category count of a categorical column.
+func (s *ColumnSpec) NumCategories() int { return len(s.Categories) }
+
+// Validate checks internal consistency of the spec.
+func (s *ColumnSpec) Validate() error {
+	switch s.Kind {
+	case KindCategorical:
+		if len(s.Categories) < 1 {
+			return fmt.Errorf("encoding: categorical column %q has no categories", s.Name)
+		}
+	case KindContinuous:
+		// nothing extra
+	case KindMixed:
+		if len(s.SpecialValues) == 0 {
+			return fmt.Errorf("encoding: mixed column %q has no special values", s.Name)
+		}
+	default:
+		return fmt.Errorf("encoding: column %q has invalid kind %d", s.Name, int(s.Kind))
+	}
+	return nil
+}
+
+// Table is a raw tabular dataset: one float64 cell per row and column.
+// Categorical cells store 0-based category indices.
+type Table struct {
+	Specs []ColumnSpec
+	Data  *tensor.Dense
+}
+
+// NewTable validates and wraps specs+data into a Table.
+func NewTable(specs []ColumnSpec, data *tensor.Dense) (*Table, error) {
+	if data.Cols() != len(specs) {
+		return nil, fmt.Errorf("encoding: %d specs for %d data columns", len(specs), data.Cols())
+	}
+	for i := range specs {
+		if err := specs[i].Validate(); err != nil {
+			return nil, err
+		}
+	}
+	for i := 0; i < data.Rows(); i++ {
+		row := data.RawRow(i)
+		for j := range specs {
+			v := row[j]
+			if math.IsNaN(v) || math.IsInf(v, 0) {
+				return nil, fmt.Errorf("encoding: row %d column %q is not finite", i, specs[j].Name)
+			}
+			if specs[j].Kind == KindCategorical {
+				if v != math.Trunc(v) || v < 0 || int(v) >= len(specs[j].Categories) {
+					return nil, fmt.Errorf("encoding: row %d column %q has invalid category index %v", i, specs[j].Name, v)
+				}
+			}
+		}
+	}
+	return &Table{Specs: specs, Data: data}, nil
+}
+
+// Rows returns the number of rows.
+func (t *Table) Rows() int { return t.Data.Rows() }
+
+// Cols returns the number of columns.
+func (t *Table) Cols() int { return t.Data.Cols() }
+
+// Column returns a copy of column j's raw values.
+func (t *Table) Column(j int) []float64 { return t.Data.Col(j) }
+
+// ColumnByName returns the index of the named column, or -1.
+func (t *Table) ColumnByName(name string) int {
+	for j := range t.Specs {
+		if t.Specs[j].Name == name {
+			return j
+		}
+	}
+	return -1
+}
+
+// SelectColumns returns a new Table containing the given columns, in order.
+func (t *Table) SelectColumns(cols []int) (*Table, error) {
+	specs := make([]ColumnSpec, len(cols))
+	mats := make([]*tensor.Dense, len(cols))
+	for i, j := range cols {
+		if j < 0 || j >= t.Cols() {
+			return nil, fmt.Errorf("encoding: column index %d out of range %d", j, t.Cols())
+		}
+		specs[i] = t.Specs[j]
+		mats[i] = t.Data.SliceCols(j, j+1)
+	}
+	return &Table{Specs: specs, Data: tensor.ConcatCols(mats...)}, nil
+}
+
+// SliceRows returns a new Table with rows [from, to).
+func (t *Table) SliceRows(from, to int) *Table {
+	return &Table{Specs: t.Specs, Data: t.Data.SliceRows(from, to)}
+}
+
+// GatherRows returns a new Table whose row k is t's row idx[k].
+func (t *Table) GatherRows(idx []int) *Table {
+	return &Table{Specs: t.Specs, Data: t.Data.GatherRows(idx)}
+}
+
+// ShuffleRows returns a new Table with rows permuted by perm.
+func (t *Table) ShuffleRows(perm []int) *Table {
+	return &Table{Specs: t.Specs, Data: t.Data.ShuffleRows(perm)}
+}
+
+// ConcatColumns horizontally joins tables that share a row count, as the
+// server does when assembling the final synthetic dataset from per-client
+// slices.
+func ConcatColumns(tables ...*Table) (*Table, error) {
+	if len(tables) == 0 {
+		return nil, errors.New("encoding: no tables to concatenate")
+	}
+	rows := tables[0].Rows()
+	var specs []ColumnSpec
+	mats := make([]*tensor.Dense, 0, len(tables))
+	for _, t := range tables {
+		if t.Rows() != rows {
+			return nil, fmt.Errorf("encoding: row count mismatch %d vs %d", t.Rows(), rows)
+		}
+		specs = append(specs, t.Specs...)
+		mats = append(mats, t.Data)
+	}
+	return &Table{Specs: specs, Data: tensor.ConcatCols(mats...)}, nil
+}
+
+// VerticalSplit partitions the table's columns across parties according to
+// assignment, where assignment[j] names the party owning column j. It
+// returns one Table per party with the party's columns in original order.
+func (t *Table) VerticalSplit(assignment []int, numParties int) ([]*Table, error) {
+	if len(assignment) != t.Cols() {
+		return nil, fmt.Errorf("encoding: assignment length %d for %d columns", len(assignment), t.Cols())
+	}
+	colsPer := make([][]int, numParties)
+	for j, p := range assignment {
+		if p < 0 || p >= numParties {
+			return nil, fmt.Errorf("encoding: column %d assigned to invalid party %d", j, p)
+		}
+		colsPer[p] = append(colsPer[p], j)
+	}
+	out := make([]*Table, numParties)
+	for p := range out {
+		if len(colsPer[p]) == 0 {
+			return nil, fmt.Errorf("encoding: party %d owns no columns", p)
+		}
+		sub, err := t.SelectColumns(colsPer[p])
+		if err != nil {
+			return nil, err
+		}
+		out[p] = sub
+	}
+	return out, nil
+}

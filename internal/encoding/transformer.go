@@ -1,0 +1,257 @@
+package encoding
+
+import (
+	"fmt"
+	"math/rand"
+
+	"repro/internal/gmm"
+	"repro/internal/tensor"
+)
+
+// SpanType distinguishes the two activation regimes of encoded columns.
+type SpanType int
+
+// Span types.
+const (
+	// SpanScalar is a single tanh-activated column (the mode offset alpha).
+	SpanScalar SpanType = iota + 1
+	// SpanOneHot is a softmax-activated group of indicator columns.
+	SpanOneHot
+)
+
+// Span describes one contiguous group of encoded columns.
+type Span struct {
+	// Column is the index of the source column in the raw table.
+	Column int
+	// Start is the first encoded column of the span; Width its length.
+	Start, Width int
+	// Type selects the generator output activation for the span.
+	Type SpanType
+	// Categorical marks one-hot spans that encode a raw categorical column;
+	// only these participate in conditional-vector construction.
+	Categorical bool
+}
+
+// End returns the exclusive end offset of the span.
+func (s Span) End() int { return s.Start + s.Width }
+
+// colEncoder is the fitted per-column encoding state.
+type colEncoder struct {
+	spec ColumnSpec
+	// mixture is set for continuous and mixed columns.
+	mixture *gmm.Model
+	// specialIdx maps a mixed column's special values to their slot.
+	specialIdx map[float64]int
+}
+
+// width returns the number of encoded columns this column occupies.
+func (c *colEncoder) width() int {
+	switch c.spec.Kind {
+	case KindCategorical:
+		return len(c.spec.Categories)
+	case KindContinuous:
+		return 1 + c.mixture.K()
+	case KindMixed:
+		return 1 + len(c.spec.SpecialValues) + c.mixture.K()
+	default:
+		panic(fmt.Sprintf("encoding: invalid kind %d", int(c.spec.Kind)))
+	}
+}
+
+// Transformer converts raw tables to the GAN representation and back. Fit it
+// once per party on that party's local columns.
+type Transformer struct {
+	specs []ColumnSpec
+	cols  []colEncoder
+	spans []Span
+	width int
+}
+
+// FitTransformer learns per-column encoders from the table. GMM fitting for
+// continuous and mixed columns uses cfg; pass gmm.DefaultConfig() for the
+// CTGAN-compatible setup.
+func FitTransformer(rng *rand.Rand, t *Table, cfg gmm.Config) (*Transformer, error) {
+	tr := &Transformer{specs: t.Specs, cols: make([]colEncoder, len(t.Specs))}
+	offset := 0
+	for j := range t.Specs {
+		spec := t.Specs[j]
+		enc := colEncoder{spec: spec}
+		switch spec.Kind {
+		case KindCategorical:
+			tr.spans = append(tr.spans, Span{
+				Column: j, Start: offset, Width: spec.NumCategories(),
+				Type: SpanOneHot, Categorical: true,
+			})
+		case KindContinuous:
+			m, err := gmm.Fit(rng, t.Column(j), cfg)
+			if err != nil {
+				return nil, fmt.Errorf("encoding: fitting column %q: %w", spec.Name, err)
+			}
+			enc.mixture = m
+			tr.spans = append(tr.spans,
+				Span{Column: j, Start: offset, Width: 1, Type: SpanScalar},
+				Span{Column: j, Start: offset + 1, Width: m.K(), Type: SpanOneHot},
+			)
+		case KindMixed:
+			enc.specialIdx = make(map[float64]int, len(spec.SpecialValues))
+			for i, v := range spec.SpecialValues {
+				enc.specialIdx[v] = i
+			}
+			cont := make([]float64, 0, t.Rows())
+			for _, v := range t.Column(j) {
+				if _, special := enc.specialIdx[v]; !special {
+					cont = append(cont, v)
+				}
+			}
+			if len(cont) == 0 {
+				// Degenerate: every value is special; model the continuous
+				// part as a point mass at zero so widths stay consistent.
+				cont = []float64{0}
+			}
+			m, err := gmm.Fit(rng, cont, cfg)
+			if err != nil {
+				return nil, fmt.Errorf("encoding: fitting mixed column %q: %w", spec.Name, err)
+			}
+			enc.mixture = m
+			tr.spans = append(tr.spans,
+				Span{Column: j, Start: offset, Width: 1, Type: SpanScalar},
+				Span{Column: j, Start: offset + 1, Width: len(spec.SpecialValues) + m.K(), Type: SpanOneHot},
+			)
+		default:
+			return nil, fmt.Errorf("encoding: column %q has invalid kind", spec.Name)
+		}
+		tr.cols[j] = enc
+		offset += enc.width()
+	}
+	tr.width = offset
+	return tr, nil
+}
+
+// Width returns the total encoded width.
+func (tr *Transformer) Width() int { return tr.width }
+
+// Spans returns the encoded column layout. The returned slice must not be
+// modified.
+func (tr *Transformer) Spans() []Span { return tr.spans }
+
+// CategoricalSpans returns only the spans of raw categorical columns, the
+// ones eligible for conditional vectors.
+func (tr *Transformer) CategoricalSpans() []Span {
+	out := make([]Span, 0, len(tr.spans))
+	for _, s := range tr.spans {
+		if s.Categorical {
+			out = append(out, s)
+		}
+	}
+	return out
+}
+
+// Specs returns the raw column specs the transformer was fitted on.
+func (tr *Transformer) Specs() []ColumnSpec { return tr.specs }
+
+// Transform encodes the table. rng drives the posterior mode sampling of
+// mode-specific normalization (CTGAN samples the mode rather than taking
+// the argmax).
+func (tr *Transformer) Transform(rng *rand.Rand, t *Table) (*tensor.Dense, error) {
+	if len(t.Specs) != len(tr.specs) {
+		return nil, fmt.Errorf("encoding: table has %d columns, transformer fitted on %d", len(t.Specs), len(tr.specs))
+	}
+	out := tensor.New(t.Rows(), tr.width)
+	for i := 0; i < t.Rows(); i++ {
+		row := t.Data.RawRow(i)
+		dst := out.RawRow(i)
+		off := 0
+		for j := range tr.cols {
+			enc := &tr.cols[j]
+			v := row[j]
+			switch enc.spec.Kind {
+			case KindCategorical:
+				k := int(v)
+				if k < 0 || k >= enc.spec.NumCategories() {
+					return nil, fmt.Errorf("encoding: row %d column %q invalid category %v", i, enc.spec.Name, v)
+				}
+				dst[off+k] = 1
+			case KindContinuous:
+				mode := enc.mixture.SampleMode(rng, v)
+				dst[off] = enc.mixture.Normalize(v, mode)
+				dst[off+1+mode] = 1
+			case KindMixed:
+				if slot, special := enc.specialIdx[v]; special {
+					dst[off] = 0
+					dst[off+1+slot] = 1
+				} else {
+					mode := enc.mixture.SampleMode(rng, v)
+					dst[off] = enc.mixture.Normalize(v, mode)
+					dst[off+1+len(enc.spec.SpecialValues)+mode] = 1
+				}
+			}
+			off += enc.width()
+		}
+	}
+	return out, nil
+}
+
+// Inverse decodes an encoded (or generated) matrix back to a raw table.
+// One-hot groups are decoded by argmax; scalar offsets are clipped to
+// [-1, 1] before denormalization.
+func (tr *Transformer) Inverse(enc *tensor.Dense) (*Table, error) {
+	if enc.Cols() != tr.width {
+		return nil, fmt.Errorf("encoding: matrix width %d, transformer width %d", enc.Cols(), tr.width)
+	}
+	out := tensor.New(enc.Rows(), len(tr.specs))
+	for i := 0; i < enc.Rows(); i++ {
+		src := enc.RawRow(i)
+		dst := out.RawRow(i)
+		off := 0
+		for j := range tr.cols {
+			e := &tr.cols[j]
+			switch e.spec.Kind {
+			case KindCategorical:
+				dst[j] = float64(argmax(src[off : off+e.spec.NumCategories()]))
+			case KindContinuous:
+				alpha := src[off]
+				mode := argmax(src[off+1 : off+1+e.mixture.K()])
+				dst[j] = e.mixture.Denormalize(alpha, mode)
+			case KindMixed:
+				nSpecial := len(e.spec.SpecialValues)
+				slot := argmax(src[off+1 : off+1+nSpecial+e.mixture.K()])
+				if slot < nSpecial {
+					dst[j] = e.spec.SpecialValues[slot]
+				} else {
+					dst[j] = e.mixture.Denormalize(src[off], slot-nSpecial)
+				}
+			}
+			off += e.width()
+		}
+	}
+	return &Table{Specs: tr.specs, Data: out}, nil
+}
+
+// CategoryFrequencies returns, for categorical column j, the frequency of
+// each category in the table. It is used by conditional-vector sampling.
+func CategoryFrequencies(t *Table, j int) ([]float64, error) {
+	if j < 0 || j >= len(t.Specs) || t.Specs[j].Kind != KindCategorical {
+		return nil, fmt.Errorf("encoding: column %d is not categorical", j)
+	}
+	freq := make([]float64, t.Specs[j].NumCategories())
+	for i := 0; i < t.Rows(); i++ {
+		freq[int(t.Data.At(i, j))]++
+	}
+	n := float64(t.Rows())
+	if n > 0 {
+		for k := range freq {
+			freq[k] /= n
+		}
+	}
+	return freq, nil
+}
+
+func argmax(xs []float64) int {
+	best := 0
+	for i, v := range xs {
+		if v > xs[best] {
+			best = i
+		}
+	}
+	return best
+}

@@ -1,0 +1,174 @@
+package experiments
+
+import (
+	"fmt"
+	"io"
+	"text/tabwriter"
+
+	"repro/internal/attack"
+	"repro/internal/core"
+	"repro/internal/vfl"
+)
+
+// ShuffleAttackRow is one dataset's reconstruction-attack outcome.
+type ShuffleAttackRow struct {
+	Dataset        string
+	WithoutShuffle float64
+	WithShuffle    float64
+	Chance         float64
+	Majority       float64
+}
+
+// ShuffleAttackResult is the training-with-shuffling ablation (the paper's
+// Figs. 5-6 argument, quantified): the curious server's reconstruction
+// accuracy of clients' categorical columns with and without the shuffle.
+type ShuffleAttackResult struct {
+	Rows []ShuffleAttackRow
+	// RoundsObserved is the number of simulated training rounds.
+	RoundsObserved int
+}
+
+// RunShuffleAttack quantifies the §3.1.5 privacy mechanism on every
+// dataset: split columns across two clients, replay Algorithm 1's
+// conditional-vector traffic, and measure how much of the categorical data
+// a curious server reconstructs.
+func RunShuffleAttack(s Scale) (*ShuffleAttackResult, error) {
+	if err := s.validate(); err != nil {
+		return nil, err
+	}
+	rounds := s.Rounds
+	if rounds < 50 {
+		rounds = 50
+	}
+	out := &ShuffleAttackResult{
+		Rows:           make([]ShuffleAttackRow, len(s.Datasets)),
+		RoundsObserved: rounds,
+	}
+	err := forEach(len(s.Datasets), s.Parallelism, func(i int) error {
+		name := s.Datasets[i]
+		d, train, _, err := splitDataset(name, &s, s.Seed)
+		if err != nil {
+			return err
+		}
+		assignment, err := core.EvenAssignment(d.Table.Cols(), 2)
+		if err != nil {
+			return err
+		}
+		parts, err := train.VerticalSplit(assignment, 2)
+		if err != nil {
+			return err
+		}
+		res, err := attack.RunShufflingAblation(parts, attack.Config{
+			Rounds:        rounds,
+			Batch:         s.BatchSize,
+			Seed:          s.Seed,
+			ShuffleSecret: s.Seed + 4242,
+		})
+		if err != nil {
+			return fmt.Errorf("experiments: shuffle attack on %s: %w", name, err)
+		}
+		out.Rows[i] = ShuffleAttackRow{
+			Dataset:        name,
+			WithoutShuffle: res.WithoutShuffle,
+			WithShuffle:    res.WithShuffle,
+			Chance:         res.ChanceLevel,
+			Majority:       res.MajorityLevel,
+		}
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	return out, nil
+}
+
+// Render prints the ablation table.
+func (r *ShuffleAttackResult) Render(w io.Writer) error {
+	tw := tabwriter.NewWriter(w, 0, 4, 2, ' ', 0)
+	fmt.Fprintf(tw, "Ablation: curious-server reconstruction accuracy after %d observed rounds\n", r.RoundsObserved)
+	fmt.Fprintln(tw, "dataset\twithout shuffling\twith shuffling\tchance level\tmajority baseline")
+	for _, row := range r.Rows {
+		fmt.Fprintf(tw, "%s\t%.3f\t%.3f\t%.3f\t%.3f\n",
+			row.Dataset, row.WithoutShuffle, row.WithShuffle, row.Chance, row.Majority)
+	}
+	return tw.Flush()
+}
+
+// CommRow is one configuration's per-round communication cost.
+type CommRow struct {
+	Config   string
+	Stats    vfl.CommStats
+	PerRound float64
+}
+
+// CommResult is the communication-overhead ablation across the nine
+// partition plans and the enlarged-generator setting (the cost dimension
+// §4.3.1 uses to choose between D2_0G2_0 and D2_0G0_2).
+type CommResult struct {
+	Rows []CommRow
+}
+
+// RunCommOverhead trains each configuration for a few rounds on one
+// dataset and reports measured payload bytes per round.
+func RunCommOverhead(s Scale) (*CommResult, error) {
+	if err := s.validate(); err != nil {
+		return nil, err
+	}
+	dataset := s.Datasets[0]
+	type cfg struct {
+		label    string
+		plan     vfl.Plan
+		enlarged bool
+	}
+	var cfgs []cfg
+	for _, p := range vfl.StandardPlans() {
+		cfgs = append(cfgs, cfg{label: p.Name(), plan: p})
+	}
+	cfgs = append(cfgs,
+		cfg{label: "D2_0G0_2+enlarged", plan: vfl.Plan{DiscServer: 2, GenClient: 2}, enlarged: true},
+		cfg{label: "D2_0G2_0+enlarged", plan: vfl.Plan{DiscServer: 2, GenServer: 2}, enlarged: true},
+	)
+
+	rounds := 3
+	out := &CommResult{Rows: make([]CommRow, len(cfgs))}
+	err := forEach(len(cfgs), s.Parallelism, func(i int) error {
+		c := cfgs[i]
+		d, train, _, err := splitDataset(dataset, &s, s.Seed)
+		if err != nil {
+			return err
+		}
+		assignment, err := core.EvenAssignment(d.Table.Cols(), 2)
+		if err != nil {
+			return err
+		}
+		opts := s.options(c.plan, c.enlarged, s.Seed)
+		opts.Rounds = rounds
+		g, err := core.NewFromAssignment(train, assignment, 2, opts)
+		if err != nil {
+			return err
+		}
+		if err := g.Train(nil); err != nil {
+			return err
+		}
+		stats := g.CommStats()
+		out.Rows[i] = CommRow{Config: c.label, Stats: stats, PerRound: stats.PerRound()}
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	return out, nil
+}
+
+// Render prints the overhead table.
+func (r *CommResult) Render(w io.Writer) error {
+	tw := tabwriter.NewWriter(w, 0, 4, 2, ' ', 0)
+	fmt.Fprintln(tw, "Ablation: measured server<->client payload per training round (2 clients)")
+	fmt.Fprintln(tw, "config\tbytes/round\tgen slices\tdisc logits\tgrads\tslice grads")
+	for _, row := range r.Rows {
+		fmt.Fprintf(tw, "%s\t%.0f\t%d\t%d\t%d\t%d\n",
+			row.Config, row.PerRound, row.Stats.GenSlicesSent, row.Stats.DiscLogitsReceived,
+			row.Stats.GradsSent, row.Stats.SliceGradsReceived)
+	}
+	return tw.Flush()
+}

@@ -1,0 +1,161 @@
+package experiments
+
+import (
+	"fmt"
+	"io"
+	"math/rand"
+	"text/tabwriter"
+
+	"repro/internal/vfl"
+)
+
+// GeneratorSettings are the paper's two generator sizings in the
+// client-count experiment: default (sum of block widths constant) and
+// enlarged (3x block width).
+var GeneratorSettings = []string{"default", "enlarged"}
+
+// ClientCountResult reproduces Figs. 12/13 and Table 3 for one plan.
+type ClientCountResult struct {
+	Plan vfl.Plan
+	// ClientCounts lists the client counts swept (the paper uses 2-5).
+	ClientCounts []int
+	// Avg maps generator setting -> client count -> dataset-averaged cell.
+	Avg map[string]map[int]CellResult
+	// DiffCorr maps generator setting -> client count -> dataset ->
+	// Diff.Corr (Table 3's cells).
+	DiffCorr map[string]map[int]map[string]float64
+}
+
+// RunClientCount reproduces the client-number variation experiment
+// (§4.3.3): randomly and evenly distribute columns across 2-5 clients and
+// measure quality under the default and enlarged generator settings. The
+// paper's claims: quality degrades as clients increase, and the enlarged
+// generator degrades less.
+func RunClientCount(s Scale, plan vfl.Plan, clientCounts []int) (*ClientCountResult, error) {
+	if err := s.validate(); err != nil {
+		return nil, err
+	}
+	if err := plan.Validate(); err != nil {
+		return nil, err
+	}
+	if len(clientCounts) == 0 {
+		clientCounts = []int{2, 3, 4, 5}
+	}
+	out := &ClientCountResult{
+		Plan:         plan,
+		ClientCounts: clientCounts,
+		Avg:          make(map[string]map[int]CellResult),
+		DiffCorr:     make(map[string]map[int]map[string]float64),
+	}
+	for _, g := range GeneratorSettings {
+		out.Avg[g] = make(map[int]CellResult, len(clientCounts))
+		out.DiffCorr[g] = make(map[int]map[string]float64, len(clientCounts))
+		for _, k := range clientCounts {
+			out.DiffCorr[g][k] = make(map[string]float64, len(s.Datasets))
+		}
+	}
+
+	type job struct {
+		setting string
+		clients int
+		dataset string
+	}
+	var jobs []job
+	for _, g := range GeneratorSettings {
+		for _, k := range clientCounts {
+			for _, ds := range s.Datasets {
+				jobs = append(jobs, job{setting: g, clients: k, dataset: ds})
+			}
+		}
+	}
+	results := make([]CellResult, len(jobs))
+	err := forEach(len(jobs), s.Parallelism, func(i int) error {
+		j := jobs[i]
+		cell, err := repeatCell(&s, func(seed int64) (CellResult, error) {
+			d, _, _, err := splitDataset(j.dataset, &s, seed)
+			if err != nil {
+				return CellResult{}, err
+			}
+			assignment, err := randomEvenAssignment(rand.New(rand.NewSource(seed+31)), d.Table.Cols(), j.clients)
+			if err != nil {
+				return CellResult{}, err
+			}
+			return runGTVCell(j.dataset, assignment, j.clients,
+				s.options(plan, j.setting == "enlarged", seed), &s, seed)
+		})
+		if err != nil {
+			return fmt.Errorf("experiments: client count %s k=%d on %s: %w", j.setting, j.clients, j.dataset, err)
+		}
+		results[i] = cell
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+
+	bySetting := make(map[string]map[int][]CellResult)
+	for _, g := range GeneratorSettings {
+		bySetting[g] = make(map[int][]CellResult)
+	}
+	for i, j := range jobs {
+		bySetting[j.setting][j.clients] = append(bySetting[j.setting][j.clients], results[i])
+		out.DiffCorr[j.setting][j.clients][j.dataset] = results[i].DiffCorr
+	}
+	for _, g := range GeneratorSettings {
+		for _, k := range clientCounts {
+			out.Avg[g][k] = averageCells(bySetting[g][k])
+		}
+	}
+	return out, nil
+}
+
+// randomEvenAssignment shuffles columns and deals them into numClients
+// near-equal groups (the paper's "randomly and evenly distribute").
+func randomEvenAssignment(rng *rand.Rand, numCols, numClients int) ([]int, error) {
+	if numClients <= 0 || numCols < numClients {
+		return nil, fmt.Errorf("experiments: cannot place %d columns on %d clients", numCols, numClients)
+	}
+	perm := rng.Perm(numCols)
+	out := make([]int, numCols)
+	for pos, col := range perm {
+		out[col] = pos % numClients
+	}
+	return out, nil
+}
+
+// Render prints the paper-style figure data (Figs. 12/13).
+func (r *ClientCountResult) Render(w io.Writer) error {
+	tw := tabwriter.NewWriter(w, 0, 4, 2, ' ', 0)
+	fmt.Fprintf(tw, "Client-count variation with %s: differences vs real data, averaged over datasets (lower is better)\n", r.Plan.Name())
+	fmt.Fprintln(tw, "generator\tclients\tΔaccuracy\tΔF1\tΔAUC\tavg JSD\tavg WD")
+	for _, g := range GeneratorSettings {
+		for _, k := range r.ClientCounts {
+			cell := r.Avg[g][k]
+			fmt.Fprintf(tw, "%s\t%d\t%.4f\t%.4f\t%.4f\t%.4f\t%.4f\n",
+				g, k, cell.Utility.Accuracy, cell.Utility.F1, cell.Utility.AUC, cell.JSD, cell.WD)
+		}
+	}
+	return tw.Flush()
+}
+
+// RenderTable3 prints Table 3 (Diff.Corr by client count,
+// default/enlarged) for a pair of client-count runs.
+func RenderTable3(w io.Writer, runs []*ClientCountResult, datasetOrder []string) error {
+	tw := tabwriter.NewWriter(w, 0, 4, 2, ' ', 0)
+	fmt.Fprintln(tw, "Table 3: Diff.Corr on client-number variation (default generator / enlarged generator)")
+	header := "partition-#client"
+	for _, ds := range datasetOrder {
+		header += "\t" + ds
+	}
+	fmt.Fprintln(tw, header)
+	for _, run := range runs {
+		for _, k := range run.ClientCounts {
+			row := fmt.Sprintf("%s-%d", run.Plan.Name(), k)
+			for _, ds := range datasetOrder {
+				row += fmt.Sprintf("\t%.2f/%.2f", run.DiffCorr["default"][k][ds], run.DiffCorr["enlarged"][k][ds])
+			}
+			fmt.Fprintln(tw, row)
+		}
+	}
+	return tw.Flush()
+}

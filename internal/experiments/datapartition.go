@@ -1,0 +1,153 @@
+package experiments
+
+import (
+	"fmt"
+	"io"
+	"text/tabwriter"
+
+	"repro/internal/shapley"
+	"repro/internal/vfl"
+)
+
+// PartitionLabels are the paper's three importance-based feature divisions:
+// (most-important share | remaining share + target).
+var PartitionLabels = []string{"1090", "5050", "9010"}
+
+// partitionFraction maps a label to the share of most-important features
+// assigned to the client WITHOUT the target column.
+func partitionFraction(label string) (float64, error) {
+	switch label {
+	case "1090":
+		return 0.10, nil
+	case "5050":
+		return 0.50, nil
+	case "9010":
+		return 0.90, nil
+	default:
+		return 0, fmt.Errorf("experiments: unknown partition %q", label)
+	}
+}
+
+// DataPartitionResult reproduces Figs. 10/11 and Table 2 for one partition
+// plan: per-dataset, per-division metrics.
+type DataPartitionResult struct {
+	// Plan is the partition plan the experiment ran under (the paper uses
+	// D2_0G2_0 for Fig. 10 and D2_0G0_2 for Fig. 11).
+	Plan vfl.Plan
+	// Datasets lists row labels in display order.
+	Datasets []string
+	// Cells maps dataset -> partition label -> metrics.
+	Cells map[string]map[string]CellResult
+}
+
+// RunDataPartition reproduces the training-data partition experiment
+// (§4.3.2): rank features by Shapley importance, place the top fraction on
+// client 0 and the rest plus the target column on client 1. The paper's
+// claims: quality degrades 1090 -> 5050 -> 9010, and the G0_2
+// (generator-on-server) plan is less affected than G2_0.
+func RunDataPartition(s Scale, plan vfl.Plan) (*DataPartitionResult, error) {
+	if err := s.validate(); err != nil {
+		return nil, err
+	}
+	if err := plan.Validate(); err != nil {
+		return nil, err
+	}
+	out := &DataPartitionResult{
+		Plan:     plan,
+		Datasets: s.Datasets,
+		Cells:    make(map[string]map[string]CellResult, len(s.Datasets)),
+	}
+	type job struct{ dataset, partition string }
+	var jobs []job
+	for _, ds := range s.Datasets {
+		out.Cells[ds] = make(map[string]CellResult, len(PartitionLabels))
+		for _, p := range PartitionLabels {
+			jobs = append(jobs, job{dataset: ds, partition: p})
+		}
+	}
+	results := make([]CellResult, len(jobs))
+	err := forEach(len(jobs), s.Parallelism, func(i int) error {
+		j := jobs[i]
+		frac, err := partitionFraction(j.partition)
+		if err != nil {
+			return err
+		}
+		cell, err := repeatCell(&s, func(seed int64) (CellResult, error) {
+			d, train, _, err := splitDataset(j.dataset, &s, seed)
+			if err != nil {
+				return CellResult{}, err
+			}
+			cfg := shapley.DefaultConfig()
+			cfg.Seed = seed
+			cfg.Permutations = 6
+			cfg.Epochs = 50
+			head, _, err := shapley.TopFraction(train, d.Target, frac, cfg)
+			if err != nil {
+				return CellResult{}, fmt.Errorf("shapley split: %w", err)
+			}
+			// Client 0 holds the most-important fraction; client 1 holds
+			// the remainder and always the target column.
+			assignment := make([]int, d.Table.Cols())
+			for k := range assignment {
+				assignment[k] = 1
+			}
+			for _, c := range head {
+				assignment[c] = 0
+			}
+			return runGTVCell(j.dataset, assignment, 2, s.options(plan, false, seed), &s, seed)
+		})
+		if err != nil {
+			return fmt.Errorf("experiments: data partition %s/%s: %w", j.dataset, j.partition, err)
+		}
+		results[i] = cell
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	for i, j := range jobs {
+		out.Cells[j.dataset][j.partition] = results[i]
+	}
+	return out, nil
+}
+
+// Render prints the paper-style figure data (Figs. 10/11) including the
+// Diff.Corr values reported separately in Table 2.
+func (r *DataPartitionResult) Render(w io.Writer) error {
+	tw := tabwriter.NewWriter(w, 0, 4, 2, ' ', 0)
+	fmt.Fprintf(tw, "Data partition with %s: differences vs real data (lower is better)\n", r.Plan.Name())
+	fmt.Fprintln(tw, "dataset\tpartition\tΔaccuracy\tΔF1\tΔAUC\tavg JSD\tavg WD\tDiff.Corr")
+	for _, ds := range r.Datasets {
+		for _, p := range PartitionLabels {
+			cell := r.Cells[ds][p]
+			fmt.Fprintf(tw, "%s\t%s\t%.4f\t%.4f\t%.4f\t%.4f\t%.4f\t%.3f\n",
+				ds, p, cell.Utility.Accuracy, cell.Utility.F1, cell.Utility.AUC,
+				cell.JSD, cell.WD, cell.DiffCorr)
+		}
+	}
+	return tw.Flush()
+}
+
+// RenderTable2 prints Table 2 (Diff.Corr by partition) for a pair of
+// data-partition runs, matching the paper's layout.
+func RenderTable2(w io.Writer, runs []*DataPartitionResult) error {
+	tw := tabwriter.NewWriter(w, 0, 4, 2, ' ', 0)
+	fmt.Fprintln(tw, "Table 2: Diff.Corr on data partition (lower is better)")
+	header := "partition-distribution"
+	if len(runs) > 0 {
+		for _, ds := range runs[0].Datasets {
+			header += "\t" + ds
+		}
+	}
+	fmt.Fprintln(tw, header)
+	for _, run := range runs {
+		for _, p := range PartitionLabels {
+			row := fmt.Sprintf("%s-%s", run.Plan.Name(), p)
+			for _, ds := range run.Datasets {
+				row += fmt.Sprintf("\t%.2f", run.Cells[ds][p].DiffCorr)
+			}
+			fmt.Fprintln(tw, row)
+		}
+	}
+	return tw.Flush()
+}

@@ -1,0 +1,111 @@
+package experiments
+
+import (
+	"fmt"
+	"io"
+	"text/tabwriter"
+
+	"repro/internal/core"
+	"repro/internal/vfl"
+)
+
+// CentralizedLabel names the baseline row in partition results.
+const CentralizedLabel = "centralized"
+
+// Fig8Result reproduces Fig. 8: the nine neural-network partitions plus the
+// centralized baseline, each averaged over the selected datasets.
+type Fig8Result struct {
+	// Configs lists row labels in display order (centralized first).
+	Configs []string
+	// Cells maps config label to its dataset-averaged metrics.
+	Cells map[string]CellResult
+}
+
+// RunFig8 reproduces the neural-network partition experiment (§4.3.1): for
+// every partition plan, split each dataset's columns evenly across two
+// clients (column order preserved) and measure all quality metrics. The
+// paper's claims: the centralized baseline is best everywhere; the three
+// D2_0* plans beat the other six; D2_0G2_0 and D2_0G0_2 are comparable.
+func RunFig8(s Scale) (*Fig8Result, error) {
+	if err := s.validate(); err != nil {
+		return nil, err
+	}
+	plans := vfl.StandardPlans()
+	configs := make([]string, 0, len(plans)+1)
+	configs = append(configs, CentralizedLabel)
+	for _, p := range plans {
+		configs = append(configs, p.Name())
+	}
+
+	type job struct {
+		config  string
+		plan    vfl.Plan
+		central bool
+		dataset string
+	}
+	var jobs []job
+	for _, ds := range s.Datasets {
+		jobs = append(jobs, job{config: CentralizedLabel, central: true, dataset: ds})
+		for _, p := range plans {
+			jobs = append(jobs, job{config: p.Name(), plan: p, dataset: ds})
+		}
+	}
+	results := make([]CellResult, len(jobs))
+	err := forEach(len(jobs), s.Parallelism, func(i int) error {
+		j := jobs[i]
+		cell, err := repeatCell(&s, func(seed int64) (CellResult, error) {
+			if j.central {
+				return runCentralizedCell(j.dataset, s.options(vfl.Plan{DiscServer: 2, GenClient: 2}, false, seed), &s, seed)
+			}
+			d, _, _, err := splitDataset(j.dataset, &s, seed)
+			if err != nil {
+				return CellResult{}, err
+			}
+			assignment, err := core.EvenAssignment(d.Table.Cols(), 2)
+			if err != nil {
+				return CellResult{}, err
+			}
+			return runGTVCell(j.dataset, assignment, 2, s.options(j.plan, false, seed), &s, seed)
+		})
+		if err != nil {
+			return fmt.Errorf("experiments: fig8 %s on %s: %w", j.config, j.dataset, err)
+		}
+		results[i] = cell
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+
+	// Average each config over datasets.
+	byConfig := make(map[string][]CellResult, len(configs))
+	for i, j := range jobs {
+		byConfig[j.config] = append(byConfig[j.config], results[i])
+	}
+	out := &Fig8Result{Configs: configs, Cells: make(map[string]CellResult, len(configs))}
+	for _, c := range configs {
+		out.Cells[c] = averageCells(byConfig[c])
+	}
+	return out, nil
+}
+
+// Render prints the paper-style figure data.
+func (r *Fig8Result) Render(w io.Writer) error {
+	tw := tabwriter.NewWriter(w, 0, 4, 2, ' ', 0)
+	fmt.Fprintln(tw, "Fig 8: Neural-network partition (differences vs real data, averaged over datasets; lower is better)")
+	fmt.Fprintln(tw, "config\tΔaccuracy\tΔF1\tΔAUC\tavg JSD\tavg WD\tavg-client corr\tacross-client corr")
+	for _, c := range r.Configs {
+		cell := r.Cells[c]
+		if c == CentralizedLabel {
+			// No per-client decomposition exists for the unsplit baseline.
+			fmt.Fprintf(tw, "%s\t%.4f\t%.4f\t%.4f\t%.4f\t%.4f\t-\t-\n",
+				c, cell.Utility.Accuracy, cell.Utility.F1, cell.Utility.AUC,
+				cell.JSD, cell.WD)
+			continue
+		}
+		fmt.Fprintf(tw, "%s\t%.4f\t%.4f\t%.4f\t%.4f\t%.4f\t%.4f\t%.4f\n",
+			c, cell.Utility.Accuracy, cell.Utility.F1, cell.Utility.AUC,
+			cell.JSD, cell.WD, cell.AvgClient, cell.AcrossClient)
+	}
+	return tw.Flush()
+}

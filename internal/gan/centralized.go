@@ -1,0 +1,312 @@
+package gan
+
+import (
+	"fmt"
+	"math/rand"
+
+	ag "repro/internal/autograd"
+	"repro/internal/condvec"
+	"repro/internal/encoding"
+	"repro/internal/gmm"
+	"repro/internal/nn"
+	"repro/internal/tensor"
+)
+
+// Config holds the training hyper-parameters shared by the centralized
+// baseline and GTV.
+type Config struct {
+	// Rounds is the number of training rounds (each = DiscSteps critic
+	// updates + one generator update).
+	Rounds int
+	// DiscSteps is the number of critic updates per round (the paper's
+	// local discriminator epochs e, default 5 for WGAN-GP).
+	DiscSteps int
+	// BatchSize is the minibatch size.
+	BatchSize int
+	// NoiseDim is the generator noise width (CTGAN uses 128).
+	NoiseDim int
+	// BlockDim is the residual/FN block width (256 in the paper).
+	BlockDim int
+	// GenBlocks and DiscBlocks set the trunk depths (2 each in the paper).
+	GenBlocks, DiscBlocks int
+	// LR is the Adam learning rate for both networks (2e-4 in CTGAN).
+	LR float64
+	// Pac is the PacGAN packing degree: the critic judges Pac samples at a
+	// time, which combats mode collapse (CTGAN uses 10). BatchSize must be
+	// divisible by Pac. 0 means 1 (no packing).
+	Pac int
+	// Seed drives all randomness.
+	Seed int64
+}
+
+// DefaultConfig returns a laptop-scale configuration with the paper's
+// architecture (2 residual blocks, 2 FN blocks, width 256).
+func DefaultConfig() Config {
+	return Config{
+		Rounds:     150,
+		DiscSteps:  2,
+		BatchSize:  128,
+		NoiseDim:   64,
+		BlockDim:   256,
+		GenBlocks:  2,
+		DiscBlocks: 2,
+		LR:         2e-4,
+		Seed:       1,
+	}
+}
+
+// validate fills defaults and checks ranges.
+func (c *Config) validate() error {
+	if c.Rounds <= 0 || c.BatchSize <= 0 {
+		return fmt.Errorf("gan: rounds %d and batch size %d must be positive", c.Rounds, c.BatchSize)
+	}
+	if c.DiscSteps <= 0 {
+		c.DiscSteps = 1
+	}
+	if c.NoiseDim <= 0 {
+		c.NoiseDim = 64
+	}
+	if c.BlockDim <= 0 {
+		c.BlockDim = 256
+	}
+	if c.GenBlocks < 0 || c.DiscBlocks < 0 {
+		return fmt.Errorf("gan: negative block counts %d/%d", c.GenBlocks, c.DiscBlocks)
+	}
+	if c.LR <= 0 {
+		c.LR = 2e-4
+	}
+	if c.Pac <= 0 {
+		c.Pac = 1
+	}
+	if c.BatchSize%c.Pac != 0 {
+		return fmt.Errorf("gan: batch size %d not divisible by pac %d", c.BatchSize, c.Pac)
+	}
+	return nil
+}
+
+// Centralized is the paper's baseline: a single-party conditional tabular
+// GAN with CTGAN/CTAB-GAN feature engineering and WGAN-GP training.
+type Centralized struct {
+	cfg         Config
+	rng         *rand.Rand
+	transformer *encoding.Transformer
+	sampler     *condvec.Sampler
+	encoded     *tensor.Dense
+	specs       []encoding.ColumnSpec
+
+	gen     *nn.Sequential
+	disc    *nn.Sequential
+	genOpt  *nn.Adam
+	discOpt *nn.Adam
+}
+
+// NewCentralized fits the feature encoders on the table and builds the GAN.
+func NewCentralized(table *encoding.Table, cfg Config) (*Centralized, error) {
+	if err := cfg.validate(); err != nil {
+		return nil, err
+	}
+	rng := rand.New(rand.NewSource(cfg.Seed))
+	tr, err := encoding.FitTransformer(rng, table, gmm.DefaultConfig())
+	if err != nil {
+		return nil, fmt.Errorf("gan: fitting transformer: %w", err)
+	}
+	sampler, err := condvec.NewSampler(table, tr)
+	if err != nil {
+		return nil, fmt.Errorf("gan: building CV sampler: %w", err)
+	}
+	enc, err := tr.Transform(rng, table)
+	if err != nil {
+		return nil, fmt.Errorf("gan: encoding table: %w", err)
+	}
+	dataW := tr.Width()
+	cvW := sampler.Width()
+	c := &Centralized{
+		cfg:         cfg,
+		rng:         rng,
+		transformer: tr,
+		sampler:     sampler,
+		encoded:     enc,
+		specs:       table.Specs,
+		gen:         NewGenerator(rng, cfg.NoiseDim+cvW, cfg.BlockDim, cfg.GenBlocks, dataW),
+		disc:        NewDiscriminator(rng, (dataW+cvW)*cfg.Pac, cfg.BlockDim, cfg.DiscBlocks),
+		genOpt:      nn.NewAdam(cfg.LR),
+		discOpt:     nn.NewAdam(cfg.LR),
+	}
+	return c, nil
+}
+
+// Transformer exposes the fitted feature encoder (for inspection/tests).
+func (c *Centralized) Transformer() *encoding.Transformer { return c.transformer }
+
+// Train runs the full WGAN-GP loop. The optional progress callback receives
+// (round, criticLoss, genLoss) once per round.
+func (c *Centralized) Train(progress func(round int, dLoss, gLoss float64)) error {
+	for round := 0; round < c.cfg.Rounds; round++ {
+		var dLoss float64
+		for step := 0; step < c.cfg.DiscSteps; step++ {
+			l, err := c.trainDiscStep()
+			if err != nil {
+				return fmt.Errorf("gan: round %d critic step: %w", round, err)
+			}
+			dLoss = l
+		}
+		gLoss, err := c.trainGenStep()
+		if err != nil {
+			return fmt.Errorf("gan: round %d generator step: %w", round, err)
+		}
+		if progress != nil {
+			progress(round, dLoss, gLoss)
+		}
+	}
+	return nil
+}
+
+// generate runs the generator on a fresh batch, returning the activated
+// output, the raw output and the CV batch used.
+func (c *Centralized) generate(batch int, hard bool) (*ag.Value, *ag.Value, *condvec.Batch, error) {
+	cvb, err := c.sampler.Sample(c.rng, batch)
+	if err != nil {
+		return nil, nil, nil, err
+	}
+	noise := SampleNoise(c.rng, batch, c.cfg.NoiseDim)
+	in := ag.Const(tensor.ConcatCols(noise, cvb.CV))
+	raw := c.gen.Forward(in, true)
+	activated := ActivateOutput(raw, c.transformer.Spans(), c.rng, hard)
+	return activated, raw, cvb, nil
+}
+
+// trainDiscStep performs one WGAN-GP critic update.
+func (c *Centralized) trainDiscStep() (float64, error) {
+	batch := c.cfg.BatchSize
+	fake, _, cvb, err := c.generate(batch, false)
+	if err != nil {
+		return 0, err
+	}
+	realRows := c.encoded.GatherRows(cvb.Rows)
+	cv := cvb.CV
+
+	fakeIn := packRows(ag.ConcatCols(fake.Detach(), ag.Const(cv)), c.cfg.Pac)
+	realIn := packRows(ag.ConcatCols(ag.Const(realRows), ag.Const(cv)), c.cfg.Pac)
+	fakeScores := c.disc.Forward(fakeIn, true)
+	realScores := c.disc.Forward(realIn, true)
+
+	loss := CriticLoss(fakeScores, realScores)
+	gp := GradientPenalty(c.rng, realIn.Data(), fakeIn.Data(), func(x *ag.Value) *ag.Value {
+		return c.disc.Forward(x, true)
+	})
+	total := ag.Add(loss, gp)
+	c.discOpt.Step(c.disc.Params(), nn.Grads(total, c.disc))
+	return total.Item(), nil
+}
+
+// trainGenStep performs one generator update (Wasserstein + conditioning).
+func (c *Centralized) trainGenStep() (float64, error) {
+	batch := c.cfg.BatchSize
+	fake, raw, cvb, err := c.generate(batch, false)
+	if err != nil {
+		return 0, err
+	}
+	scores := c.disc.Forward(packRows(ag.ConcatCols(fake, ag.Const(cvb.CV)), c.cfg.Pac), true)
+	loss := GeneratorLoss(scores)
+	cond := ConditionLoss(raw, c.transformer.CategoricalSpans(), cvb.Choices)
+	total := ag.Add(loss, cond)
+	c.genOpt.Step(c.gen.Params(), nn.Grads(total, c.gen))
+	return total.Item(), nil
+}
+
+// Synthesize generates n synthetic rows and decodes them to a raw table.
+func (c *Centralized) Synthesize(n int) (*encoding.Table, error) {
+	if n <= 0 {
+		return nil, fmt.Errorf("gan: cannot synthesize %d rows", n)
+	}
+	out := tensor.New(n, c.transformer.Width())
+	done := 0
+	for done < n {
+		batch := c.cfg.BatchSize
+		if n-done < batch {
+			batch = n - done
+		}
+		cvb, err := c.sampler.SampleSynthesis(c.rng, batch)
+		if err != nil {
+			return nil, err
+		}
+		noise := SampleNoise(c.rng, batch, c.cfg.NoiseDim)
+		in := ag.Const(tensor.ConcatCols(noise, cvb.CV))
+		raw := c.gen.Forward(in, false)
+		act := ActivateOutput(raw, c.transformer.Spans(), c.rng, true)
+		for i := 0; i < batch; i++ {
+			copy(out.RawRow(done+i), act.Data().RawRow(i))
+		}
+		done += batch
+	}
+	return c.transformer.Inverse(out)
+}
+
+// SynthesizeCondition generates n rows all conditioned on column holding
+// categoryLabel (CTGAN's "control the class of generation"). The column
+// must be categorical.
+func (c *Centralized) SynthesizeCondition(n int, column, categoryLabel string) (*encoding.Table, error) {
+	if n <= 0 {
+		return nil, fmt.Errorf("gan: cannot synthesize %d rows", n)
+	}
+	spanIdx, category, err := ResolveCondition(c.specs, c.sampler, column, categoryLabel)
+	if err != nil {
+		return nil, err
+	}
+	out := tensor.New(n, c.transformer.Width())
+	done := 0
+	for done < n {
+		batch := c.cfg.BatchSize
+		if n-done < batch {
+			batch = n - done
+		}
+		cvb, err := c.sampler.SampleFixed(c.rng, batch, spanIdx, category)
+		if err != nil {
+			return nil, err
+		}
+		noise := SampleNoise(c.rng, batch, c.cfg.NoiseDim)
+		in := ag.Const(tensor.ConcatCols(noise, cvb.CV))
+		raw := c.gen.Forward(in, false)
+		act := ActivateOutput(raw, c.transformer.Spans(), c.rng, true)
+		for i := 0; i < batch; i++ {
+			copy(out.RawRow(done+i), act.Data().RawRow(i))
+		}
+		done += batch
+	}
+	return c.transformer.Inverse(out)
+}
+
+// ResolveCondition maps a (column name, category label) pair to the
+// sampler's (span index, category index). It is shared with the VFL client,
+// which resolves conditions for its own columns.
+func ResolveCondition(specs []encoding.ColumnSpec, sampler *condvec.Sampler, column, categoryLabel string) (int, int, error) {
+	colIdx := -1
+	for j := range specs {
+		if specs[j].Name == column {
+			colIdx = j
+			break
+		}
+	}
+	if colIdx < 0 {
+		return 0, 0, fmt.Errorf("gan: unknown column %q", column)
+	}
+	if specs[colIdx].Kind != encoding.KindCategorical {
+		return 0, 0, fmt.Errorf("gan: column %q is not categorical", column)
+	}
+	category := -1
+	for k, label := range specs[colIdx].Categories {
+		if label == categoryLabel {
+			category = k
+			break
+		}
+	}
+	if category < 0 {
+		return 0, 0, fmt.Errorf("gan: column %q has no category %q", column, categoryLabel)
+	}
+	for i, sp := range sampler.Spans() {
+		if sp.Column == colIdx {
+			return i, category, nil
+		}
+	}
+	return 0, 0, fmt.Errorf("gan: column %q is not conditionable", column)
+}

@@ -1,0 +1,314 @@
+// Package gmm fits one-dimensional Gaussian mixture models with
+// expectation-maximization. It is the statistical engine behind CTGAN's
+// mode-specific normalization of continuous columns: each column is fitted
+// with a mixture, low-weight components are pruned, and every cell is
+// represented as (scalar offset within its mode, one-hot mode indicator).
+package gmm
+
+import (
+	"errors"
+	"fmt"
+	"math"
+	"math/rand"
+	"sort"
+)
+
+// minStd keeps component standard deviations strictly positive so densities
+// and normalized offsets stay finite even for near-constant data.
+const minStd = 1e-4
+
+// Model is a fitted one-dimensional Gaussian mixture. Components are sorted
+// by mean. Invariant: the weights are positive and sum to 1, and every
+// standard deviation is at least minStd.
+type Model struct {
+	Weights []float64
+	Means   []float64
+	Stds    []float64
+}
+
+// Config controls Fit.
+type Config struct {
+	// MaxComponents is the number of mixture components EM starts with.
+	// CTGAN uses 10.
+	MaxComponents int
+	// WeightThreshold prunes components whose posterior weight falls below
+	// it after fitting. CTGAN's variational GM effectively uses 0.005.
+	WeightThreshold float64
+	// MaxIter bounds the number of EM iterations.
+	MaxIter int
+	// Tol stops EM when the mean log-likelihood improves by less than Tol.
+	Tol float64
+}
+
+// DefaultConfig returns the CTGAN-compatible fitting configuration.
+func DefaultConfig() Config {
+	return Config{MaxComponents: 10, WeightThreshold: 0.005, MaxIter: 100, Tol: 1e-4}
+}
+
+// Fit fits a Gaussian mixture to data using EM followed by low-weight
+// component pruning. rng seeds the k-means++-style initialization.
+func Fit(rng *rand.Rand, data []float64, cfg Config) (*Model, error) {
+	if len(data) == 0 {
+		return nil, errors.New("gmm: empty data")
+	}
+	if cfg.MaxComponents <= 0 {
+		return nil, fmt.Errorf("gmm: MaxComponents %d must be positive", cfg.MaxComponents)
+	}
+	for _, v := range data {
+		if math.IsNaN(v) || math.IsInf(v, 0) {
+			return nil, errors.New("gmm: data contains NaN or Inf")
+		}
+	}
+
+	k := cfg.MaxComponents
+	if k > len(data) {
+		k = len(data)
+	}
+
+	m := initModel(rng, data, k)
+	resp := make([][]float64, len(data)) // responsibilities, row per sample
+	for i := range resp {
+		resp[i] = make([]float64, k)
+	}
+
+	prevLL := math.Inf(-1)
+	for iter := 0; iter < cfg.MaxIter; iter++ {
+		ll := m.eStep(data, resp)
+		m.mStep(data, resp)
+		if math.Abs(ll-prevLL) < cfg.Tol {
+			break
+		}
+		prevLL = ll
+	}
+
+	m.prune(cfg.WeightThreshold)
+	m.sortByMean()
+	return m, nil
+}
+
+// initModel spreads initial means over the data quantiles and uses the
+// global standard deviation for every component.
+func initModel(rng *rand.Rand, data []float64, k int) *Model {
+	sorted := make([]float64, len(data))
+	copy(sorted, data)
+	sort.Float64s(sorted)
+
+	mean, std := meanStd(data)
+	if std < minStd {
+		std = minStd
+	}
+	_ = mean
+
+	m := &Model{
+		Weights: make([]float64, k),
+		Means:   make([]float64, k),
+		Stds:    make([]float64, k),
+	}
+	for c := 0; c < k; c++ {
+		q := (float64(c) + 0.5) / float64(k)
+		idx := int(q * float64(len(sorted)))
+		if idx >= len(sorted) {
+			idx = len(sorted) - 1
+		}
+		// A small jitter separates identical quantiles in discrete-heavy data.
+		m.Means[c] = sorted[idx] + rng.NormFloat64()*std*1e-3
+		m.Stds[c] = std
+		m.Weights[c] = 1 / float64(k)
+	}
+	return m
+}
+
+// eStep fills resp with posterior responsibilities and returns the mean
+// log-likelihood of the data under the current model.
+func (m *Model) eStep(data []float64, resp [][]float64) float64 {
+	var ll float64
+	for i, x := range data {
+		row := resp[i]
+		maxLog := math.Inf(-1)
+		for c := range m.Weights {
+			row[c] = math.Log(m.Weights[c]) + logNormPDF(x, m.Means[c], m.Stds[c])
+			if row[c] > maxLog {
+				maxLog = row[c]
+			}
+		}
+		var sum float64
+		for c := range row {
+			row[c] = math.Exp(row[c] - maxLog)
+			sum += row[c]
+		}
+		for c := range row {
+			row[c] /= sum
+		}
+		ll += maxLog + math.Log(sum)
+	}
+	return ll / float64(len(data))
+}
+
+// mStep re-estimates weights, means and stds from responsibilities.
+func (m *Model) mStep(data []float64, resp [][]float64) {
+	k := len(m.Weights)
+	n := float64(len(data))
+	for c := 0; c < k; c++ {
+		var nk, mu float64
+		for i, x := range data {
+			nk += resp[i][c]
+			mu += resp[i][c] * x
+		}
+		if nk < 1e-10 {
+			// Dead component: park it; prune removes it later.
+			m.Weights[c] = 0
+			continue
+		}
+		mu /= nk
+		var va float64
+		for i, x := range data {
+			d := x - mu
+			va += resp[i][c] * d * d
+		}
+		va /= nk
+		m.Weights[c] = nk / n
+		m.Means[c] = mu
+		m.Stds[c] = math.Sqrt(va)
+		if m.Stds[c] < minStd {
+			m.Stds[c] = minStd
+		}
+	}
+}
+
+// prune drops components with weight below threshold and renormalizes.
+// At least one component always survives.
+func (m *Model) prune(threshold float64) {
+	bestIdx := 0
+	for c, w := range m.Weights {
+		if w > m.Weights[bestIdx] {
+			bestIdx = c
+		}
+	}
+	var ws, ms, ss []float64
+	for c, w := range m.Weights {
+		if w >= threshold || c == bestIdx {
+			ws = append(ws, w)
+			ms = append(ms, m.Means[c])
+			ss = append(ss, m.Stds[c])
+		}
+	}
+	var total float64
+	for _, w := range ws {
+		total += w
+	}
+	for i := range ws {
+		ws[i] /= total
+	}
+	m.Weights, m.Means, m.Stds = ws, ms, ss
+}
+
+// sortByMean orders components ascending by mean so encodings are stable.
+func (m *Model) sortByMean() {
+	idx := make([]int, len(m.Means))
+	for i := range idx {
+		idx[i] = i
+	}
+	sort.Slice(idx, func(a, b int) bool { return m.Means[idx[a]] < m.Means[idx[b]] })
+	ws := make([]float64, len(idx))
+	ms := make([]float64, len(idx))
+	ss := make([]float64, len(idx))
+	for i, j := range idx {
+		ws[i], ms[i], ss[i] = m.Weights[j], m.Means[j], m.Stds[j]
+	}
+	m.Weights, m.Means, m.Stds = ws, ms, ss
+}
+
+// K returns the number of (surviving) components.
+func (m *Model) K() int { return len(m.Weights) }
+
+// Responsibilities returns the posterior probability of each component for x.
+func (m *Model) Responsibilities(x float64) []float64 {
+	out := make([]float64, m.K())
+	maxLog := math.Inf(-1)
+	for c := range out {
+		out[c] = math.Log(m.Weights[c]) + logNormPDF(x, m.Means[c], m.Stds[c])
+		if out[c] > maxLog {
+			maxLog = out[c]
+		}
+	}
+	var sum float64
+	for c := range out {
+		out[c] = math.Exp(out[c] - maxLog)
+		sum += out[c]
+	}
+	for c := range out {
+		out[c] /= sum
+	}
+	return out
+}
+
+// SampleMode draws a component index from the posterior over components
+// given x, as CTGAN does when encoding training rows.
+func (m *Model) SampleMode(rng *rand.Rand, x float64) int {
+	resp := m.Responsibilities(x)
+	u := rng.Float64()
+	var cum float64
+	for c, p := range resp {
+		cum += p
+		if u < cum {
+			return c
+		}
+	}
+	return len(resp) - 1
+}
+
+// Normalize maps x into mode c's offset coordinate: (x-mean)/(4*std),
+// clipped to [-1, 1] as in CTGAN.
+func (m *Model) Normalize(x float64, c int) float64 {
+	a := (x - m.Means[c]) / (4 * m.Stds[c])
+	if a > 1 {
+		return 1
+	}
+	if a < -1 {
+		return -1
+	}
+	return a
+}
+
+// Denormalize inverts Normalize for mode c.
+func (m *Model) Denormalize(alpha float64, c int) float64 {
+	if alpha > 1 {
+		alpha = 1
+	} else if alpha < -1 {
+		alpha = -1
+	}
+	return alpha*4*m.Stds[c] + m.Means[c]
+}
+
+// LogLikelihood returns the mean log-likelihood of data under the model.
+func (m *Model) LogLikelihood(data []float64) float64 {
+	var ll float64
+	for _, x := range data {
+		var p float64
+		for c := range m.Weights {
+			p += m.Weights[c] * math.Exp(logNormPDF(x, m.Means[c], m.Stds[c]))
+		}
+		ll += math.Log(math.Max(p, 1e-300))
+	}
+	return ll / float64(len(data))
+}
+
+func logNormPDF(x, mean, std float64) float64 {
+	d := (x - mean) / std
+	return -0.5*d*d - math.Log(std) - 0.5*math.Log(2*math.Pi)
+}
+
+func meanStd(data []float64) (float64, float64) {
+	var mu float64
+	for _, v := range data {
+		mu += v
+	}
+	mu /= float64(len(data))
+	var va float64
+	for _, v := range data {
+		d := v - mu
+		va += d * d
+	}
+	va /= float64(len(data))
+	return mu, math.Sqrt(va)
+}

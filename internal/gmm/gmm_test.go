@@ -1,0 +1,255 @@
+package gmm
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+// twoModeData draws n samples from 0.5*N(-5,1) + 0.5*N(5,1).
+func twoModeData(rng *rand.Rand, n int) []float64 {
+	out := make([]float64, n)
+	for i := range out {
+		if rng.Float64() < 0.5 {
+			out[i] = rng.NormFloat64() - 5
+		} else {
+			out[i] = rng.NormFloat64() + 5
+		}
+	}
+	return out
+}
+
+func TestFitRecoverstTwoModes(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	data := twoModeData(rng, 2000)
+	m, err := Fit(rng, data, DefaultConfig())
+	if err != nil {
+		t.Fatalf("Fit: %v", err)
+	}
+	if m.K() < 2 {
+		t.Fatalf("K = %d, want >= 2", m.K())
+	}
+	// Every surviving component must sit at one of the two true modes, and
+	// each mode must carry roughly half the mass. (Plain EM may cover one
+	// cluster with several overlapping components; that is fine for
+	// mode-specific normalization.)
+	var massNeg, massPos float64
+	for c := 0; c < m.K(); c++ {
+		switch {
+		case math.Abs(m.Means[c]+5) < 1.5:
+			massNeg += m.Weights[c]
+		case math.Abs(m.Means[c]-5) < 1.5:
+			massPos += m.Weights[c]
+		default:
+			t.Fatalf("component %d at mean %v is far from both true modes", c, m.Means[c])
+		}
+	}
+	if massNeg < 0.35 || massNeg > 0.65 || massPos < 0.35 || massPos > 0.65 {
+		t.Fatalf("mode masses = %v / %v, want ~0.5 each", massNeg, massPos)
+	}
+}
+
+func TestFitPrunesSpuriousComponents(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	// Unimodal data with 10 initial components should collapse to few.
+	data := make([]float64, 1000)
+	for i := range data {
+		data[i] = rng.NormFloat64()
+	}
+	m, err := Fit(rng, data, DefaultConfig())
+	if err != nil {
+		t.Fatalf("Fit: %v", err)
+	}
+	for c := 0; c < m.K(); c++ {
+		if m.Weights[c] < DefaultConfig().WeightThreshold {
+			t.Fatalf("component %d survives with weight %v below threshold", c, m.Weights[c])
+		}
+	}
+}
+
+func TestFitWeightsSumToOne(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	m, err := Fit(rng, twoModeData(rng, 500), DefaultConfig())
+	if err != nil {
+		t.Fatalf("Fit: %v", err)
+	}
+	var sum float64
+	for _, w := range m.Weights {
+		sum += w
+	}
+	if math.Abs(sum-1) > 1e-9 {
+		t.Fatalf("weights sum to %v", sum)
+	}
+}
+
+func TestFitConstantColumn(t *testing.T) {
+	rng := rand.New(rand.NewSource(4))
+	data := make([]float64, 100)
+	for i := range data {
+		data[i] = 42
+	}
+	m, err := Fit(rng, data, DefaultConfig())
+	if err != nil {
+		t.Fatalf("Fit on constant column: %v", err)
+	}
+	if m.K() < 1 {
+		t.Fatal("no components survived")
+	}
+	// All surviving mass should be at 42 (std floor keeps it finite).
+	best := 0
+	for c := range m.Weights {
+		if m.Weights[c] > m.Weights[best] {
+			best = c
+		}
+	}
+	if math.Abs(m.Means[best]-42) > 0.01 {
+		t.Fatalf("dominant mean = %v want 42", m.Means[best])
+	}
+}
+
+func TestFitErrors(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	if _, err := Fit(rng, nil, DefaultConfig()); err == nil {
+		t.Fatal("expected error on empty data")
+	}
+	if _, err := Fit(rng, []float64{math.NaN()}, DefaultConfig()); err == nil {
+		t.Fatal("expected error on NaN data")
+	}
+	cfg := DefaultConfig()
+	cfg.MaxComponents = 0
+	if _, err := Fit(rng, []float64{1, 2}, cfg); err == nil {
+		t.Fatal("expected error on zero components")
+	}
+}
+
+func TestFitFewSamples(t *testing.T) {
+	rng := rand.New(rand.NewSource(6))
+	m, err := Fit(rng, []float64{1, 2, 3}, DefaultConfig())
+	if err != nil {
+		t.Fatalf("Fit: %v", err)
+	}
+	if m.K() > 3 {
+		t.Fatalf("K = %d exceeds sample count", m.K())
+	}
+}
+
+func TestResponsibilitiesSumToOne(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	m, err := Fit(rng, twoModeData(rng, 500), DefaultConfig())
+	if err != nil {
+		t.Fatalf("Fit: %v", err)
+	}
+	for _, x := range []float64{-5, 0, 5, 100} {
+		r := m.Responsibilities(x)
+		var sum float64
+		for _, p := range r {
+			sum += p
+		}
+		if math.Abs(sum-1) > 1e-9 {
+			t.Fatalf("responsibilities for %v sum to %v", x, sum)
+		}
+	}
+}
+
+func TestResponsibilitiesPickNearestMode(t *testing.T) {
+	m := &Model{Weights: []float64{0.5, 0.5}, Means: []float64{-5, 5}, Stds: []float64{1, 1}}
+	r := m.Responsibilities(-5)
+	if r[0] < 0.99 {
+		t.Fatalf("x=-5 responsibility for mode 0 = %v", r[0])
+	}
+	r = m.Responsibilities(5)
+	if r[1] < 0.99 {
+		t.Fatalf("x=5 responsibility for mode 1 = %v", r[1])
+	}
+}
+
+func TestNormalizeDenormalizeRoundTrip(t *testing.T) {
+	m := &Model{Weights: []float64{1}, Means: []float64{10}, Stds: []float64{2}}
+	for _, x := range []float64{10, 12, 8, 14.5} {
+		a := m.Normalize(x, 0)
+		back := m.Denormalize(a, 0)
+		if math.Abs(back-x) > 1e-9 {
+			t.Fatalf("round trip %v -> %v -> %v", x, a, back)
+		}
+	}
+}
+
+func TestNormalizeClips(t *testing.T) {
+	m := &Model{Weights: []float64{1}, Means: []float64{0}, Stds: []float64{1}}
+	if a := m.Normalize(100, 0); a != 1 {
+		t.Fatalf("Normalize(100) = %v want clip at 1", a)
+	}
+	if a := m.Normalize(-100, 0); a != -1 {
+		t.Fatalf("Normalize(-100) = %v want clip at -1", a)
+	}
+}
+
+func TestSampleModeFollowsPosterior(t *testing.T) {
+	rng := rand.New(rand.NewSource(8))
+	m := &Model{Weights: []float64{0.5, 0.5}, Means: []float64{-5, 5}, Stds: []float64{1, 1}}
+	counts := [2]int{}
+	for i := 0; i < 200; i++ {
+		counts[m.SampleMode(rng, -5)]++
+	}
+	if counts[0] < 195 {
+		t.Fatalf("sampling for x=-5 picked mode 0 only %d/200 times", counts[0])
+	}
+}
+
+func TestLogLikelihoodImprovesOverSingleGaussian(t *testing.T) {
+	rng := rand.New(rand.NewSource(9))
+	data := twoModeData(rng, 1000)
+	fitted, err := Fit(rng, data, DefaultConfig())
+	if err != nil {
+		t.Fatalf("Fit: %v", err)
+	}
+	mu, std := meanStd(data)
+	single := &Model{Weights: []float64{1}, Means: []float64{mu}, Stds: []float64{std}}
+	if fitted.LogLikelihood(data) <= single.LogLikelihood(data) {
+		t.Fatal("mixture log-likelihood should beat a single Gaussian on bimodal data")
+	}
+}
+
+// Property: components are always sorted by mean, weights positive and
+// normalized, stds at the floor or above.
+func TestQuickModelInvariants(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := 30 + rng.Intn(200)
+		data := make([]float64, n)
+		for i := range data {
+			data[i] = rng.NormFloat64()*float64(1+rng.Intn(5)) + float64(rng.Intn(10))
+		}
+		m, err := Fit(rng, data, DefaultConfig())
+		if err != nil {
+			return false
+		}
+		var sum float64
+		for c := 0; c < m.K(); c++ {
+			if m.Weights[c] <= 0 || m.Stds[c] < minStd {
+				return false
+			}
+			if c > 0 && m.Means[c] < m.Means[c-1] {
+				return false
+			}
+			sum += m.Weights[c]
+		}
+		return math.Abs(sum-1) < 1e-9
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 30}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func BenchmarkFit1000(b *testing.B) {
+	rng := rand.New(rand.NewSource(10))
+	data := twoModeData(rng, 1000)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := Fit(rng, data, DefaultConfig()); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

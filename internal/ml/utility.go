@@ -1,0 +1,68 @@
+package ml
+
+import (
+	"fmt"
+
+	"repro/internal/encoding"
+)
+
+// ClassifierSet returns fresh instances of the five classifiers the paper's
+// ML-utility pipeline trains (decision tree, linear SVM, random forest,
+// multinomial logistic regression, MLP), seeded deterministically.
+func ClassifierSet(seed int64) map[string]Classifier {
+	return map[string]Classifier{
+		"decision_tree": &DecisionTree{MaxDepth: 10},
+		"svm":           &LinearSVM{Seed: seed},
+		"random_forest": &RandomForest{NumTrees: 15, MaxDepth: 8, Seed: seed},
+		"logistic":      &LogisticRegression{},
+		"mlp":           &MLP{Seed: seed, Epochs: 80},
+	}
+}
+
+// UtilityScores trains every classifier in the set on train and evaluates
+// on test, returning the per-classifier scores and their average.
+func UtilityScores(train, test *encoding.Table, target int, seed int64) (map[string]Scores, Scores, error) {
+	feat, err := NewFeaturizer(train, target)
+	if err != nil {
+		return nil, Scores{}, fmt.Errorf("ml: utility featurizer: %w", err)
+	}
+	xTrain, yTrain, err := feat.Transform(train)
+	if err != nil {
+		return nil, Scores{}, fmt.Errorf("ml: featurizing train: %w", err)
+	}
+	xTest, yTest, err := feat.Transform(test)
+	if err != nil {
+		return nil, Scores{}, fmt.Errorf("ml: featurizing test: %w", err)
+	}
+	k := feat.NumClasses()
+
+	per := make(map[string]Scores)
+	var avg Scores
+	set := ClassifierSet(seed)
+	for name, clf := range set {
+		if err := clf.Fit(xTrain, yTrain, k); err != nil {
+			return nil, Scores{}, fmt.Errorf("ml: fitting %s: %w", name, err)
+		}
+		s := Evaluate(clf, xTest, yTest, k)
+		per[name] = s
+		avg = avg.Add(s)
+	}
+	avg = avg.Scale(1 / float64(len(set)))
+	return per, avg, nil
+}
+
+// UtilityDifference runs the paper's §4.2.1 pipeline: train the classifier
+// set once on real training data and once on synthetic data, evaluate both
+// on the real test set, and return the absolute difference of the average
+// scores (lower = better synthetic data).
+func UtilityDifference(realTrain, synth, test *encoding.Table, target int, seed int64) (Scores, error) {
+	_, realAvg, err := UtilityScores(realTrain, test, target, seed)
+	if err != nil {
+		return Scores{}, fmt.Errorf("ml: real-data utility: %w", err)
+	}
+	_, synthAvg, err := UtilityScores(synth, test, target, seed)
+	if err != nil {
+		return Scores{}, fmt.Errorf("ml: synthetic-data utility: %w", err)
+	}
+	return realAvg.Sub(synthAvg).Abs(), nil
+}

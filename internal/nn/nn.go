@@ -1,0 +1,271 @@
+// Package nn provides neural-network building blocks over the autograd
+// engine: linear layers, batch normalization, activations, dropout, the
+// CTGAN-style residual and discriminator blocks used by GTV, sequential
+// composition, and the Adam and SGD optimizers.
+//
+// All layers implement the Layer interface. Randomness (weight
+// initialization, dropout masks) is drawn from an explicit *rand.Rand so
+// training runs are reproducible and there are no mutable globals.
+package nn
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+
+	ag "repro/internal/autograd"
+	"repro/internal/tensor"
+)
+
+// Layer is a differentiable module. Forward must be safe to call repeatedly;
+// train toggles training-time behaviour (batch statistics, dropout masks).
+type Layer interface {
+	// Forward applies the layer to a batch (rows = samples).
+	Forward(x *ag.Value, train bool) *ag.Value
+	// Params returns the trainable parameters in a stable order.
+	Params() []*ag.Value
+}
+
+// Linear is a fully-connected layer: y = x*W + b.
+type Linear struct {
+	W *ag.Value // in x out
+	B *ag.Value // 1 x out
+}
+
+var _ Layer = (*Linear)(nil)
+
+// NewLinear returns a Linear layer with Kaiming-uniform initialized weights,
+// matching the PyTorch default used by CTGAN.
+func NewLinear(rng *rand.Rand, in, out int) *Linear {
+	if in <= 0 || out <= 0 {
+		panic(fmt.Sprintf("nn: invalid Linear shape %dx%d", in, out))
+	}
+	bound := 1 / math.Sqrt(float64(in))
+	return &Linear{
+		W: ag.Var(tensor.RandUniform(rng, in, out, -bound, bound)),
+		B: ag.Var(tensor.RandUniform(rng, 1, out, -bound, bound)),
+	}
+}
+
+// Forward implements Layer.
+func (l *Linear) Forward(x *ag.Value, _ bool) *ag.Value {
+	return ag.Add(ag.MatMul(x, l.W), l.B)
+}
+
+// Params implements Layer.
+func (l *Linear) Params() []*ag.Value { return []*ag.Value{l.W, l.B} }
+
+// In returns the input width of the layer.
+func (l *Linear) In() int { r, _ := l.W.Shape(); return r }
+
+// Out returns the output width of the layer.
+func (l *Linear) Out() int { _, c := l.W.Shape(); return c }
+
+// BatchNorm normalizes each feature column to zero mean and unit variance
+// over the batch, then applies a learned affine transform. At evaluation
+// time it uses exponential running statistics gathered during training.
+type BatchNorm struct {
+	Gamma *ag.Value // 1 x dim
+	Beta  *ag.Value // 1 x dim
+
+	runningMean *tensor.Dense
+	runningVar  *tensor.Dense
+	momentum    float64
+	eps         float64
+}
+
+var _ Layer = (*BatchNorm)(nil)
+
+// NewBatchNorm returns a BatchNorm over dim features with PyTorch-default
+// momentum 0.1 and eps 1e-5.
+func NewBatchNorm(dim int) *BatchNorm {
+	return &BatchNorm{
+		Gamma:       ag.Var(tensor.Full(1, dim, 1)),
+		Beta:        ag.Var(tensor.New(1, dim)),
+		runningMean: tensor.New(1, dim),
+		runningVar:  tensor.Full(1, dim, 1),
+		momentum:    0.1,
+		eps:         1e-5,
+	}
+}
+
+// Forward implements Layer.
+func (b *BatchNorm) Forward(x *ag.Value, train bool) *ag.Value {
+	rows, _ := x.Shape()
+	var mean, variance *ag.Value
+	if train && rows > 1 {
+		mean = ag.MeanRows(x)
+		centered := ag.Sub(x, mean)
+		variance = ag.MeanRows(ag.Square(centered))
+		// Update running statistics outside the graph. PyTorch tracks the
+		// unbiased variance in its running estimate.
+		unbiased := variance.Data().Scale(float64(rows) / float64(rows-1))
+		b.runningMean = tensor.Add(b.runningMean.Scale(1-b.momentum), mean.Data().Scale(b.momentum))
+		b.runningVar = tensor.Add(b.runningVar.Scale(1-b.momentum), unbiased.Scale(b.momentum))
+		norm := ag.Div(centered, ag.Sqrt(ag.AddScalar(variance, b.eps)))
+		return ag.Add(ag.Mul(norm, b.Gamma), b.Beta)
+	}
+	mean = ag.Const(b.runningMean)
+	variance = ag.Const(b.runningVar)
+	norm := ag.Div(ag.Sub(x, mean), ag.Sqrt(ag.AddScalar(variance, b.eps)))
+	return ag.Add(ag.Mul(norm, b.Gamma), b.Beta)
+}
+
+// Params implements Layer.
+func (b *BatchNorm) Params() []*ag.Value { return []*ag.Value{b.Gamma, b.Beta} }
+
+// ReLU is the rectified linear activation.
+type ReLU struct{}
+
+var _ Layer = ReLU{}
+
+// Forward implements Layer.
+func (ReLU) Forward(x *ag.Value, _ bool) *ag.Value { return ag.ReLU(x) }
+
+// Params implements Layer.
+func (ReLU) Params() []*ag.Value { return nil }
+
+// LeakyReLU is the leaky rectified linear activation.
+type LeakyReLU struct {
+	Slope float64
+}
+
+var _ Layer = LeakyReLU{}
+
+// Forward implements Layer.
+func (l LeakyReLU) Forward(x *ag.Value, _ bool) *ag.Value { return ag.LeakyReLU(x, l.Slope) }
+
+// Params implements Layer.
+func (LeakyReLU) Params() []*ag.Value { return nil }
+
+// Tanh is the hyperbolic-tangent activation.
+type Tanh struct{}
+
+var _ Layer = Tanh{}
+
+// Forward implements Layer.
+func (Tanh) Forward(x *ag.Value, _ bool) *ag.Value { return ag.Tanh(x) }
+
+// Params implements Layer.
+func (Tanh) Params() []*ag.Value { return nil }
+
+// Dropout zeroes each element with probability P during training and
+// rescales the survivors by 1/(1-P) (inverted dropout). It is the identity
+// at evaluation time.
+type Dropout struct {
+	P   float64
+	rng *rand.Rand
+}
+
+var _ Layer = (*Dropout)(nil)
+
+// NewDropout returns a Dropout layer drawing masks from rng.
+func NewDropout(rng *rand.Rand, p float64) *Dropout {
+	if p < 0 || p >= 1 {
+		panic(fmt.Sprintf("nn: dropout probability %v out of [0,1)", p))
+	}
+	return &Dropout{P: p, rng: rng}
+}
+
+// Forward implements Layer.
+func (d *Dropout) Forward(x *ag.Value, train bool) *ag.Value {
+	if !train || d.P == 0 {
+		return x
+	}
+	rows, cols := x.Shape()
+	keep := 1 - d.P
+	mask := tensor.New(rows, cols)
+	data := mask.Data()
+	for i := range data {
+		if d.rng.Float64() < keep {
+			data[i] = 1 / keep
+		}
+	}
+	return ag.Mul(x, ag.Const(mask))
+}
+
+// Params implements Layer.
+func (d *Dropout) Params() []*ag.Value { return nil }
+
+// Sequential chains layers in order.
+type Sequential struct {
+	Layers []Layer
+}
+
+var _ Layer = (*Sequential)(nil)
+
+// NewSequential returns a Sequential over the given layers.
+func NewSequential(layers ...Layer) *Sequential { return &Sequential{Layers: layers} }
+
+// Forward implements Layer.
+func (s *Sequential) Forward(x *ag.Value, train bool) *ag.Value {
+	for _, l := range s.Layers {
+		x = l.Forward(x, train)
+	}
+	return x
+}
+
+// Params implements Layer.
+func (s *Sequential) Params() []*ag.Value {
+	var out []*ag.Value
+	for _, l := range s.Layers {
+		out = append(out, l.Params()...)
+	}
+	return out
+}
+
+// ResidualBlock is the CTGAN generator block: the input is passed through
+// Linear -> BatchNorm -> ReLU and the result is concatenated with the input,
+// so the block output width is in+out.
+type ResidualBlock struct {
+	FC *Linear
+	BN *BatchNorm
+}
+
+var _ Layer = (*ResidualBlock)(nil)
+
+// NewResidualBlock returns a residual block mapping in features to in+out.
+func NewResidualBlock(rng *rand.Rand, in, out int) *ResidualBlock {
+	return &ResidualBlock{FC: NewLinear(rng, in, out), BN: NewBatchNorm(out)}
+}
+
+// Forward implements Layer.
+func (r *ResidualBlock) Forward(x *ag.Value, train bool) *ag.Value {
+	h := ag.ReLU(r.BN.Forward(r.FC.Forward(x, train), train))
+	return ag.ConcatCols(h, x)
+}
+
+// Params implements Layer.
+func (r *ResidualBlock) Params() []*ag.Value {
+	return append(r.FC.Params(), r.BN.Params()...)
+}
+
+// OutWidth returns the block's output width for the given input width.
+func (r *ResidualBlock) OutWidth() int { return r.FC.Out() + r.FC.In() }
+
+// DiscBlock is the CTGAN discriminator block: Linear -> LeakyReLU(0.2) ->
+// Dropout(0.5).
+type DiscBlock struct {
+	FC   *Linear
+	Act  LeakyReLU
+	Drop *Dropout
+}
+
+var _ Layer = (*DiscBlock)(nil)
+
+// NewDiscBlock returns a discriminator block mapping in features to out.
+func NewDiscBlock(rng *rand.Rand, in, out int) *DiscBlock {
+	return &DiscBlock{
+		FC:   NewLinear(rng, in, out),
+		Act:  LeakyReLU{Slope: 0.2},
+		Drop: NewDropout(rng, 0.5),
+	}
+}
+
+// Forward implements Layer.
+func (d *DiscBlock) Forward(x *ag.Value, train bool) *ag.Value {
+	return d.Drop.Forward(d.Act.Forward(d.FC.Forward(x, train), train), train)
+}
+
+// Params implements Layer.
+func (d *DiscBlock) Params() []*ag.Value { return d.FC.Params() }

@@ -1,0 +1,139 @@
+package nn
+
+import (
+	"math"
+
+	ag "repro/internal/autograd"
+	"repro/internal/tensor"
+)
+
+// Optimizer updates parameters in place given their gradients.
+type Optimizer interface {
+	// Step applies one update. params[i] is updated using grads[i]; the two
+	// slices must be the same length and shape-aligned.
+	Step(params, grads []*ag.Value)
+}
+
+// Adam implements the Adam optimizer with optional decoupled weight decay.
+// CTGAN trains both networks with lr=2e-4, betas=(0.5, 0.9) and weight
+// decay 1e-6, which NewAdam uses as defaults.
+type Adam struct {
+	LR          float64
+	Beta1       float64
+	Beta2       float64
+	Eps         float64
+	WeightDecay float64
+
+	t int
+	m map[*ag.Value]*tensor.Dense
+	v map[*ag.Value]*tensor.Dense
+}
+
+var _ Optimizer = (*Adam)(nil)
+
+// NewAdam returns an Adam optimizer with the CTGAN defaults at the given
+// learning rate.
+func NewAdam(lr float64) *Adam {
+	return &Adam{
+		LR:          lr,
+		Beta1:       0.5,
+		Beta2:       0.9,
+		Eps:         1e-8,
+		WeightDecay: 1e-6,
+		m:           make(map[*ag.Value]*tensor.Dense),
+		v:           make(map[*ag.Value]*tensor.Dense),
+	}
+}
+
+// Step implements Optimizer.
+func (a *Adam) Step(params, grads []*ag.Value) {
+	if len(params) != len(grads) {
+		panic("nn: Adam.Step params/grads length mismatch")
+	}
+	a.t++
+	bc1 := 1 - math.Pow(a.Beta1, float64(a.t))
+	bc2 := 1 - math.Pow(a.Beta2, float64(a.t))
+	for i, p := range params {
+		g := grads[i].Data()
+		w := p.Data()
+		if a.WeightDecay != 0 {
+			g = tensor.Add(g, w.Scale(a.WeightDecay))
+		}
+		m, ok := a.m[p]
+		if !ok {
+			m = tensor.New(w.Rows(), w.Cols())
+			a.m[p] = m
+		}
+		v, ok := a.v[p]
+		if !ok {
+			v = tensor.New(w.Rows(), w.Cols())
+			a.v[p] = v
+		}
+		md, vd, gd, wd := m.Data(), v.Data(), g.Data(), w.Data()
+		for k := range wd {
+			md[k] = a.Beta1*md[k] + (1-a.Beta1)*gd[k]
+			vd[k] = a.Beta2*vd[k] + (1-a.Beta2)*gd[k]*gd[k]
+			mhat := md[k] / bc1
+			vhat := vd[k] / bc2
+			wd[k] -= a.LR * mhat / (math.Sqrt(vhat) + a.Eps)
+		}
+	}
+}
+
+// SGD implements stochastic gradient descent with optional momentum.
+type SGD struct {
+	LR       float64
+	Momentum float64
+
+	vel map[*ag.Value]*tensor.Dense
+}
+
+var _ Optimizer = (*SGD)(nil)
+
+// NewSGD returns an SGD optimizer.
+func NewSGD(lr, momentum float64) *SGD {
+	return &SGD{LR: lr, Momentum: momentum, vel: make(map[*ag.Value]*tensor.Dense)}
+}
+
+// Step implements Optimizer.
+func (s *SGD) Step(params, grads []*ag.Value) {
+	if len(params) != len(grads) {
+		panic("nn: SGD.Step params/grads length mismatch")
+	}
+	for i, p := range params {
+		g := grads[i].Data()
+		w := p.Data()
+		if s.Momentum == 0 {
+			w.AxpyInPlace(-s.LR, g)
+			continue
+		}
+		v, ok := s.vel[p]
+		if !ok {
+			v = tensor.New(w.Rows(), w.Cols())
+			s.vel[p] = v
+		}
+		vd, gd, wd := v.Data(), g.Data(), w.Data()
+		for k := range wd {
+			vd[k] = s.Momentum*vd[k] + gd[k]
+			wd[k] -= s.LR * vd[k]
+		}
+	}
+}
+
+// ClipGradNorm scales grads in place so their global L2 norm does not exceed
+// maxNorm, and returns the pre-clip norm.
+func ClipGradNorm(grads []*ag.Value, maxNorm float64) float64 {
+	var total float64
+	for _, g := range grads {
+		n := g.Data().Norm()
+		total += n * n
+	}
+	total = math.Sqrt(total)
+	if total > maxNorm && total > 0 {
+		scale := maxNorm / total
+		for _, g := range grads {
+			g.Data().ApplyInPlace(func(v float64) float64 { return v * scale })
+		}
+	}
+	return total
+}

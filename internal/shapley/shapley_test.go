@@ -1,0 +1,130 @@
+package shapley
+
+import (
+	"math/rand"
+	"testing"
+
+	"repro/internal/datasets"
+	"repro/internal/encoding"
+	"repro/internal/tensor"
+)
+
+// plantedTable builds a table where the target is a deterministic function
+// of column 0 ("signal"), while columns 1 and 2 are pure noise. Shapley
+// importance must rank the signal column first.
+func plantedTable(t *testing.T, rows int) *encoding.Table {
+	t.Helper()
+	rng := rand.New(rand.NewSource(42))
+	data := tensor.New(rows, 4)
+	for i := 0; i < rows; i++ {
+		row := data.RawRow(i)
+		row[0] = rng.NormFloat64()
+		row[1] = rng.NormFloat64()
+		row[2] = float64(rng.Intn(3))
+		if row[0] > 0 {
+			row[3] = 1
+		}
+	}
+	tbl, err := encoding.NewTable([]encoding.ColumnSpec{
+		{Name: "signal", Kind: encoding.KindContinuous},
+		{Name: "noise_cont", Kind: encoding.KindContinuous},
+		{Name: "noise_cat", Kind: encoding.KindCategorical, Categories: []string{"a", "b", "c"}},
+		{Name: "target", Kind: encoding.KindCategorical, Categories: []string{"no", "yes"}},
+	}, data)
+	if err != nil {
+		t.Fatalf("NewTable: %v", err)
+	}
+	return tbl
+}
+
+func TestFeatureImportanceFindsPlantedSignal(t *testing.T) {
+	tbl := plantedTable(t, 500)
+	cfg := DefaultConfig()
+	cfg.Permutations = 10
+	cfg.Epochs = 60
+	imp, err := FeatureImportance(tbl, 3, cfg)
+	if err != nil {
+		t.Fatalf("FeatureImportance: %v", err)
+	}
+	if len(imp) != 3 {
+		t.Fatalf("importance length = %d want 3", len(imp))
+	}
+	if imp[0] <= imp[1] || imp[0] <= imp[2] {
+		t.Fatalf("signal importance %v should dominate noise %v, %v", imp[0], imp[1], imp[2])
+	}
+	ranked, err := Rank(tbl, 3, imp)
+	if err != nil {
+		t.Fatalf("Rank: %v", err)
+	}
+	if ranked[0] != 0 {
+		t.Fatalf("top-ranked column = %d want 0 (signal)", ranked[0])
+	}
+}
+
+func TestRankLengthMismatch(t *testing.T) {
+	tbl := plantedTable(t, 20)
+	if _, err := Rank(tbl, 3, []float64{1}); err == nil {
+		t.Fatal("expected length-mismatch error")
+	}
+}
+
+func TestSplitByImportance(t *testing.T) {
+	ranked := []int{4, 2, 0, 1, 3}
+	head, tail, err := SplitByImportance(ranked, 0.4)
+	if err != nil {
+		t.Fatalf("SplitByImportance: %v", err)
+	}
+	if len(head) != 2 || head[0] != 4 || head[1] != 2 {
+		t.Fatalf("head = %v", head)
+	}
+	if len(tail) != 3 {
+		t.Fatalf("tail = %v", tail)
+	}
+	// head/tail must partition the input.
+	seen := map[int]bool{}
+	for _, c := range append(append([]int(nil), head...), tail...) {
+		seen[c] = true
+	}
+	if len(seen) != 5 {
+		t.Fatalf("partition lost columns: %v + %v", head, tail)
+	}
+}
+
+func TestSplitByImportanceBounds(t *testing.T) {
+	// Tiny fractions still produce a non-empty head and tail.
+	head, tail, err := SplitByImportance([]int{1, 2, 3}, 0.01)
+	if err != nil {
+		t.Fatalf("SplitByImportance: %v", err)
+	}
+	if len(head) != 1 || len(tail) != 2 {
+		t.Fatalf("head/tail = %v/%v", head, tail)
+	}
+	if _, _, err := SplitByImportance([]int{1}, 0.5); err == nil {
+		t.Fatal("expected error for single feature")
+	}
+	if _, _, err := SplitByImportance([]int{1, 2}, 1.5); err == nil {
+		t.Fatal("expected error for bad fraction")
+	}
+}
+
+func TestTopFractionOnDataset(t *testing.T) {
+	d, err := datasets.Generate("loan", datasets.Config{Rows: 400, Seed: 1})
+	if err != nil {
+		t.Fatalf("Generate: %v", err)
+	}
+	cfg := DefaultConfig()
+	cfg.Permutations = 5
+	cfg.Epochs = 40
+	head, tail, err := TopFraction(d.Table, d.Target, 0.1, cfg)
+	if err != nil {
+		t.Fatalf("TopFraction: %v", err)
+	}
+	if len(head) < 1 || len(head)+len(tail) != d.Table.Cols()-1 {
+		t.Fatalf("head %v tail %v do not partition features", head, tail)
+	}
+	for _, c := range append(append([]int(nil), head...), tail...) {
+		if c == d.Target {
+			t.Fatal("target column leaked into feature partition")
+		}
+	}
+}

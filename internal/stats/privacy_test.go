@@ -1,0 +1,75 @@
+package stats
+
+import (
+	"math/rand"
+	"testing"
+
+	"repro/internal/datasets"
+	"repro/internal/encoding"
+	"repro/internal/tensor"
+)
+
+func TestDCRMemorizedDataIsZero(t *testing.T) {
+	d, err := datasets.Generate("loan", datasets.Config{Rows: 100, Seed: 1})
+	if err != nil {
+		t.Fatalf("Generate: %v", err)
+	}
+	rep, err := DistanceToClosestRecord(d.Table, d.Table)
+	if err != nil {
+		t.Fatalf("DCR: %v", err)
+	}
+	if rep.Min != 0 || rep.Median != 0 {
+		t.Fatalf("self-DCR = %+v, want all zero", rep)
+	}
+	if rep.ExactMatches != 100 {
+		t.Fatalf("ExactMatches = %d want 100", rep.ExactMatches)
+	}
+}
+
+func TestDCRDistinctDataIsPositive(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	specs := []encoding.ColumnSpec{
+		{Name: "x", Kind: encoding.KindContinuous},
+		{Name: "c", Kind: encoding.KindCategorical, Categories: []string{"a", "b"}},
+	}
+	realData := tensor.New(50, 2)
+	synthData := tensor.New(50, 2)
+	for i := 0; i < 50; i++ {
+		realData.Set(i, 0, rng.Float64())
+		realData.Set(i, 1, float64(i%2))
+		synthData.Set(i, 0, rng.Float64()+10) // far away
+		synthData.Set(i, 1, float64(i%2))
+	}
+	real, err := encoding.NewTable(specs, realData)
+	if err != nil {
+		t.Fatalf("NewTable: %v", err)
+	}
+	synth, err := encoding.NewTable(specs, synthData)
+	if err != nil {
+		t.Fatalf("NewTable: %v", err)
+	}
+	rep, err := DistanceToClosestRecord(real, synth)
+	if err != nil {
+		t.Fatalf("DCR: %v", err)
+	}
+	if rep.Min <= 0 || rep.ExactMatches != 0 {
+		t.Fatalf("distinct-data DCR = %+v, want positive distances", rep)
+	}
+	if rep.Percentile5 > rep.Median {
+		t.Fatalf("p5 %v > median %v", rep.Percentile5, rep.Median)
+	}
+}
+
+func TestDCRErrors(t *testing.T) {
+	d, err := datasets.Generate("loan", datasets.Config{Rows: 10, Seed: 3})
+	if err != nil {
+		t.Fatalf("Generate: %v", err)
+	}
+	other, err := datasets.Generate("adult", datasets.Config{Rows: 10, Seed: 3})
+	if err != nil {
+		t.Fatalf("Generate: %v", err)
+	}
+	if _, err := DistanceToClosestRecord(d.Table, other.Table); err == nil {
+		t.Fatal("expected schema mismatch error")
+	}
+}

@@ -1,0 +1,381 @@
+package stats
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/datasets"
+	"repro/internal/encoding"
+	"repro/internal/tensor"
+)
+
+func TestJSDIdenticalIsZero(t *testing.T) {
+	p := []float64{0.2, 0.3, 0.5}
+	d, err := JSD(p, p)
+	if err != nil {
+		t.Fatalf("JSD: %v", err)
+	}
+	if d > 1e-12 {
+		t.Fatalf("JSD(p,p) = %v", d)
+	}
+}
+
+func TestJSDDisjointIsOne(t *testing.T) {
+	d, err := JSD([]float64{1, 0}, []float64{0, 1})
+	if err != nil {
+		t.Fatalf("JSD: %v", err)
+	}
+	if math.Abs(d-1) > 1e-12 {
+		t.Fatalf("JSD of disjoint = %v want 1", d)
+	}
+}
+
+func TestJSDErrors(t *testing.T) {
+	if _, err := JSD([]float64{1}, []float64{0.5, 0.5}); err == nil {
+		t.Fatal("expected length error")
+	}
+	if _, err := JSD([]float64{-1, 2}, []float64{0.5, 0.5}); err == nil {
+		t.Fatal("expected negative-mass error")
+	}
+	if _, err := JSD([]float64{0, 0}, []float64{0.5, 0.5}); err == nil {
+		t.Fatal("expected zero-mass error")
+	}
+}
+
+// Property: JSD is symmetric and within [0, 1].
+func TestQuickJSDBoundsAndSymmetry(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := 2 + rng.Intn(6)
+		p := make([]float64, n)
+		q := make([]float64, n)
+		for i := range p {
+			p[i] = rng.Float64() + 1e-9
+			q[i] = rng.Float64() + 1e-9
+		}
+		d1, err1 := JSD(p, q)
+		d2, err2 := JSD(q, p)
+		if err1 != nil || err2 != nil {
+			return false
+		}
+		return d1 >= 0 && d1 <= 1+1e-9 && math.Abs(d1-d2) < 1e-12
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestWasserstein1Shift(t *testing.T) {
+	// W1 between X and X+c is exactly |c|.
+	a := []float64{1, 2, 3, 4, 5}
+	b := []float64{3, 4, 5, 6, 7}
+	d, err := Wasserstein1(a, b)
+	if err != nil {
+		t.Fatalf("Wasserstein1: %v", err)
+	}
+	if math.Abs(d-2) > 1e-12 {
+		t.Fatalf("W1 = %v want 2", d)
+	}
+}
+
+func TestWasserstein1Identical(t *testing.T) {
+	a := []float64{5, 1, 3}
+	d, err := Wasserstein1(a, []float64{3, 5, 1})
+	if err != nil {
+		t.Fatalf("Wasserstein1: %v", err)
+	}
+	if d > 1e-12 {
+		t.Fatalf("W1 identical = %v", d)
+	}
+}
+
+func TestWasserstein1DifferentSizes(t *testing.T) {
+	// CDF-based computation must handle unequal sample sizes.
+	a := []float64{0, 0, 0, 0}
+	b := []float64{1}
+	d, err := Wasserstein1(a, b)
+	if err != nil {
+		t.Fatalf("Wasserstein1: %v", err)
+	}
+	if math.Abs(d-1) > 1e-12 {
+		t.Fatalf("W1 = %v want 1", d)
+	}
+}
+
+func TestWasserstein1Empty(t *testing.T) {
+	if _, err := Wasserstein1(nil, []float64{1}); err == nil {
+		t.Fatal("expected error")
+	}
+}
+
+// Property: W1 is symmetric, non-negative, and satisfies the shift identity.
+func TestQuickWassersteinProperties(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := 1 + rng.Intn(30)
+		m := 1 + rng.Intn(30)
+		a := make([]float64, n)
+		b := make([]float64, m)
+		for i := range a {
+			a[i] = rng.NormFloat64()
+		}
+		for i := range b {
+			b[i] = rng.NormFloat64() + 1
+		}
+		d1, err1 := Wasserstein1(a, b)
+		d2, err2 := Wasserstein1(b, a)
+		if err1 != nil || err2 != nil {
+			return false
+		}
+		return d1 >= 0 && math.Abs(d1-d2) < 1e-9
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestPearson(t *testing.T) {
+	a := []float64{1, 2, 3, 4}
+	b := []float64{2, 4, 6, 8}
+	if got := Pearson(a, b); math.Abs(got-1) > 1e-12 {
+		t.Fatalf("Pearson = %v want 1", got)
+	}
+	neg := []float64{8, 6, 4, 2}
+	if got := Pearson(a, neg); math.Abs(got+1) > 1e-12 {
+		t.Fatalf("Pearson = %v want -1", got)
+	}
+	if got := Pearson(a, []float64{5, 5, 5, 5}); got != 0 {
+		t.Fatalf("Pearson with constant = %v want 0", got)
+	}
+}
+
+func TestCramersV(t *testing.T) {
+	// Perfect association.
+	a := []float64{0, 0, 1, 1, 0, 1, 0, 1, 0, 1, 0, 1, 0, 1, 0, 1}
+	v := CramersV(a, a, 2, 2)
+	if v < 0.8 {
+		t.Fatalf("CramersV of identical columns = %v, want high", v)
+	}
+	// Independence: association near 0.
+	rng := rand.New(rand.NewSource(1))
+	n := 2000
+	x := make([]float64, n)
+	y := make([]float64, n)
+	for i := range x {
+		x[i] = float64(rng.Intn(3))
+		y[i] = float64(rng.Intn(4))
+	}
+	if v := CramersV(x, y, 3, 4); v > 0.1 {
+		t.Fatalf("CramersV of independent columns = %v", v)
+	}
+}
+
+func TestCorrelationRatio(t *testing.T) {
+	// Continuous fully determined by category -> eta near 1.
+	cat := []float64{0, 0, 0, 1, 1, 1}
+	cont := []float64{10, 10, 10, 20, 20, 20}
+	if got := CorrelationRatio(cat, cont, 2); math.Abs(got-1) > 1e-9 {
+		t.Fatalf("eta = %v want 1", got)
+	}
+	// Continuous independent of category -> eta near 0.
+	rng := rand.New(rand.NewSource(2))
+	n := 2000
+	c := make([]float64, n)
+	x := make([]float64, n)
+	for i := range c {
+		c[i] = float64(rng.Intn(3))
+		x[i] = rng.NormFloat64()
+	}
+	if got := CorrelationRatio(c, x, 3); got > 0.1 {
+		t.Fatalf("eta of independent = %v", got)
+	}
+}
+
+func TestAssociationMatrixProperties(t *testing.T) {
+	d, err := datasets.Generate("adult", datasets.Config{Rows: 400, Seed: 1})
+	if err != nil {
+		t.Fatalf("Generate: %v", err)
+	}
+	m := AssociationMatrix(d.Table)
+	n := d.Table.Cols()
+	if m.Rows() != n || m.Cols() != n {
+		t.Fatalf("shape %dx%d", m.Rows(), m.Cols())
+	}
+	for i := 0; i < n; i++ {
+		if m.At(i, i) != 1 {
+			t.Fatalf("diagonal[%d] = %v", i, m.At(i, i))
+		}
+		for j := 0; j < n; j++ {
+			if m.At(i, j) != m.At(j, i) {
+				t.Fatalf("asymmetry at (%d,%d)", i, j)
+			}
+			if v := m.At(i, j); math.Abs(v) > 1+1e-9 || math.IsNaN(v) {
+				t.Fatalf("association (%d,%d) = %v out of range", i, j, v)
+			}
+		}
+	}
+}
+
+func TestDiffCorrZeroForIdentical(t *testing.T) {
+	d, err := datasets.Generate("loan", datasets.Config{Rows: 300, Seed: 2})
+	if err != nil {
+		t.Fatalf("Generate: %v", err)
+	}
+	dc, err := DiffCorr(d.Table, d.Table)
+	if err != nil {
+		t.Fatalf("DiffCorr: %v", err)
+	}
+	if dc > 1e-12 {
+		t.Fatalf("DiffCorr identical = %v", dc)
+	}
+}
+
+func TestDiffCorrDetectsShuffledColumns(t *testing.T) {
+	// Independently shuffling each column destroys correlations; DiffCorr
+	// must notice.
+	d, err := datasets.Generate("adult", datasets.Config{Rows: 600, Seed: 3})
+	if err != nil {
+		t.Fatalf("Generate: %v", err)
+	}
+	rng := rand.New(rand.NewSource(4))
+	broken := d.Table.GatherRows(rng.Perm(d.Table.Rows()))
+	for j := 0; j < broken.Cols(); j++ {
+		col := broken.Data.Col(j)
+		perm := rng.Perm(len(col))
+		for i, p := range perm {
+			broken.Data.Set(i, j, col[p])
+		}
+	}
+	dc, err := DiffCorr(d.Table, broken)
+	if err != nil {
+		t.Fatalf("DiffCorr: %v", err)
+	}
+	if dc < 0.5 {
+		t.Fatalf("DiffCorr of decorrelated data = %v, want clearly > 0", dc)
+	}
+}
+
+func TestAvgJSDAndAvgWD(t *testing.T) {
+	d, err := datasets.Generate("intrusion", datasets.Config{Rows: 400, Seed: 5})
+	if err != nil {
+		t.Fatalf("Generate: %v", err)
+	}
+	// Identical tables: both metrics zero.
+	jsd, err := AvgJSD(d.Table, d.Table)
+	if err != nil {
+		t.Fatalf("AvgJSD: %v", err)
+	}
+	wd, err := AvgWD(d.Table, d.Table)
+	if err != nil {
+		t.Fatalf("AvgWD: %v", err)
+	}
+	if jsd > 1e-9 || wd > 1e-9 {
+		t.Fatalf("identical tables: jsd=%v wd=%v", jsd, wd)
+	}
+	// A second independent draw: small but nonzero distances.
+	d2, err := datasets.Generate("intrusion", datasets.Config{Rows: 400, Seed: 99})
+	if err != nil {
+		t.Fatalf("Generate: %v", err)
+	}
+	jsd2, err := AvgJSD(d.Table, d2.Table)
+	if err != nil {
+		t.Fatalf("AvgJSD: %v", err)
+	}
+	if jsd2 <= 0 || jsd2 > 0.6 {
+		t.Fatalf("cross-draw JSD = %v", jsd2)
+	}
+}
+
+func TestSimilarityReport(t *testing.T) {
+	d, err := datasets.Generate("loan", datasets.Config{Rows: 300, Seed: 6})
+	if err != nil {
+		t.Fatalf("Generate: %v", err)
+	}
+	rep, err := Similarity(d.Table, d.Table)
+	if err != nil {
+		t.Fatalf("Similarity: %v", err)
+	}
+	if rep.AvgJSD != 0 || rep.AvgWD != 0 || rep.DiffCorr != 0 {
+		t.Fatalf("self similarity = %+v", rep)
+	}
+}
+
+func TestSchemaMismatch(t *testing.T) {
+	a, err := datasets.Generate("loan", datasets.Config{Rows: 100, Seed: 7})
+	if err != nil {
+		t.Fatalf("Generate: %v", err)
+	}
+	b, err := datasets.Generate("adult", datasets.Config{Rows: 100, Seed: 7})
+	if err != nil {
+		t.Fatalf("Generate: %v", err)
+	}
+	if _, err := DiffCorr(a.Table, b.Table); err == nil {
+		t.Fatal("expected schema mismatch error")
+	}
+	if _, err := AvgJSD(a.Table, b.Table); err == nil {
+		t.Fatal("expected schema mismatch error")
+	}
+}
+
+func TestCrossAssociationAndAcrossClient(t *testing.T) {
+	d, err := datasets.Generate("adult", datasets.Config{Rows: 500, Seed: 8})
+	if err != nil {
+		t.Fatalf("Generate: %v", err)
+	}
+	n := d.Table.Cols()
+	assignment := make([]int, n)
+	for j := n / 2; j < n; j++ {
+		assignment[j] = 1
+	}
+	parts, err := d.Table.VerticalSplit(assignment, 2)
+	if err != nil {
+		t.Fatalf("VerticalSplit: %v", err)
+	}
+	cross, err := CrossAssociation(parts[0], parts[1])
+	if err != nil {
+		t.Fatalf("CrossAssociation: %v", err)
+	}
+	if cross.Rows() != parts[0].Cols() || cross.Cols() != parts[1].Cols() {
+		t.Fatalf("cross shape %dx%d", cross.Rows(), cross.Cols())
+	}
+	// Across-client difference of identical synthetic copies is zero.
+	diff, err := AcrossClientDiff(parts[0], parts[1], parts[0], parts[1])
+	if err != nil {
+		t.Fatalf("AcrossClientDiff: %v", err)
+	}
+	if diff > 1e-12 {
+		t.Fatalf("self across-client diff = %v", diff)
+	}
+	// Avg-client likewise.
+	avg, err := AvgClientDiff(parts, parts)
+	if err != nil {
+		t.Fatalf("AvgClientDiff: %v", err)
+	}
+	if avg > 1e-12 {
+		t.Fatalf("self avg-client diff = %v", avg)
+	}
+}
+
+func TestCrossAssociationRowMismatch(t *testing.T) {
+	d, err := datasets.Generate("loan", datasets.Config{Rows: 100, Seed: 9})
+	if err != nil {
+		t.Fatalf("Generate: %v", err)
+	}
+	a := d.Table.SliceRows(0, 50)
+	b := d.Table.SliceRows(0, 60)
+	if _, err := CrossAssociation(a, b); err == nil {
+		t.Fatal("expected row mismatch error")
+	}
+}
+
+func TestAvgClientDiffErrors(t *testing.T) {
+	if _, err := AvgClientDiff(nil, nil); err == nil {
+		t.Fatal("expected empty-parts error")
+	}
+	tbl := &encoding.Table{Specs: []encoding.ColumnSpec{{Name: "x", Kind: encoding.KindContinuous}}, Data: tensor.New(2, 1)}
+	if _, err := AvgClientDiff([]*encoding.Table{tbl}, nil); err == nil {
+		t.Fatal("expected mismatch error")
+	}
+}

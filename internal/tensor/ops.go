@@ -1,0 +1,363 @@
+package tensor
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+	"sort"
+)
+
+// BroadcastOK reports whether a matrix of shape (br, bc) can be broadcast
+// against a matrix of shape (ar, ac): each dimension must either match or be
+// exactly 1 on the smaller operand.
+func BroadcastOK(ar, ac, br, bc int) bool {
+	return (br == ar || br == 1) && (bc == ac || bc == 1)
+}
+
+// broadcastBinary applies f element-wise with b broadcast over a.
+// b's rows and cols must each be equal to a's or 1.
+func broadcastBinary(a, b *Dense, f func(x, y float64) float64) *Dense {
+	if !BroadcastOK(a.rows, a.cols, b.rows, b.cols) {
+		panic(fmt.Sprintf("tensor: cannot broadcast %dx%d onto %dx%d", b.rows, b.cols, a.rows, a.cols))
+	}
+	out := New(a.rows, a.cols)
+	for i := 0; i < a.rows; i++ {
+		bi := i
+		if b.rows == 1 {
+			bi = 0
+		}
+		arow := a.data[i*a.cols : (i+1)*a.cols]
+		brow := b.data[bi*b.cols : (bi+1)*b.cols]
+		orow := out.data[i*a.cols : (i+1)*a.cols]
+		if b.cols == 1 {
+			bv := brow[0]
+			for j, av := range arow {
+				orow[j] = f(av, bv)
+			}
+		} else {
+			for j, av := range arow {
+				orow[j] = f(av, brow[j])
+			}
+		}
+	}
+	return out
+}
+
+// Add returns a+b with b broadcast over a where needed.
+func Add(a, b *Dense) *Dense {
+	return broadcastBinary(a, b, func(x, y float64) float64 { return x + y })
+}
+
+// Sub returns a-b with b broadcast over a where needed.
+func Sub(a, b *Dense) *Dense {
+	return broadcastBinary(a, b, func(x, y float64) float64 { return x - y })
+}
+
+// Mul returns the element-wise product a*b with b broadcast over a.
+func Mul(a, b *Dense) *Dense {
+	return broadcastBinary(a, b, func(x, y float64) float64 { return x * y })
+}
+
+// Div returns the element-wise quotient a/b with b broadcast over a.
+func Div(a, b *Dense) *Dense {
+	return broadcastBinary(a, b, func(x, y float64) float64 { return x / y })
+}
+
+// Scale returns m*s.
+func (m *Dense) Scale(s float64) *Dense {
+	return m.Apply(func(v float64) float64 { return v * s })
+}
+
+// AddScalar returns m+s element-wise.
+func (m *Dense) AddScalar(s float64) *Dense {
+	return m.Apply(func(v float64) float64 { return v + s })
+}
+
+// AddInPlace adds src (same shape) into m and returns m.
+func (m *Dense) AddInPlace(src *Dense) *Dense {
+	if m.rows != src.rows || m.cols != src.cols {
+		panic(fmt.Sprintf("tensor: AddInPlace shape mismatch %dx%d vs %dx%d", m.rows, m.cols, src.rows, src.cols))
+	}
+	for i, v := range src.data {
+		m.data[i] += v
+	}
+	return m
+}
+
+// AxpyInPlace computes m += alpha*src in place and returns m.
+func (m *Dense) AxpyInPlace(alpha float64, src *Dense) *Dense {
+	if m.rows != src.rows || m.cols != src.cols {
+		panic(fmt.Sprintf("tensor: AxpyInPlace shape mismatch %dx%d vs %dx%d", m.rows, m.cols, src.rows, src.cols))
+	}
+	for i, v := range src.data {
+		m.data[i] += alpha * v
+	}
+	return m
+}
+
+// Expand broadcasts m (with one or both singleton dimensions) to the
+// requested shape. Supported inputs: 1x1, 1xC, Rx1 and RxC (identity).
+func (m *Dense) Expand(rows, cols int) *Dense {
+	if m.rows == rows && m.cols == cols {
+		return m.Clone()
+	}
+	if !BroadcastOK(rows, cols, m.rows, m.cols) {
+		panic(fmt.Sprintf("tensor: cannot expand %dx%d to %dx%d", m.rows, m.cols, rows, cols))
+	}
+	out := New(rows, cols)
+	for i := 0; i < rows; i++ {
+		si := i
+		if m.rows == 1 {
+			si = 0
+		}
+		srow := m.data[si*m.cols : (si+1)*m.cols]
+		orow := out.data[i*cols : (i+1)*cols]
+		if m.cols == 1 {
+			for j := range orow {
+				orow[j] = srow[0]
+			}
+		} else {
+			copy(orow, srow)
+		}
+	}
+	return out
+}
+
+// Sum returns the sum of all elements.
+func (m *Dense) Sum() float64 {
+	var s float64
+	for _, v := range m.data {
+		s += v
+	}
+	return s
+}
+
+// Mean returns the mean of all elements; 0 for an empty matrix.
+func (m *Dense) Mean() float64 {
+	if len(m.data) == 0 {
+		return 0
+	}
+	return m.Sum() / float64(len(m.data))
+}
+
+// SumRows returns a 1xC row vector with the sum over rows of each column.
+func (m *Dense) SumRows() *Dense {
+	out := New(1, m.cols)
+	for i := 0; i < m.rows; i++ {
+		row := m.data[i*m.cols : (i+1)*m.cols]
+		for j, v := range row {
+			out.data[j] += v
+		}
+	}
+	return out
+}
+
+// SumCols returns an Rx1 column vector with the sum over columns of each row.
+func (m *Dense) SumCols() *Dense {
+	out := New(m.rows, 1)
+	for i := 0; i < m.rows; i++ {
+		row := m.data[i*m.cols : (i+1)*m.cols]
+		var s float64
+		for _, v := range row {
+			s += v
+		}
+		out.data[i] = s
+	}
+	return out
+}
+
+// MeanRows returns a 1xC row vector with the per-column mean.
+func (m *Dense) MeanRows() *Dense {
+	out := m.SumRows()
+	if m.rows > 0 {
+		inv := 1 / float64(m.rows)
+		for j := range out.data {
+			out.data[j] *= inv
+		}
+	}
+	return out
+}
+
+// Col returns a copy of column j as a slice of length Rows.
+func (m *Dense) Col(j int) []float64 {
+	if j < 0 || j >= m.cols {
+		panic(fmt.Sprintf("tensor: column %d out of range %d", j, m.cols))
+	}
+	out := make([]float64, m.rows)
+	for i := 0; i < m.rows; i++ {
+		out[i] = m.data[i*m.cols+j]
+	}
+	return out
+}
+
+// SetCol copies vals (length Rows) into column j.
+func (m *Dense) SetCol(j int, vals []float64) {
+	if len(vals) != m.rows {
+		panic(fmt.Sprintf("tensor: SetCol length %d want %d", len(vals), m.rows))
+	}
+	for i, v := range vals {
+		m.data[i*m.cols+j] = v
+	}
+}
+
+// ConcatCols horizontally concatenates the given matrices, which must all
+// have the same number of rows.
+func ConcatCols(ms ...*Dense) *Dense {
+	if len(ms) == 0 {
+		return New(0, 0)
+	}
+	rows := ms[0].rows
+	total := 0
+	for _, m := range ms {
+		if m.rows != rows {
+			panic(fmt.Sprintf("tensor: ConcatCols row mismatch %d vs %d", m.rows, rows))
+		}
+		total += m.cols
+	}
+	out := New(rows, total)
+	for i := 0; i < rows; i++ {
+		off := i * total
+		for _, m := range ms {
+			copy(out.data[off:off+m.cols], m.data[i*m.cols:(i+1)*m.cols])
+			off += m.cols
+		}
+	}
+	return out
+}
+
+// SliceCols returns a copy of columns [from, to).
+func (m *Dense) SliceCols(from, to int) *Dense {
+	if from < 0 || to > m.cols || from > to {
+		panic(fmt.Sprintf("tensor: SliceCols [%d,%d) out of range %d", from, to, m.cols))
+	}
+	out := New(m.rows, to-from)
+	for i := 0; i < m.rows; i++ {
+		copy(out.data[i*out.cols:(i+1)*out.cols], m.data[i*m.cols+from:i*m.cols+to])
+	}
+	return out
+}
+
+// SplitCols partitions m into len(widths) matrices of the given column
+// widths, which must sum to Cols.
+func (m *Dense) SplitCols(widths []int) []*Dense {
+	total := 0
+	for _, w := range widths {
+		total += w
+	}
+	if total != m.cols {
+		panic(fmt.Sprintf("tensor: SplitCols widths sum %d want %d", total, m.cols))
+	}
+	out := make([]*Dense, len(widths))
+	off := 0
+	for i, w := range widths {
+		out[i] = m.SliceCols(off, off+w)
+		off += w
+	}
+	return out
+}
+
+// GatherRows returns a new matrix whose row k is m's row idx[k].
+func (m *Dense) GatherRows(idx []int) *Dense {
+	out := New(len(idx), m.cols)
+	for k, i := range idx {
+		if i < 0 || i >= m.rows {
+			panic(fmt.Sprintf("tensor: GatherRows index %d out of range %d", i, m.rows))
+		}
+		copy(out.data[k*m.cols:(k+1)*m.cols], m.data[i*m.cols:(i+1)*m.cols])
+	}
+	return out
+}
+
+// SliceRows returns a copy of rows [from, to).
+func (m *Dense) SliceRows(from, to int) *Dense {
+	if from < 0 || to > m.rows || from > to {
+		panic(fmt.Sprintf("tensor: SliceRows [%d,%d) out of range %d", from, to, m.rows))
+	}
+	out := New(to-from, m.cols)
+	copy(out.data, m.data[from*m.cols:to*m.cols])
+	return out
+}
+
+// ConcatRows vertically concatenates the given matrices, which must all
+// have the same number of columns.
+func ConcatRows(ms ...*Dense) *Dense {
+	if len(ms) == 0 {
+		return New(0, 0)
+	}
+	cols := ms[0].cols
+	total := 0
+	for _, m := range ms {
+		if m.cols != cols {
+			panic(fmt.Sprintf("tensor: ConcatRows col mismatch %d vs %d", m.cols, cols))
+		}
+		total += m.rows
+	}
+	out := New(total, cols)
+	off := 0
+	for _, m := range ms {
+		copy(out.data[off:off+len(m.data)], m.data)
+		off += len(m.data)
+	}
+	return out
+}
+
+// ShuffleRows returns a copy of m with rows permuted by perm: output row k
+// is m's row perm[k]. perm must be a permutation of [0, Rows).
+func (m *Dense) ShuffleRows(perm []int) *Dense {
+	if len(perm) != m.rows {
+		panic(fmt.Sprintf("tensor: ShuffleRows permutation length %d want %d", len(perm), m.rows))
+	}
+	return m.GatherRows(perm)
+}
+
+// Permutation returns a random permutation of [0, n) drawn from rng.
+func Permutation(rng *rand.Rand, n int) []int {
+	return rng.Perm(n)
+}
+
+// RowL2Norms returns an Rx1 vector of the Euclidean norm of each row.
+func (m *Dense) RowL2Norms() *Dense {
+	out := New(m.rows, 1)
+	for i := 0; i < m.rows; i++ {
+		var s float64
+		for _, v := range m.data[i*m.cols : (i+1)*m.cols] {
+			s += v * v
+		}
+		out.data[i] = math.Sqrt(s)
+	}
+	return out
+}
+
+// Norm returns the Frobenius norm of m.
+func (m *Dense) Norm() float64 {
+	var s float64
+	for _, v := range m.data {
+		s += v * v
+	}
+	return math.Sqrt(s)
+}
+
+// ArgmaxRows returns, for each row, the index of its maximum element.
+func (m *Dense) ArgmaxRows() []int {
+	out := make([]int, m.rows)
+	for i := 0; i < m.rows; i++ {
+		row := m.data[i*m.cols : (i+1)*m.cols]
+		best := 0
+		for j, v := range row {
+			if v > row[best] {
+				best = j
+			}
+		}
+		out[i] = best
+	}
+	return out
+}
+
+// SortedCopy returns the elements of m sorted ascending (used by
+// quantile-based statistics).
+func (m *Dense) SortedCopy() []float64 {
+	out := make([]float64, len(m.data))
+	copy(out, m.data)
+	sort.Float64s(out)
+	return out
+}

@@ -1,0 +1,376 @@
+package vfl
+
+import (
+	"errors"
+	"fmt"
+	"math/rand"
+
+	ag "repro/internal/autograd"
+	"repro/internal/condvec"
+	"repro/internal/encoding"
+	"repro/internal/gan"
+	"repro/internal/gmm"
+	"repro/internal/nn"
+	"repro/internal/tensor"
+)
+
+// Phase distinguishes the two halves of a training round.
+type Phase int
+
+// Training phases.
+const (
+	// PhaseDiscriminator trains the critic; the generator path is detached.
+	PhaseDiscriminator Phase = iota + 1
+	// PhaseGenerator trains the generator through the frozen critic.
+	PhaseGenerator
+)
+
+// ClientInfo is the metadata a client discloses during setup. None of it is
+// row-level data: only schema-shape quantities the protocol needs.
+type ClientInfo struct {
+	// Features is the number of raw columns the client owns (drives P_r).
+	Features int
+	// EncodedWidth is the width of the client's encoded representation.
+	EncodedWidth int
+	// CVWidth is the width of the client's local conditional vector.
+	CVWidth int
+	// Rows is the number of aligned rows.
+	Rows int
+}
+
+// Setup carries the architecture parameters the server assigns a client
+// once the ratio vector is known.
+type Setup struct {
+	Plan Plan
+	// SliceWidth is the width of the generator slice routed to this client.
+	SliceWidth int
+	// GenBlockWidth is this client's share of the generator block width.
+	GenBlockWidth int
+	// DiscWidth is the width of this client's discriminator logits (its
+	// share of the discriminator block width).
+	DiscWidth int
+	// LR is the Adam learning rate.
+	LR float64
+	// Seed initializes the client's local weights and Gumbel noise.
+	Seed int64
+}
+
+// Client is the protocol surface the GTV server drives. LocalClient
+// implements it in-process; RPCClient proxies it over the network.
+type Client interface {
+	// Info returns schema-shape metadata.
+	Info() (ClientInfo, error)
+	// Configure builds the client's bottom models for the assigned widths.
+	Configure(Setup) error
+	// SampleCV draws a conditional-vector batch with matching row indices
+	// from the client's local data (the client acts as contributor p).
+	// synthesis selects raw-frequency category sampling (generation time)
+	// instead of log-frequency sampling (training time).
+	SampleCV(batch int, synthesis bool) (*condvec.Batch, error)
+	// SampleCVFixed draws a batch whose every CV selects the given category
+	// of the client's categorical span spanIdx (conditional synthesis).
+	SampleCVFixed(batch, spanIdx, category int) (*condvec.Batch, error)
+	// ForwardSynthetic routes a generator slice through G_i^b (+output
+	// activations) and D_i^b, returning the intermediate critic logits.
+	ForwardSynthetic(slice *tensor.Dense, phase Phase) (*tensor.Dense, error)
+	// ForwardReal passes real rows through D_i^b. A nil idx means the full
+	// local table (the paper's privacy-preserving path for clients that did
+	// not contribute the CV; the server row-selects the logits).
+	ForwardReal(idx []int) (*tensor.Dense, error)
+	// BackwardDisc applies critic gradients (w.r.t. the logits returned by
+	// the last ForwardSynthetic/ForwardReal) and updates D_i^b.
+	BackwardDisc(gradSynth, gradReal *tensor.Dense) error
+	// BackwardGen applies generator gradients, updates G_i^b, and returns
+	// the gradient with respect to the input slice so the server can update
+	// G^t. conditioned marks this client as the round's CV contributor,
+	// which adds the local conditioning cross-entropy.
+	BackwardGen(gradSynth *tensor.Dense, conditioned bool) (*tensor.Dense, error)
+	// EndRound shuffles the local data with the round's shared seed.
+	EndRound(round int) error
+	// GenerateRows runs a synthesis-time generator pass and buffers the
+	// activated rows locally.
+	GenerateRows(slice *tensor.Dense) error
+	// Publish decodes and shuffles all buffered synthetic rows (with the
+	// shared publication seed) and returns the client's synthetic columns.
+	Publish() (*encoding.Table, error)
+}
+
+// LocalClient is the in-process GTV client: it owns a vertical slice of the
+// training table, its feature encoders, the bottom generator and
+// discriminator, and their optimizer state.
+type LocalClient struct {
+	table       *encoding.Table
+	transformer *encoding.Transformer
+	sampler     *condvec.Sampler
+	encoded     *tensor.Dense
+	coord       *ShuffleCoordinator
+	rng         *rand.Rand
+
+	setup   Setup
+	gen     *nn.Sequential
+	disc    *nn.Sequential
+	genOpt  *nn.Adam
+	discOpt *nn.Adam
+
+	// Per-step state retained between forward and backward calls.
+	lastSynthOut *ag.Value
+	lastRealOut  *ag.Value
+	lastRawGen   *ag.Value
+	lastSliceVar *ag.Value
+	lastCV       *condvec.Batch
+
+	synthBuf []*tensor.Dense
+	pubCount int
+}
+
+var _ Client = (*LocalClient)(nil)
+
+// NewLocalClient fits the client's feature encoders on its local table.
+// coord must be shared by all clients (and hidden from the server); seed
+// drives encoder fitting and local randomness.
+func NewLocalClient(table *encoding.Table, coord *ShuffleCoordinator, seed int64) (*LocalClient, error) {
+	if table.Rows() == 0 || table.Cols() == 0 {
+		return nil, errors.New("vfl: client table is empty")
+	}
+	if coord == nil {
+		return nil, errors.New("vfl: client requires a shuffle coordinator")
+	}
+	rng := rand.New(rand.NewSource(seed))
+	tr, err := encoding.FitTransformer(rng, table, gmm.DefaultConfig())
+	if err != nil {
+		return nil, fmt.Errorf("vfl: fitting client transformer: %w", err)
+	}
+	sampler, err := condvec.NewSampler(table, tr)
+	if err != nil {
+		return nil, fmt.Errorf("vfl: building client CV sampler: %w", err)
+	}
+	enc, err := tr.Transform(rng, table)
+	if err != nil {
+		return nil, fmt.Errorf("vfl: encoding client table: %w", err)
+	}
+	return &LocalClient{
+		table:       table,
+		transformer: tr,
+		sampler:     sampler,
+		encoded:     enc,
+		coord:       coord,
+		rng:         rng,
+	}, nil
+}
+
+// Info implements Client.
+func (c *LocalClient) Info() (ClientInfo, error) {
+	return ClientInfo{
+		Features:     c.table.Cols(),
+		EncodedWidth: c.transformer.Width(),
+		CVWidth:      c.sampler.Width(),
+		Rows:         c.table.Rows(),
+	}, nil
+}
+
+// Configure implements Client.
+func (c *LocalClient) Configure(s Setup) error {
+	if err := s.Plan.Validate(); err != nil {
+		return err
+	}
+	if s.SliceWidth <= 0 || s.DiscWidth <= 0 || s.GenBlockWidth <= 0 {
+		return fmt.Errorf("vfl: invalid widths in setup %+v", s)
+	}
+	if s.LR <= 0 {
+		return fmt.Errorf("vfl: invalid learning rate %v", s.LR)
+	}
+	c.setup = s
+	initRng := rand.New(rand.NewSource(s.Seed))
+
+	// Bottom generator: n2 residual blocks then the mandatory output FC.
+	c.gen = gan.NewGenerator(initRng, s.SliceWidth, s.GenBlockWidth, s.Plan.GenClient, c.transformer.Width())
+
+	// Bottom discriminator: the mandatory input projection (Linear +
+	// LeakyReLU) then n4 FN blocks, all at the client's width share.
+	discLayers := []nn.Layer{
+		nn.NewLinear(initRng, c.transformer.Width(), s.DiscWidth),
+		nn.LeakyReLU{Slope: 0.2},
+	}
+	for i := 0; i < s.Plan.DiscClient; i++ {
+		discLayers = append(discLayers, nn.NewDiscBlock(initRng, s.DiscWidth, s.DiscWidth))
+	}
+	c.disc = nn.NewSequential(discLayers...)
+
+	c.genOpt = nn.NewAdam(s.LR)
+	c.discOpt = nn.NewAdam(s.LR)
+	return nil
+}
+
+func (c *LocalClient) configured() error {
+	if c.gen == nil || c.disc == nil {
+		return errors.New("vfl: client not configured")
+	}
+	return nil
+}
+
+// SampleCV implements Client.
+func (c *LocalClient) SampleCV(batch int, synthesis bool) (*condvec.Batch, error) {
+	var (
+		b   *condvec.Batch
+		err error
+	)
+	if synthesis {
+		b, err = c.sampler.SampleSynthesis(c.rng, batch)
+	} else {
+		b, err = c.sampler.Sample(c.rng, batch)
+	}
+	if err != nil {
+		return nil, err
+	}
+	c.lastCV = b
+	return b, nil
+}
+
+// SampleCVFixed implements Client.
+func (c *LocalClient) SampleCVFixed(batch, spanIdx, category int) (*condvec.Batch, error) {
+	b, err := c.sampler.SampleFixed(c.rng, batch, spanIdx, category)
+	if err != nil {
+		return nil, err
+	}
+	c.lastCV = b
+	return b, nil
+}
+
+// ResolveCondition maps a column name and category label of this client's
+// table to the (span index, category index) SampleCVFixed expects.
+func (c *LocalClient) ResolveCondition(column, categoryLabel string) (spanIdx, category int, err error) {
+	return gan.ResolveCondition(c.table.Specs, c.sampler, column, categoryLabel)
+}
+
+// ForwardSynthetic implements Client.
+func (c *LocalClient) ForwardSynthetic(slice *tensor.Dense, phase Phase) (*tensor.Dense, error) {
+	if err := c.configured(); err != nil {
+		return nil, err
+	}
+	if slice.Cols() != c.setup.SliceWidth {
+		return nil, fmt.Errorf("vfl: slice width %d, expected %d", slice.Cols(), c.setup.SliceWidth)
+	}
+	switch phase {
+	case PhaseDiscriminator:
+		// Critic training: the generator path is outside the graph.
+		raw := c.gen.Forward(ag.Const(slice), true)
+		activated := gan.ActivateOutput(raw, c.transformer.Spans(), c.rng, false)
+		c.lastSliceVar = nil
+		c.lastRawGen = nil
+		c.lastSynthOut = c.disc.Forward(activated.Detach(), true)
+	case PhaseGenerator:
+		// Generator training: keep the full graph, including the input
+		// slice so the gradient can flow back to the server's G^t.
+		c.lastSliceVar = ag.Var(slice)
+		c.lastRawGen = c.gen.Forward(c.lastSliceVar, true)
+		activated := gan.ActivateOutput(c.lastRawGen, c.transformer.Spans(), c.rng, false)
+		c.lastSynthOut = c.disc.Forward(activated, true)
+	default:
+		return nil, fmt.Errorf("vfl: invalid phase %d", phase)
+	}
+	return c.lastSynthOut.Data(), nil
+}
+
+// ForwardReal implements Client.
+func (c *LocalClient) ForwardReal(idx []int) (*tensor.Dense, error) {
+	if err := c.configured(); err != nil {
+		return nil, err
+	}
+	rows := c.encoded
+	if idx != nil {
+		rows = c.encoded.GatherRows(idx)
+	}
+	c.lastRealOut = c.disc.Forward(ag.Const(rows), true)
+	return c.lastRealOut.Data(), nil
+}
+
+// BackwardDisc implements Client.
+func (c *LocalClient) BackwardDisc(gradSynth, gradReal *tensor.Dense) error {
+	if err := c.configured(); err != nil {
+		return err
+	}
+	if c.lastSynthOut == nil || c.lastRealOut == nil {
+		return errors.New("vfl: BackwardDisc before forward passes")
+	}
+	// <output, grad> has exactly the requested gradients, so a single
+	// backward pass updates D_i^b from both branches.
+	proxy := ag.Add(
+		ag.SumAll(ag.Mul(c.lastSynthOut, ag.Const(gradSynth))),
+		ag.SumAll(ag.Mul(c.lastRealOut, ag.Const(gradReal))),
+	)
+	params := c.disc.Params()
+	c.discOpt.Step(params, ag.Grad(proxy, params...))
+	c.lastSynthOut, c.lastRealOut = nil, nil
+	return nil
+}
+
+// BackwardGen implements Client.
+func (c *LocalClient) BackwardGen(gradSynth *tensor.Dense, conditioned bool) (*tensor.Dense, error) {
+	if err := c.configured(); err != nil {
+		return nil, err
+	}
+	if c.lastSynthOut == nil || c.lastSliceVar == nil || c.lastRawGen == nil {
+		return nil, errors.New("vfl: BackwardGen before a generator-phase forward")
+	}
+	proxy := ag.SumAll(ag.Mul(c.lastSynthOut, ag.Const(gradSynth)))
+	if conditioned && c.lastCV != nil && c.sampler.Width() > 0 {
+		cond := gan.ConditionLoss(c.lastRawGen, c.transformer.CategoricalSpans(), c.lastCV.Choices)
+		proxy = ag.Add(proxy, cond)
+	}
+	params := c.gen.Params()
+	targets := make([]*ag.Value, 0, len(params)+1)
+	targets = append(targets, params...)
+	targets = append(targets, c.lastSliceVar)
+	grads := ag.Grad(proxy, targets...)
+	c.genOpt.Step(params, grads[:len(params)])
+	sliceGrad := grads[len(params)].Data()
+	c.lastSynthOut, c.lastSliceVar, c.lastRawGen = nil, nil, nil
+	return sliceGrad, nil
+}
+
+// EndRound implements Client: training-with-shuffling with the shared seed.
+func (c *LocalClient) EndRound(round int) error {
+	seed := c.coord.SeedForRound(round)
+	perm := rand.New(rand.NewSource(seed)).Perm(c.table.Rows())
+	c.table = c.table.ShuffleRows(perm)
+	c.encoded = c.encoded.ShuffleRows(perm)
+	if err := c.sampler.Reindex(perm); err != nil {
+		return fmt.Errorf("vfl: reindexing CV sampler: %w", err)
+	}
+	return nil
+}
+
+// GenerateRows implements Client.
+func (c *LocalClient) GenerateRows(slice *tensor.Dense) error {
+	if err := c.configured(); err != nil {
+		return err
+	}
+	raw := c.gen.Forward(ag.Const(slice), false)
+	activated := gan.ActivateOutput(raw, c.transformer.Spans(), c.rng, true)
+	c.synthBuf = append(c.synthBuf, activated.Data())
+	return nil
+}
+
+// Publish implements Client.
+func (c *LocalClient) Publish() (*encoding.Table, error) {
+	if len(c.synthBuf) == 0 {
+		return nil, errors.New("vfl: nothing to publish")
+	}
+	enc := tensor.ConcatRows(c.synthBuf...)
+	c.synthBuf = nil
+	decoded, err := c.transformer.Inverse(enc)
+	if err != nil {
+		return nil, fmt.Errorf("vfl: decoding synthetic rows: %w", err)
+	}
+	// Shuffle before publication with the shared seed so the server cannot
+	// align published rows with the generator inputs it observed (§3.1.7).
+	seed := c.coord.PublicationSeed(c.pubCount)
+	c.pubCount++
+	perm := rand.New(rand.NewSource(seed)).Perm(decoded.Rows())
+	return decoded.ShuffleRows(perm), nil
+}
+
+// Table exposes the client's (current, possibly shuffled) local table for
+// evaluation code. Production deployments would not export this; the
+// experiment harness uses it to compute real-vs-synthetic metrics.
+func (c *LocalClient) Table() *encoding.Table { return c.table }

@@ -1,0 +1,49 @@
+package vfl
+
+import (
+	"fmt"
+)
+
+// CommStats accumulates the bytes exchanged between server and clients,
+// assuming 8-byte float64 elements and counting only payload matrices (the
+// protocol's dominant cost). The paper's §4.3.1 argues partition choice by
+// this overhead; Server tracks it so the trade-off is measurable.
+type CommStats struct {
+	// GenSlicesSent counts generator boundary slices (server -> clients).
+	GenSlicesSent int64
+	// DiscLogitsReceived counts critic logits (clients -> server), both
+	// synthetic and real branches.
+	DiscLogitsReceived int64
+	// GradsSent counts gradient payloads (server -> clients).
+	GradsSent int64
+	// SliceGradsReceived counts generator boundary gradients
+	// (clients -> server).
+	SliceGradsReceived int64
+	// CVBytes counts conditional-vector batches (contributor -> server).
+	CVBytes int64
+	// Rounds is the number of completed training rounds.
+	Rounds int
+}
+
+// Total returns all payload bytes.
+func (c CommStats) Total() int64 {
+	return c.GenSlicesSent + c.DiscLogitsReceived + c.GradsSent + c.SliceGradsReceived + c.CVBytes
+}
+
+// PerRound returns the average payload bytes per completed round.
+func (c CommStats) PerRound() float64 {
+	if c.Rounds == 0 {
+		return 0
+	}
+	return float64(c.Total()) / float64(c.Rounds)
+}
+
+// String renders the stats compactly.
+func (c CommStats) String() string {
+	return fmt.Sprintf("comm{total=%dB rounds=%d gen_slices=%dB disc_logits=%dB grads=%dB slice_grads=%dB cv=%dB}",
+		c.Total(), c.Rounds, c.GenSlicesSent, c.DiscLogitsReceived, c.GradsSent, c.SliceGradsReceived, c.CVBytes)
+}
+
+const bytesPerElement = 8
+
+func matrixBytes(rows, cols int) int64 { return int64(rows) * int64(cols) * bytesPerElement }

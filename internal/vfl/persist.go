@@ -1,0 +1,79 @@
+package vfl
+
+import (
+	"errors"
+	"fmt"
+	"io"
+
+	"repro/internal/nn"
+)
+
+// SaveModels writes the client's trained bottom models (generator then
+// discriminator) to w. The client must be configured.
+func (c *LocalClient) SaveModels(w io.Writer) error {
+	if err := c.configured(); err != nil {
+		return err
+	}
+	if err := nn.SaveParams(w, c.gen); err != nil {
+		return fmt.Errorf("vfl: saving bottom generator: %w", err)
+	}
+	if err := nn.SaveParams(w, c.disc); err != nil {
+		return fmt.Errorf("vfl: saving bottom discriminator: %w", err)
+	}
+	return nil
+}
+
+// LoadModels restores bottom models saved by SaveModels into a client
+// configured with the same Setup.
+func (c *LocalClient) LoadModels(r io.Reader) error {
+	if err := c.configured(); err != nil {
+		return err
+	}
+	if err := nn.LoadParams(r, c.gen); err != nil {
+		return fmt.Errorf("vfl: loading bottom generator: %w", err)
+	}
+	if err := nn.LoadParams(r, c.disc); err != nil {
+		return fmt.Errorf("vfl: loading bottom discriminator: %w", err)
+	}
+	return nil
+}
+
+// SaveTopModels writes the server's top models (G^t, D^t and, when
+// conditional vectors exist, D^s) to w.
+func (s *Server) SaveTopModels(w io.Writer) error {
+	if s.gTop == nil || s.dTop == nil {
+		return errors.New("vfl: server not initialized")
+	}
+	if err := nn.SaveParams(w, s.gTop); err != nil {
+		return fmt.Errorf("vfl: saving top generator: %w", err)
+	}
+	if err := nn.SaveParams(w, s.dTop); err != nil {
+		return fmt.Errorf("vfl: saving top discriminator: %w", err)
+	}
+	if s.dS != nil {
+		if err := nn.SaveParams(w, s.dS); err != nil {
+			return fmt.Errorf("vfl: saving CV filter: %w", err)
+		}
+	}
+	return nil
+}
+
+// LoadTopModels restores top models saved by SaveTopModels into a server
+// built over the same client federation and config.
+func (s *Server) LoadTopModels(r io.Reader) error {
+	if s.gTop == nil || s.dTop == nil {
+		return errors.New("vfl: server not initialized")
+	}
+	if err := nn.LoadParams(r, s.gTop); err != nil {
+		return fmt.Errorf("vfl: loading top generator: %w", err)
+	}
+	if err := nn.LoadParams(r, s.dTop); err != nil {
+		return fmt.Errorf("vfl: loading top discriminator: %w", err)
+	}
+	if s.dS != nil {
+		if err := nn.LoadParams(r, s.dS); err != nil {
+			return fmt.Errorf("vfl: loading CV filter: %w", err)
+		}
+	}
+	return nil
+}

@@ -1,0 +1,89 @@
+package vfl
+
+import (
+	"bytes"
+	"testing"
+)
+
+func TestSaveLoadModelsRoundTrip(t *testing.T) {
+	if testing.Short() {
+		t.Skip("GAN training in -short mode")
+	}
+	// Train a system briefly, persist every party, restore into a twin
+	// system, and check the restored weights are identical.
+	srvA, clientsA := newTestSystem(t, Plan{DiscServer: 1, DiscClient: 1, GenServer: 1, GenClient: 1}, 150, false)
+	if _, _, err := srvA.TrainRound(); err != nil {
+		t.Fatalf("TrainRound: %v", err)
+	}
+
+	var top bytes.Buffer
+	if err := srvA.SaveTopModels(&top); err != nil {
+		t.Fatalf("SaveTopModels: %v", err)
+	}
+	bottoms := make([]*bytes.Buffer, len(clientsA))
+	for i, c := range clientsA {
+		bottoms[i] = &bytes.Buffer{}
+		if err := c.SaveModels(bottoms[i]); err != nil {
+			t.Fatalf("SaveModels client %d: %v", i, err)
+		}
+	}
+
+	srvB, clientsB := newTestSystem(t, Plan{DiscServer: 1, DiscClient: 1, GenServer: 1, GenClient: 1}, 150, false)
+	if err := srvB.LoadTopModels(&top); err != nil {
+		t.Fatalf("LoadTopModels: %v", err)
+	}
+	for i, c := range clientsB {
+		if err := c.LoadModels(bottoms[i]); err != nil {
+			t.Fatalf("LoadModels client %d: %v", i, err)
+		}
+	}
+	// Restored parameters must match the originals exactly.
+	for i := range clientsA {
+		pa := clientsA[i].gen.Params()
+		pb := clientsB[i].gen.Params()
+		for k := range pa {
+			if !pa[k].Data().Equal(pb[k].Data()) {
+				t.Fatalf("client %d generator param %d differs after restore", i, k)
+			}
+		}
+	}
+	pa := srvA.gTop.Params()
+	pb := srvB.gTop.Params()
+	for k := range pa {
+		if !pa[k].Data().Equal(pb[k].Data()) {
+			t.Fatalf("top generator param %d differs after restore", k)
+		}
+	}
+}
+
+func TestLoadModelsWrongArchitecture(t *testing.T) {
+	if testing.Short() {
+		t.Skip("GAN training in -short mode")
+	}
+	srvA, clientsA := newTestSystem(t, Plan{DiscServer: 2, GenClient: 2}, 150, false)
+	_ = srvA
+	var buf bytes.Buffer
+	if err := clientsA[0].SaveModels(&buf); err != nil {
+		t.Fatalf("SaveModels: %v", err)
+	}
+	// A client with a different plan cannot load the snapshot.
+	_, clientsB := newTestSystem(t, Plan{DiscServer: 1, DiscClient: 1, GenServer: 1, GenClient: 1}, 150, false)
+	if err := clientsB[0].LoadModels(&buf); err == nil {
+		t.Fatal("expected architecture mismatch error")
+	}
+}
+
+func TestSaveModelsUnconfigured(t *testing.T) {
+	ta, _ := twoClientTables(t, 30, 1)
+	c, err := NewLocalClient(ta, NewShuffleCoordinator(1), 1)
+	if err != nil {
+		t.Fatalf("NewLocalClient: %v", err)
+	}
+	var buf bytes.Buffer
+	if err := c.SaveModels(&buf); err == nil {
+		t.Fatal("expected not-configured error")
+	}
+	if err := c.LoadModels(&buf); err == nil {
+		t.Fatal("expected not-configured error")
+	}
+}

@@ -1,0 +1,317 @@
+package vfl
+
+import (
+	"errors"
+	"fmt"
+	"net"
+	"net/rpc"
+
+	"repro/internal/condvec"
+	"repro/internal/encoding"
+	"repro/internal/tensor"
+)
+
+// The wire types below are the gob-encodable forms of the protocol
+// payloads. They deliberately mirror the in-memory types field by field so
+// the in-process and networked deployments exchange exactly the same
+// information — and nothing more.
+
+// WireMatrix is the gob form of a tensor.Dense.
+type WireMatrix struct {
+	Rows, Cols int
+	Data       []float64
+}
+
+// ToWire converts a matrix for transmission.
+func ToWire(m *tensor.Dense) WireMatrix {
+	if m == nil {
+		return WireMatrix{}
+	}
+	data := make([]float64, len(m.Data()))
+	copy(data, m.Data())
+	return WireMatrix{Rows: m.Rows(), Cols: m.Cols(), Data: data}
+}
+
+// FromWire converts a received matrix back to a tensor.
+func FromWire(w WireMatrix) *tensor.Dense {
+	return tensor.FromSlice(w.Rows, w.Cols, w.Data)
+}
+
+// WireCVBatch is the gob form of a condvec.Batch.
+type WireCVBatch struct {
+	CV      WireMatrix
+	Rows    []int
+	Choices []condvec.Choice
+}
+
+// WireTable is the gob form of an encoding.Table.
+type WireTable struct {
+	Specs []encoding.ColumnSpec
+	Data  WireMatrix
+}
+
+// ForwardSyntheticArgs carries a generator slice and the phase.
+type ForwardSyntheticArgs struct {
+	Slice WireMatrix
+	Phase Phase
+}
+
+// ForwardRealArgs selects real rows; All means the full local table.
+type ForwardRealArgs struct {
+	All bool
+	Idx []int
+}
+
+// BackwardDiscArgs carries the critic gradients for both branches.
+type BackwardDiscArgs struct {
+	GradSynth WireMatrix
+	GradReal  WireMatrix
+}
+
+// BackwardGenArgs carries the generator gradient and the contributor flag.
+type BackwardGenArgs struct {
+	GradSynth   WireMatrix
+	Conditioned bool
+}
+
+// SampleCVArgs requests a conditional-vector batch.
+type SampleCVArgs struct {
+	Batch     int
+	Synthesis bool
+}
+
+// SampleCVFixedArgs requests a fixed-condition batch.
+type SampleCVFixedArgs struct {
+	Batch    int
+	Span     int
+	Category int
+}
+
+// Empty is a placeholder for argument-less or reply-less calls.
+type Empty struct{}
+
+// ClientService exposes a LocalClient over net/rpc.
+type ClientService struct {
+	client *LocalClient
+}
+
+// NewClientService wraps a local client for serving.
+func NewClientService(c *LocalClient) *ClientService { return &ClientService{client: c} }
+
+// Info handles the metadata RPC.
+func (s *ClientService) Info(_ Empty, reply *ClientInfo) error {
+	info, err := s.client.Info()
+	if err != nil {
+		return err
+	}
+	*reply = info
+	return nil
+}
+
+// Configure handles the setup RPC.
+func (s *ClientService) Configure(args Setup, _ *Empty) error {
+	return s.client.Configure(args)
+}
+
+// SampleCV handles the conditional-vector RPC.
+func (s *ClientService) SampleCV(args SampleCVArgs, reply *WireCVBatch) error {
+	b, err := s.client.SampleCV(args.Batch, args.Synthesis)
+	if err != nil {
+		return err
+	}
+	*reply = WireCVBatch{CV: ToWire(b.CV), Rows: b.Rows, Choices: b.Choices}
+	return nil
+}
+
+// SampleCVFixed handles the fixed-condition RPC.
+func (s *ClientService) SampleCVFixed(args SampleCVFixedArgs, reply *WireCVBatch) error {
+	b, err := s.client.SampleCVFixed(args.Batch, args.Span, args.Category)
+	if err != nil {
+		return err
+	}
+	*reply = WireCVBatch{CV: ToWire(b.CV), Rows: b.Rows, Choices: b.Choices}
+	return nil
+}
+
+// ForwardSynthetic handles the synthetic forward RPC.
+func (s *ClientService) ForwardSynthetic(args ForwardSyntheticArgs, reply *WireMatrix) error {
+	out, err := s.client.ForwardSynthetic(FromWire(args.Slice), args.Phase)
+	if err != nil {
+		return err
+	}
+	*reply = ToWire(out)
+	return nil
+}
+
+// ForwardReal handles the real forward RPC.
+func (s *ClientService) ForwardReal(args ForwardRealArgs, reply *WireMatrix) error {
+	var idx []int
+	if !args.All {
+		idx = args.Idx
+		if idx == nil {
+			idx = []int{}
+		}
+	}
+	out, err := s.client.ForwardReal(idx)
+	if err != nil {
+		return err
+	}
+	*reply = ToWire(out)
+	return nil
+}
+
+// BackwardDisc handles the critic backward RPC.
+func (s *ClientService) BackwardDisc(args BackwardDiscArgs, _ *Empty) error {
+	return s.client.BackwardDisc(FromWire(args.GradSynth), FromWire(args.GradReal))
+}
+
+// BackwardGen handles the generator backward RPC.
+func (s *ClientService) BackwardGen(args BackwardGenArgs, reply *WireMatrix) error {
+	out, err := s.client.BackwardGen(FromWire(args.GradSynth), args.Conditioned)
+	if err != nil {
+		return err
+	}
+	*reply = ToWire(out)
+	return nil
+}
+
+// EndRound handles the shuffle RPC.
+func (s *ClientService) EndRound(round int, _ *Empty) error {
+	return s.client.EndRound(round)
+}
+
+// GenerateRows handles the synthesis forward RPC.
+func (s *ClientService) GenerateRows(slice WireMatrix, _ *Empty) error {
+	return s.client.GenerateRows(FromWire(slice))
+}
+
+// Publish handles the publication RPC.
+func (s *ClientService) Publish(_ Empty, reply *WireTable) error {
+	t, err := s.client.Publish()
+	if err != nil {
+		return err
+	}
+	*reply = WireTable{Specs: t.Specs, Data: ToWire(t.Data)}
+	return nil
+}
+
+// ServeClient serves a LocalClient on the listener until the listener is
+// closed. It is the entry point of the gtv-client process.
+func ServeClient(lis net.Listener, c *LocalClient) error {
+	srv := rpc.NewServer()
+	if err := srv.RegisterName("GTVClient", NewClientService(c)); err != nil {
+		return fmt.Errorf("vfl: registering RPC service: %w", err)
+	}
+	for {
+		conn, err := lis.Accept()
+		if err != nil {
+			if errors.Is(err, net.ErrClosed) {
+				return nil
+			}
+			return fmt.Errorf("vfl: accepting connection: %w", err)
+		}
+		go srv.ServeConn(conn)
+	}
+}
+
+// RPCClient is the server-side proxy for a remote client process.
+type RPCClient struct {
+	rc *rpc.Client
+}
+
+var _ Client = (*RPCClient)(nil)
+
+// DialClient connects to a remote GTV client.
+func DialClient(network, addr string) (*RPCClient, error) {
+	rc, err := rpc.Dial(network, addr)
+	if err != nil {
+		return nil, fmt.Errorf("vfl: dialing client %s: %w", addr, err)
+	}
+	return &RPCClient{rc: rc}, nil
+}
+
+// Close releases the connection.
+func (c *RPCClient) Close() error { return c.rc.Close() }
+
+// Info implements Client.
+func (c *RPCClient) Info() (ClientInfo, error) {
+	var reply ClientInfo
+	err := c.rc.Call("GTVClient.Info", Empty{}, &reply)
+	return reply, err
+}
+
+// Configure implements Client.
+func (c *RPCClient) Configure(s Setup) error {
+	return c.rc.Call("GTVClient.Configure", s, &Empty{})
+}
+
+// SampleCV implements Client.
+func (c *RPCClient) SampleCV(batch int, synthesis bool) (*condvec.Batch, error) {
+	var reply WireCVBatch
+	if err := c.rc.Call("GTVClient.SampleCV", SampleCVArgs{Batch: batch, Synthesis: synthesis}, &reply); err != nil {
+		return nil, err
+	}
+	return &condvec.Batch{CV: FromWire(reply.CV), Rows: reply.Rows, Choices: reply.Choices}, nil
+}
+
+// SampleCVFixed implements Client.
+func (c *RPCClient) SampleCVFixed(batch, spanIdx, category int) (*condvec.Batch, error) {
+	var reply WireCVBatch
+	args := SampleCVFixedArgs{Batch: batch, Span: spanIdx, Category: category}
+	if err := c.rc.Call("GTVClient.SampleCVFixed", args, &reply); err != nil {
+		return nil, err
+	}
+	return &condvec.Batch{CV: FromWire(reply.CV), Rows: reply.Rows, Choices: reply.Choices}, nil
+}
+
+// ForwardSynthetic implements Client.
+func (c *RPCClient) ForwardSynthetic(slice *tensor.Dense, phase Phase) (*tensor.Dense, error) {
+	var reply WireMatrix
+	if err := c.rc.Call("GTVClient.ForwardSynthetic", ForwardSyntheticArgs{Slice: ToWire(slice), Phase: phase}, &reply); err != nil {
+		return nil, err
+	}
+	return FromWire(reply), nil
+}
+
+// ForwardReal implements Client.
+func (c *RPCClient) ForwardReal(idx []int) (*tensor.Dense, error) {
+	args := ForwardRealArgs{All: idx == nil, Idx: idx}
+	var reply WireMatrix
+	if err := c.rc.Call("GTVClient.ForwardReal", args, &reply); err != nil {
+		return nil, err
+	}
+	return FromWire(reply), nil
+}
+
+// BackwardDisc implements Client.
+func (c *RPCClient) BackwardDisc(gradSynth, gradReal *tensor.Dense) error {
+	return c.rc.Call("GTVClient.BackwardDisc", BackwardDiscArgs{GradSynth: ToWire(gradSynth), GradReal: ToWire(gradReal)}, &Empty{})
+}
+
+// BackwardGen implements Client.
+func (c *RPCClient) BackwardGen(gradSynth *tensor.Dense, conditioned bool) (*tensor.Dense, error) {
+	var reply WireMatrix
+	if err := c.rc.Call("GTVClient.BackwardGen", BackwardGenArgs{GradSynth: ToWire(gradSynth), Conditioned: conditioned}, &reply); err != nil {
+		return nil, err
+	}
+	return FromWire(reply), nil
+}
+
+// EndRound implements Client.
+func (c *RPCClient) EndRound(round int) error {
+	return c.rc.Call("GTVClient.EndRound", round, &Empty{})
+}
+
+// GenerateRows implements Client.
+func (c *RPCClient) GenerateRows(slice *tensor.Dense) error {
+	return c.rc.Call("GTVClient.GenerateRows", ToWire(slice), &Empty{})
+}
+
+// Publish implements Client.
+func (c *RPCClient) Publish() (*encoding.Table, error) {
+	var reply WireTable
+	if err := c.rc.Call("GTVClient.Publish", Empty{}, &reply); err != nil {
+		return nil, err
+	}
+	return encoding.NewTable(reply.Specs, FromWire(reply.Data))
+}

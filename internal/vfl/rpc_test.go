@@ -1,0 +1,203 @@
+package vfl
+
+import (
+	"net"
+	"testing"
+
+	"repro/internal/tensor"
+)
+
+func TestWireMatrixRoundTrip(t *testing.T) {
+	m := tensor.FromRows([][]float64{{1, 2}, {3, 4}})
+	w := ToWire(m)
+	back := FromWire(w)
+	if !back.Equal(m) {
+		t.Fatalf("wire round trip %v -> %v", m, back)
+	}
+	// ToWire must copy: mutating the wire data must not touch the source.
+	w.Data[0] = 99
+	if m.At(0, 0) != 1 {
+		t.Fatal("ToWire must deep-copy the matrix")
+	}
+}
+
+func TestWireMatrixNil(t *testing.T) {
+	w := ToWire(nil)
+	if w.Rows != 0 || w.Cols != 0 {
+		t.Fatalf("nil wire matrix = %+v", w)
+	}
+}
+
+// serveLocal starts an RPC server for a fresh LocalClient and returns a
+// connected proxy.
+func serveLocal(t *testing.T, c *LocalClient) *RPCClient {
+	t.Helper()
+	lis, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatalf("listen: %v", err)
+	}
+	t.Cleanup(func() { lis.Close() })
+	go func() {
+		// Listener close ends the serve loop; other errors surface in the
+		// client-side RPC calls, so they are safe to drop here.
+		_ = ServeClient(lis, c)
+	}()
+	proxy, err := DialClient("tcp", lis.Addr().String())
+	if err != nil {
+		t.Fatalf("dial: %v", err)
+	}
+	t.Cleanup(func() { proxy.Close() })
+	return proxy
+}
+
+func TestRPCEndToEndTraining(t *testing.T) {
+	if testing.Short() {
+		t.Skip("networked GAN training in -short mode")
+	}
+	ta, tb := twoClientTables(t, 200, 21)
+	coord := NewShuffleCoordinator(77)
+	la, err := NewLocalClient(ta, coord, 1)
+	if err != nil {
+		t.Fatalf("NewLocalClient: %v", err)
+	}
+	lb, err := NewLocalClient(tb, coord, 2)
+	if err != nil {
+		t.Fatalf("NewLocalClient: %v", err)
+	}
+	pa := serveLocal(t, la)
+	pb := serveLocal(t, lb)
+
+	cfg := DefaultConfig()
+	cfg.Plan = Plan{DiscServer: 2, GenClient: 2}
+	cfg.Rounds = 3
+	cfg.DiscSteps = 2
+	cfg.BatchSize = 32
+	cfg.NoiseDim = 16
+	cfg.BlockDim = 32
+	srv, err := NewServer([]Client{pa, pb}, cfg)
+	if err != nil {
+		t.Fatalf("NewServer over RPC: %v", err)
+	}
+	if err := srv.Train(nil); err != nil {
+		t.Fatalf("Train over RPC: %v", err)
+	}
+	synth, err := srv.Synthesize(50)
+	if err != nil {
+		t.Fatalf("Synthesize over RPC: %v", err)
+	}
+	if synth.Rows() != 50 || synth.Cols() != 3 {
+		t.Fatalf("synthetic shape %dx%d", synth.Rows(), synth.Cols())
+	}
+	if synth.Data.HasNaN() {
+		t.Fatal("synthetic data has NaN")
+	}
+}
+
+func TestRPCFaithfulMode(t *testing.T) {
+	if testing.Short() {
+		t.Skip("networked GAN training in -short mode")
+	}
+	ta, tb := twoClientTables(t, 120, 31)
+	coord := NewShuffleCoordinator(88)
+	la, err := NewLocalClient(ta, coord, 1)
+	if err != nil {
+		t.Fatalf("NewLocalClient: %v", err)
+	}
+	lb, err := NewLocalClient(tb, coord, 2)
+	if err != nil {
+		t.Fatalf("NewLocalClient: %v", err)
+	}
+	pa := serveLocal(t, la)
+	pb := serveLocal(t, lb)
+
+	cfg := DefaultConfig()
+	cfg.Plan = Plan{DiscServer: 1, DiscClient: 1, GenServer: 1, GenClient: 1}
+	cfg.Rounds = 2
+	cfg.DiscSteps = 1
+	cfg.BatchSize = 16
+	cfg.NoiseDim = 8
+	cfg.BlockDim = 16
+	cfg.FaithfulRealPass = true
+	srv, err := NewServer([]Client{pa, pb}, cfg)
+	if err != nil {
+		t.Fatalf("NewServer: %v", err)
+	}
+	if _, _, err := srv.TrainRound(); err != nil {
+		t.Fatalf("TrainRound: %v", err)
+	}
+}
+
+func TestRPCErrorPropagation(t *testing.T) {
+	ta, _ := twoClientTables(t, 60, 41)
+	coord := NewShuffleCoordinator(55)
+	la, err := NewLocalClient(ta, coord, 1)
+	if err != nil {
+		t.Fatalf("NewLocalClient: %v", err)
+	}
+	proxy := serveLocal(t, la)
+	// Forward before configure must fail across the wire.
+	if _, err := proxy.ForwardSynthetic(tensor.New(2, 4), PhaseDiscriminator); err == nil {
+		t.Fatal("expected remote error")
+	}
+	// Publish with nothing buffered must fail across the wire.
+	if _, err := proxy.Publish(); err == nil {
+		t.Fatal("expected remote error")
+	}
+}
+
+// TestRPCMatchesLocalTrajectory trains two identically-seeded systems — one
+// with in-process clients, one with RPC proxies — and verifies the server's
+// top-model parameters end up byte-identical. The transport must be fully
+// transparent to the learning process.
+func TestRPCMatchesLocalTrajectory(t *testing.T) {
+	if testing.Short() {
+		t.Skip("networked GAN training in -short mode")
+	}
+	build := func(overRPC bool) *Server {
+		ta, tb := twoClientTables(t, 120, 51)
+		coord := NewShuffleCoordinator(66)
+		la, err := NewLocalClient(ta, coord, 1)
+		if err != nil {
+			t.Fatalf("NewLocalClient: %v", err)
+		}
+		lb, err := NewLocalClient(tb, coord, 2)
+		if err != nil {
+			t.Fatalf("NewLocalClient: %v", err)
+		}
+		clients := []Client{la, lb}
+		if overRPC {
+			clients = []Client{serveLocal(t, la), serveLocal(t, lb)}
+		}
+		cfg := DefaultConfig()
+		cfg.Plan = Plan{DiscServer: 2, GenClient: 2}
+		cfg.Rounds = 2
+		cfg.DiscSteps = 2
+		cfg.BatchSize = 32
+		cfg.NoiseDim = 16
+		cfg.BlockDim = 32
+		srv, err := NewServer(clients, cfg)
+		if err != nil {
+			t.Fatalf("NewServer: %v", err)
+		}
+		if err := srv.Train(nil); err != nil {
+			t.Fatalf("Train: %v", err)
+		}
+		return srv
+	}
+	local := build(false)
+	remote := build(true)
+	lp := local.gTop.Params()
+	rp := remote.gTop.Params()
+	for k := range lp {
+		if !lp[k].Data().Equal(rp[k].Data()) {
+			t.Fatalf("top generator param %d diverges between local and RPC runs", k)
+		}
+	}
+	dp := local.dTop.Params()
+	rdp := remote.dTop.Params()
+	for k := range dp {
+		if !dp[k].Data().Equal(rdp[k].Data()) {
+			t.Fatalf("top discriminator param %d diverges between local and RPC runs", k)
+		}
+	}
+}

@@ -1,0 +1,581 @@
+package vfl
+
+import (
+	"errors"
+	"fmt"
+	"math/rand"
+
+	ag "repro/internal/autograd"
+	"repro/internal/encoding"
+	"repro/internal/gan"
+	"repro/internal/nn"
+	"repro/internal/tensor"
+)
+
+// Config holds the server-side training configuration for GTV.
+type Config struct {
+	// Plan is the neural-network partition.
+	Plan Plan
+	// Rounds is the number of training rounds.
+	Rounds int
+	// DiscSteps is the number of critic updates per round (the paper's e).
+	DiscSteps int
+	// BatchSize is the minibatch size.
+	BatchSize int
+	// NoiseDim is the generator noise width.
+	NoiseDim int
+	// BlockDim is the discriminator block width (256 in the paper).
+	BlockDim int
+	// GenBlockDim is the generator block width and the width of the split
+	// boundary; 0 means BlockDim. The paper's "enlarged" generator setting
+	// raises this to 768 while BlockDim stays 256.
+	GenBlockDim int
+	// LR is the Adam learning rate for all parties.
+	LR float64
+	// Seed drives server randomness and per-client weight initialization.
+	Seed int64
+	// Pac is the PacGAN packing degree applied at the top critic: D^t
+	// judges Pac concatenated samples at a time (CTGAN uses 10). BatchSize
+	// must be divisible by Pac; 0 means 1.
+	Pac int
+	// DPLogitNoise, when positive, adds zero-mean Gaussian noise with this
+	// standard deviation to every intermediate logit matrix the server
+	// receives — the local-DP style protection discussed (and rejected for
+	// its accuracy cost) in the paper's §3.3. Off by default.
+	DPLogitNoise float64
+	// FaithfulRealPass selects the paper's index-privacy mode: when true,
+	// clients that did not contribute the conditional vector pass their
+	// entire table through D_i^b and the server row-selects the logits, so
+	// idx_p never leaves the server/contributor pair (§3.1.6). When false,
+	// the server broadcasts idx_p to every client — cheaper, with the
+	// privacy trade-off of the paper's P2P alternative.
+	FaithfulRealPass bool
+}
+
+// DefaultConfig returns a laptop-scale GTV configuration with the paper's
+// default partition D2_0 G0_2 (all FN blocks on the server, generator on
+// the server).
+func DefaultConfig() Config {
+	return Config{
+		Plan:      Plan{DiscServer: 2, DiscClient: 0, GenServer: 0, GenClient: 2},
+		Rounds:    150,
+		DiscSteps: 2,
+		BatchSize: 128,
+		NoiseDim:  64,
+		BlockDim:  256,
+		LR:        2e-4,
+		Seed:      1,
+	}
+}
+
+func (c *Config) validate() error {
+	if err := c.Plan.Validate(); err != nil {
+		return err
+	}
+	if c.Rounds <= 0 || c.BatchSize <= 0 {
+		return fmt.Errorf("vfl: rounds %d and batch size %d must be positive", c.Rounds, c.BatchSize)
+	}
+	if c.DiscSteps <= 0 {
+		c.DiscSteps = 1
+	}
+	if c.NoiseDim <= 0 {
+		c.NoiseDim = 64
+	}
+	if c.BlockDim <= 0 {
+		c.BlockDim = 256
+	}
+	if c.GenBlockDim <= 0 {
+		c.GenBlockDim = c.BlockDim
+	}
+	if c.LR <= 0 {
+		c.LR = 2e-4
+	}
+	if c.Pac <= 0 {
+		c.Pac = 1
+	}
+	if c.BatchSize%c.Pac != 0 {
+		return fmt.Errorf("vfl: batch size %d not divisible by pac %d", c.BatchSize, c.Pac)
+	}
+	if c.DPLogitNoise < 0 {
+		return fmt.Errorf("vfl: negative DP noise %v", c.DPLogitNoise)
+	}
+	return nil
+}
+
+// Server is the trusted-third-party coordinator of Algorithm 1. It owns the
+// top generator G^t, the top discriminator D^t and the conditional-vector
+// filter D^s; it never sees raw rows, the clients' shuffle secret, or (in
+// faithful mode) which rows matched a conditional vector on clients other
+// than the contributor.
+type Server struct {
+	cfg     Config
+	rng     *rand.Rand
+	clients []Client
+	infos   []ClientInfo
+	ratios  []float64
+
+	sliceWidths []int // generator boundary split (sums to GenBlockDim)
+	discWidths  []int // client logit widths (sums to BlockDim)
+	cvOffsets   []int
+	cvWidth     int
+	rows        int
+
+	gTop *nn.Sequential
+	dTop *nn.Sequential
+	dS   *nn.Sequential
+	gOpt *nn.Adam
+	dOpt *nn.Adam
+
+	round int
+	comm  CommStats
+}
+
+// NewServer performs the setup handshake: it collects client metadata,
+// computes the ratio vector and width splits, builds the top models and
+// configures every client's bottom models.
+func NewServer(clients []Client, cfg Config) (*Server, error) {
+	if err := cfg.validate(); err != nil {
+		return nil, err
+	}
+	if len(clients) == 0 {
+		return nil, errors.New("vfl: no clients")
+	}
+	s := &Server{
+		cfg:     cfg,
+		rng:     rand.New(rand.NewSource(cfg.Seed)),
+		clients: clients,
+		infos:   make([]ClientInfo, len(clients)),
+	}
+	featureCounts := make([]int, len(clients))
+	for i, c := range clients {
+		info, err := c.Info()
+		if err != nil {
+			return nil, fmt.Errorf("vfl: client %d info: %w", i, err)
+		}
+		s.infos[i] = info
+		featureCounts[i] = info.Features
+		if i == 0 {
+			s.rows = info.Rows
+		} else if info.Rows != s.rows {
+			return nil, fmt.Errorf("vfl: client %d has %d rows, client 0 has %d (tables must be aligned)",
+				i, info.Rows, s.rows)
+		}
+	}
+	ratios, err := Ratios(featureCounts)
+	if err != nil {
+		return nil, err
+	}
+	s.ratios = ratios
+	if s.sliceWidths, err = SplitWidths(cfg.GenBlockDim, ratios); err != nil {
+		return nil, fmt.Errorf("vfl: splitting generator boundary: %w", err)
+	}
+	if s.discWidths, err = SplitWidths(cfg.BlockDim, ratios); err != nil {
+		return nil, fmt.Errorf("vfl: splitting discriminator widths: %w", err)
+	}
+	s.cvOffsets = make([]int, len(clients))
+	for i, info := range s.infos {
+		s.cvOffsets[i] = s.cvWidth
+		s.cvWidth += info.CVWidth
+	}
+
+	// Top models. G^t: n1 residual blocks then the boundary FC producing
+	// the GenBlockDim-wide vector that Split partitions by P_r. D^t: n3 FN
+	// blocks then the mandatory score FC. D^s: a small trainable filter on
+	// the conditional vector.
+	initRng := rand.New(rand.NewSource(cfg.Seed + 1))
+	s.gTop = gan.NewGenerator(initRng, cfg.NoiseDim+s.cvWidth, cfg.GenBlockDim, cfg.Plan.GenServer, cfg.GenBlockDim)
+	dsOut := 0
+	if s.cvWidth > 0 {
+		dsOut = s.cvWidth
+		s.dS = nn.NewSequential(
+			nn.NewLinear(initRng, s.cvWidth, dsOut),
+			nn.LeakyReLU{Slope: 0.2},
+		)
+	}
+	s.dTop = gan.NewDiscriminator(initRng, (cfg.BlockDim+dsOut)*cfg.Pac, cfg.BlockDim, cfg.Plan.DiscServer)
+	s.gOpt = nn.NewAdam(cfg.LR)
+	s.dOpt = nn.NewAdam(cfg.LR)
+
+	for i, c := range clients {
+		setup := Setup{
+			Plan:          cfg.Plan,
+			SliceWidth:    s.sliceWidths[i],
+			GenBlockWidth: s.sliceWidths[i],
+			DiscWidth:     s.discWidths[i],
+			LR:            cfg.LR,
+			Seed:          cfg.Seed + int64(100+i),
+		}
+		if err := c.Configure(setup); err != nil {
+			return nil, fmt.Errorf("vfl: configuring client %d: %w", i, err)
+		}
+	}
+	return s, nil
+}
+
+// Ratios exposes the computed P_r vector.
+func (s *Server) Ratios() []float64 { return s.ratios }
+
+// CommStats returns the accumulated server<->client payload accounting.
+func (s *Server) CommStats() CommStats { return s.comm }
+
+// SliceWidths exposes the generator boundary split (for tests/inspection).
+func (s *Server) SliceWidths() []int { return s.sliceWidths }
+
+// Train runs the full Algorithm 1 loop. The optional progress callback
+// receives (round, criticLoss, generatorLoss) once per round.
+func (s *Server) Train(progress func(round int, dLoss, gLoss float64)) error {
+	for r := 0; r < s.cfg.Rounds; r++ {
+		dLoss, gLoss, err := s.TrainRound()
+		if err != nil {
+			return fmt.Errorf("vfl: round %d: %w", r, err)
+		}
+		if progress != nil {
+			progress(r, dLoss, gLoss)
+		}
+	}
+	return nil
+}
+
+// TrainRound runs one round: DiscSteps critic updates, one generator
+// update, then the shared shuffle (steps 3-23 of Algorithm 1).
+func (s *Server) TrainRound() (dLoss, gLoss float64, err error) {
+	for step := 0; step < s.cfg.DiscSteps; step++ {
+		if dLoss, err = s.discStep(); err != nil {
+			return 0, 0, fmt.Errorf("critic step: %w", err)
+		}
+	}
+	if gLoss, err = s.genStep(); err != nil {
+		return 0, 0, fmt.Errorf("generator step: %w", err)
+	}
+	for i, c := range s.clients {
+		if err := c.EndRound(s.round); err != nil {
+			return 0, 0, fmt.Errorf("client %d shuffle: %w", i, err)
+		}
+	}
+	s.round++
+	s.comm.Rounds++
+	return dLoss, gLoss, nil
+}
+
+// pickContributor draws the CV-contributing client p with probability P_r.
+func (s *Server) pickContributor() int {
+	u := s.rng.Float64()
+	var cum float64
+	for i, r := range s.ratios {
+		cum += r
+		if u < cum {
+			return i
+		}
+	}
+	return len(s.ratios) - 1
+}
+
+// embedCV places contributor p's local conditional vector into the global
+// CV coordinate space.
+func (s *Server) embedCV(local *tensor.Dense, p int) *tensor.Dense {
+	out := tensor.New(local.Rows(), s.cvWidth)
+	off := s.cvOffsets[p]
+	for i := 0; i < local.Rows(); i++ {
+		copy(out.RawRow(i)[off:off+local.Cols()], local.RawRow(i))
+	}
+	return out
+}
+
+// generatorForward runs steps 1-5 of Algorithm 1: sample the contributor's
+// CV, run the top generator and split the boundary output by P_r.
+func (s *Server) generatorForward(batch int, train bool) (p int, cvRows []int, globalCV *tensor.Dense, gtOut *ag.Value, slices []*tensor.Dense, err error) {
+	p = s.pickContributor()
+	cvb, err := s.clients[p].SampleCV(batch, !train)
+	if err != nil {
+		return 0, nil, nil, nil, nil, fmt.Errorf("client %d SampleCV: %w", p, err)
+	}
+	globalCV = s.embedCV(cvb.CV, p)
+	s.comm.CVBytes += matrixBytes(cvb.CV.Rows(), cvb.CV.Cols())
+	noise := gan.SampleNoise(s.rng, batch, s.cfg.NoiseDim)
+	gin := tensor.ConcatCols(noise, globalCV)
+	gtOut = s.gTop.Forward(ag.Const(gin), train)
+	slices = gtOut.Data().SplitCols(s.sliceWidths)
+	for _, sl := range slices {
+		s.comm.GenSlicesSent += matrixBytes(sl.Rows(), sl.Cols())
+	}
+	return p, cvb.Rows, globalCV, gtOut, slices, nil
+}
+
+// discStep performs one distributed WGAN-GP critic update (steps 4-16).
+func (s *Server) discStep() (float64, error) {
+	batch := s.cfg.BatchSize
+	p, cvRows, globalCV, _, slices, err := s.generatorForward(batch, true)
+	if err != nil {
+		return 0, err
+	}
+	n := len(s.clients)
+	fakeVars := make([]*ag.Value, n)
+	realVars := make([]*ag.Value, n)
+	fullRealRows := make([]int, n) // >0 when the client did a full pass
+	for i, c := range s.clients {
+		logits, err := c.ForwardSynthetic(slices[i], PhaseDiscriminator)
+		if err != nil {
+			return 0, fmt.Errorf("client %d synthetic forward: %w", i, err)
+		}
+		s.comm.DiscLogitsReceived += matrixBytes(logits.Rows(), logits.Cols())
+		fakeVars[i] = ag.Var(s.receiveLogits(logits))
+
+		var realLogits *tensor.Dense
+		switch {
+		case i == p:
+			// The contributor selects its own matching rows (step 10).
+			if realLogits, err = c.ForwardReal(cvRows); err != nil {
+				return 0, fmt.Errorf("client %d real forward: %w", i, err)
+			}
+		case s.cfg.FaithfulRealPass:
+			// Full local pass; the server selects logits (steps 12, 14).
+			full, err := c.ForwardReal(nil)
+			if err != nil {
+				return 0, fmt.Errorf("client %d real forward: %w", i, err)
+			}
+			fullRealRows[i] = full.Rows()
+			s.comm.DiscLogitsReceived += matrixBytes(full.Rows(), full.Cols())
+			realLogits = full.GatherRows(cvRows)
+		default:
+			if realLogits, err = c.ForwardReal(cvRows); err != nil {
+				return 0, fmt.Errorf("client %d real forward: %w", i, err)
+			}
+		}
+		if fullRealRows[i] == 0 {
+			s.comm.DiscLogitsReceived += matrixBytes(realLogits.Rows(), realLogits.Cols())
+		}
+		realVars[i] = ag.Var(s.receiveLogits(realLogits))
+	}
+
+	fakeIn, realIn := s.topInputs(fakeVars, realVars, globalCV)
+	fakePacked := s.pack(fakeIn)
+	realPacked := s.pack(realIn)
+	fakeScores := s.dTop.Forward(fakePacked, true)
+	realScores := s.dTop.Forward(realPacked, true)
+	loss := gan.CriticLoss(fakeScores, realScores)
+	gp := gan.GradientPenalty(s.rng, realPacked.Data(), fakePacked.Data(), func(x *ag.Value) *ag.Value {
+		return s.dTop.Forward(x, true)
+	})
+	total := ag.Add(loss, gp)
+
+	serverParams := s.dTop.Params()
+	if s.dS != nil {
+		serverParams = append(serverParams, s.dS.Params()...)
+	}
+	targets := make([]*ag.Value, 0, len(serverParams)+2*n)
+	targets = append(targets, serverParams...)
+	targets = append(targets, fakeVars...)
+	targets = append(targets, realVars...)
+	grads := ag.Grad(total, targets...)
+	s.dOpt.Step(serverParams, grads[:len(serverParams)])
+
+	for i, c := range s.clients {
+		gradSynth := grads[len(serverParams)+i].Data()
+		gradReal := grads[len(serverParams)+n+i].Data()
+		if fullRealRows[i] > 0 {
+			// Scatter back to the client's full-pass output rows,
+			// accumulating duplicates.
+			gradReal = scatterRowsAccumulate(gradReal, cvRows, fullRealRows[i])
+		}
+		s.comm.GradsSent += matrixBytes(gradSynth.Rows(), gradSynth.Cols()) +
+			matrixBytes(gradReal.Rows(), gradReal.Cols())
+		if err := c.BackwardDisc(gradSynth, gradReal); err != nil {
+			return 0, fmt.Errorf("client %d disc backward: %w", i, err)
+		}
+	}
+	return total.Item(), nil
+}
+
+// genStep performs one distributed generator update (steps 18-22).
+func (s *Server) genStep() (float64, error) {
+	batch := s.cfg.BatchSize
+	p, _, globalCV, gtOut, slices, err := s.generatorForward(batch, true)
+	if err != nil {
+		return 0, err
+	}
+	n := len(s.clients)
+	fakeVars := make([]*ag.Value, n)
+	for i, c := range s.clients {
+		logits, err := c.ForwardSynthetic(slices[i], PhaseGenerator)
+		if err != nil {
+			return 0, fmt.Errorf("client %d generator forward: %w", i, err)
+		}
+		s.comm.DiscLogitsReceived += matrixBytes(logits.Rows(), logits.Cols())
+		fakeVars[i] = ag.Var(s.receiveLogits(logits))
+	}
+	fakeIn, _ := s.topInputs(fakeVars, nil, globalCV)
+	scores := s.dTop.Forward(s.pack(fakeIn), true)
+	loss := gan.GeneratorLoss(scores)
+	grads := ag.Grad(loss, fakeVars...)
+
+	sliceGrads := make([]*tensor.Dense, n)
+	for i, c := range s.clients {
+		g := grads[i].Data()
+		s.comm.GradsSent += matrixBytes(g.Rows(), g.Cols())
+		sg, err := c.BackwardGen(g, i == p)
+		if err != nil {
+			return 0, fmt.Errorf("client %d generator backward: %w", i, err)
+		}
+		s.comm.SliceGradsReceived += matrixBytes(sg.Rows(), sg.Cols())
+		sliceGrads[i] = sg
+	}
+	// Continue backpropagation into G^t with the clients' input gradients.
+	boundaryGrad := tensor.ConcatCols(sliceGrads...)
+	proxy := ag.SumAll(ag.Mul(gtOut, ag.Const(boundaryGrad)))
+	params := s.gTop.Params()
+	s.gOpt.Step(params, ag.Grad(proxy, params...))
+	return loss.Item(), nil
+}
+
+// pack applies PacGAN packing at the critic boundary.
+func (s *Server) pack(v *ag.Value) *ag.Value {
+	if s.cfg.Pac <= 1 {
+		return v
+	}
+	rows, cols := v.Shape()
+	return ag.Reshape(v, rows/s.cfg.Pac, cols*s.cfg.Pac)
+}
+
+// receiveLogits applies the optional local-DP perturbation to an incoming
+// intermediate logit matrix.
+func (s *Server) receiveLogits(m *tensor.Dense) *tensor.Dense {
+	if s.cfg.DPLogitNoise <= 0 {
+		return m
+	}
+	return tensor.Add(m, tensor.Randn(s.rng, m.Rows(), m.Cols(), 0, s.cfg.DPLogitNoise))
+}
+
+// topInputs assembles D^t inputs: the concatenation of per-client logits
+// and, when conditional vectors exist, the D^s filter output (step 7).
+// realVars may be nil during the generator phase.
+func (s *Server) topInputs(fakeVars, realVars []*ag.Value, globalCV *tensor.Dense) (fakeIn, realIn *ag.Value) {
+	var dsOut *ag.Value
+	if s.dS != nil {
+		dsOut = s.dS.Forward(ag.Const(globalCV), true)
+	}
+	join := func(vars []*ag.Value) *ag.Value {
+		parts := make([]*ag.Value, 0, len(vars)+1)
+		parts = append(parts, vars...)
+		if dsOut != nil {
+			parts = append(parts, dsOut)
+		}
+		return ag.ConcatCols(parts...)
+	}
+	fakeIn = join(fakeVars)
+	if realVars != nil {
+		realIn = join(realVars)
+	}
+	return fakeIn, realIn
+}
+
+// scatterRowsAccumulate maps gradients of selected rows back onto the full
+// row space, summing duplicates.
+func scatterRowsAccumulate(grad *tensor.Dense, idx []int, rows int) *tensor.Dense {
+	out := tensor.New(rows, grad.Cols())
+	for k, r := range idx {
+		dst := out.RawRow(r)
+		src := grad.RawRow(k)
+		for j, v := range src {
+			dst[j] += v
+		}
+	}
+	return out
+}
+
+// Synthesize generates n rows of joint synthetic data: the server drives
+// generator-only forward passes (steps 1-3 of Fig. 4), each client buffers
+// and decodes its own columns, shuffles them with the shared publication
+// seed, and the horizontal concatenation of the published slices is the
+// final dataset (§3.1.7).
+func (s *Server) Synthesize(n int) (*encoding.Table, error) {
+	joined, _, err := s.SynthesizeParts(n)
+	return joined, err
+}
+
+// SynthesizeParts is Synthesize but returns the per-client synthetic slices
+// alongside the joined table, which the Avg-client and Across-client
+// metrics need.
+func (s *Server) SynthesizeParts(n int) (*encoding.Table, []*encoding.Table, error) {
+	if n <= 0 {
+		return nil, nil, fmt.Errorf("vfl: cannot synthesize %d rows", n)
+	}
+	done := 0
+	for done < n {
+		batch := s.cfg.BatchSize
+		if n-done < batch {
+			batch = n - done
+		}
+		_, _, _, _, slices, err := s.generatorForward(batch, false)
+		if err != nil {
+			return nil, nil, err
+		}
+		for i, c := range s.clients {
+			if err := c.GenerateRows(slices[i]); err != nil {
+				return nil, nil, fmt.Errorf("vfl: client %d generating: %w", i, err)
+			}
+		}
+		done += batch
+	}
+	parts := make([]*encoding.Table, len(s.clients))
+	for i, c := range s.clients {
+		t, err := c.Publish()
+		if err != nil {
+			return nil, nil, fmt.Errorf("vfl: client %d publishing: %w", i, err)
+		}
+		parts[i] = t
+	}
+	joined, err := encoding.ConcatColumns(parts...)
+	if err != nil {
+		return nil, nil, fmt.Errorf("vfl: assembling synthetic table: %w", err)
+	}
+	return joined, parts, nil
+}
+
+// SynthesizeCondition generates n rows all conditioned on one category of
+// client p's categorical span spanIdx (conditional synthesis). The
+// contributor is fixed to p for every batch.
+func (s *Server) SynthesizeCondition(n, p, spanIdx, category int) (*encoding.Table, error) {
+	if n <= 0 {
+		return nil, fmt.Errorf("vfl: cannot synthesize %d rows", n)
+	}
+	if p < 0 || p >= len(s.clients) {
+		return nil, fmt.Errorf("vfl: client %d out of range %d", p, len(s.clients))
+	}
+	done := 0
+	for done < n {
+		batch := s.cfg.BatchSize
+		if n-done < batch {
+			batch = n - done
+		}
+		cvb, err := s.clients[p].SampleCVFixed(batch, spanIdx, category)
+		if err != nil {
+			return nil, fmt.Errorf("vfl: client %d fixed CV: %w", p, err)
+		}
+		globalCV := s.embedCV(cvb.CV, p)
+		s.comm.CVBytes += matrixBytes(cvb.CV.Rows(), cvb.CV.Cols())
+		noise := gan.SampleNoise(s.rng, batch, s.cfg.NoiseDim)
+		gin := tensor.ConcatCols(noise, globalCV)
+		gtOut := s.gTop.Forward(ag.Const(gin), false)
+		slices := gtOut.Data().SplitCols(s.sliceWidths)
+		for i, sl := range slices {
+			s.comm.GenSlicesSent += matrixBytes(sl.Rows(), sl.Cols())
+			if err := s.clients[i].GenerateRows(sl); err != nil {
+				return nil, fmt.Errorf("vfl: client %d generating: %w", i, err)
+			}
+		}
+		done += batch
+	}
+	parts := make([]*encoding.Table, len(s.clients))
+	for i, c := range s.clients {
+		t, err := c.Publish()
+		if err != nil {
+			return nil, fmt.Errorf("vfl: client %d publishing: %w", i, err)
+		}
+		parts[i] = t
+	}
+	joined, err := encoding.ConcatColumns(parts...)
+	if err != nil {
+		return nil, fmt.Errorf("vfl: assembling conditional synthesis: %w", err)
+	}
+	return joined, nil
+}

@@ -1,0 +1,42 @@
+package vfl
+
+import (
+	"crypto/sha256"
+	"encoding/binary"
+)
+
+// ShuffleCoordinator derives the shared per-round shuffle seeds of
+// training-with-shuffling (§3.1.5). All clients construct a coordinator
+// from the same secret — negotiated among clients before training — and the
+// server never holds one, so it cannot reproduce the permutations and
+// cannot join conditional vectors with row indices across rounds.
+type ShuffleCoordinator struct {
+	secret int64
+}
+
+// NewShuffleCoordinator returns a coordinator for the given shared secret.
+func NewShuffleCoordinator(secret int64) *ShuffleCoordinator {
+	return &ShuffleCoordinator{secret: secret}
+}
+
+// SeedForRound returns the deterministic shuffle seed for a training round.
+// Seeds are derived by hashing (secret, round) so no inter-client
+// communication is needed once the secret is shared.
+func (c *ShuffleCoordinator) SeedForRound(round int) int64 {
+	return c.derive(0, round)
+}
+
+// PublicationSeed returns the seed used to shuffle synthetic data before
+// publication (§3.1.7), namespaced away from training-round seeds.
+func (c *ShuffleCoordinator) PublicationSeed(batch int) int64 {
+	return c.derive(1, batch)
+}
+
+func (c *ShuffleCoordinator) derive(namespace byte, round int) int64 {
+	var buf [17]byte
+	binary.BigEndian.PutUint64(buf[0:8], uint64(c.secret))
+	buf[8] = namespace
+	binary.BigEndian.PutUint64(buf[9:17], uint64(round))
+	sum := sha256.Sum256(buf[:])
+	return int64(binary.BigEndian.Uint64(sum[:8]))
+}
