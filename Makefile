@@ -1,0 +1,30 @@
+GO ?= go
+
+.PHONY: all build vet test race ci bench bench-round
+
+all: ci
+
+build:
+	$(GO) build ./...
+
+vet:
+	$(GO) vet ./...
+
+test:
+	$(GO) test ./...
+
+# Race-detector runs: short mode across the module (heavy GAN-training
+# tests skip themselves), full mode for the concurrency-critical packages.
+race:
+	$(GO) test -race -short ./...
+	$(GO) test -race ./internal/vfl/... ./internal/tensor/...
+
+ci: vet build test race
+
+bench:
+	$(GO) test -run xxx -bench . -benchtime 1x .
+
+# The sequential-vs-concurrent round benchmarks behind the numbers recorded
+# in CHANGES.md.
+bench-round:
+	$(GO) test -run xxx -bench 'BenchmarkGTVTrainingRound(Latency)?$$' -benchtime 5x .

@@ -9,6 +9,7 @@ import (
 	"fmt"
 	"io"
 	"testing"
+	"time"
 
 	"repro/internal/core"
 	"repro/internal/datasets"
@@ -143,28 +144,99 @@ func BenchmarkTable3DiffCorrClientCount(b *testing.B) {
 }
 
 // BenchmarkGTVTrainingRound measures one full distributed round (critic
-// steps + generator step + shared shuffle) on a two-client system.
+// steps + generator step + shared shuffle), comparing the sequential driver
+// (parallel=1) against the concurrent fan-out (parallel=0) at two federation
+// sizes. Both settings produce bit-identical models; only wall-clock
+// differs.
 func BenchmarkGTVTrainingRound(b *testing.B) {
-	d, err := datasets.Generate("loan", datasets.Config{Rows: 300, Seed: 1})
-	if err != nil {
-		b.Fatal(err)
-	}
-	assignment, err := core.EvenAssignment(d.Table.Cols(), 2)
-	if err != nil {
-		b.Fatal(err)
-	}
-	opts := core.DefaultOptions()
-	opts.Rounds = 1
-	g, err := core.NewFromAssignment(d.Table, assignment, 2, opts)
-	if err != nil {
-		b.Fatal(err)
-	}
-	b.ReportAllocs()
-	b.ResetTimer()
-	for i := 0; i < b.N; i++ {
-		if _, _, err := g.TrainRound(); err != nil {
-			b.Fatal(err)
+	for _, clients := range []int{2, 4} {
+		for _, par := range []int{1, 0} {
+			clients, par := clients, par
+			mode := "concurrent"
+			if par == 1 {
+				mode = "sequential"
+			}
+			b.Run(fmt.Sprintf("clients=%d/%s", clients, mode), func(b *testing.B) {
+				d, err := datasets.Generate("intrusion", datasets.Config{Rows: 300, Seed: 1})
+				if err != nil {
+					b.Fatal(err)
+				}
+				assignment, err := core.EvenAssignment(d.Table.Cols(), clients)
+				if err != nil {
+					b.Fatal(err)
+				}
+				opts := core.DefaultOptions()
+				opts.Rounds = 1
+				opts.Parallelism = par
+				g, err := core.NewFromAssignment(d.Table, assignment, clients, opts)
+				if err != nil {
+					b.Fatal(err)
+				}
+				b.ReportAllocs()
+				b.ResetTimer()
+				for i := 0; i < b.N; i++ {
+					if _, _, err := g.TrainRound(); err != nil {
+						b.Fatal(err)
+					}
+				}
+			})
 		}
+	}
+}
+
+// BenchmarkGTVTrainingRoundLatency repeats the sequential-vs-concurrent
+// comparison with a simulated 2ms transport delay on every client call —
+// the realistic deployment regime, where round time is dominated by network
+// latency rather than local matrix math. The concurrent driver overlaps the
+// per-client waits, so it wins even on a single core.
+func BenchmarkGTVTrainingRoundLatency(b *testing.B) {
+	const numClients = 4
+	for _, par := range []int{1, 0} {
+		par := par
+		mode := "concurrent"
+		if par == 1 {
+			mode = "sequential"
+		}
+		b.Run(fmt.Sprintf("clients=%d/delay=2ms/%s", numClients, mode), func(b *testing.B) {
+			d, err := datasets.Generate("intrusion", datasets.Config{Rows: 300, Seed: 1})
+			if err != nil {
+				b.Fatal(err)
+			}
+			assignment, err := core.EvenAssignment(d.Table.Cols(), numClients)
+			if err != nil {
+				b.Fatal(err)
+			}
+			parts, err := d.Table.VerticalSplit(assignment, numClients)
+			if err != nil {
+				b.Fatal(err)
+			}
+			coord := vfl.NewShuffleCoordinator(7)
+			clients := make([]vfl.Client, numClients)
+			for i, part := range parts {
+				lc, err := vfl.NewLocalClient(part, coord, int64(i+1))
+				if err != nil {
+					b.Fatal(err)
+				}
+				slow := vfl.NewFaultyTransport(lc)
+				slow.SetDelay(2 * time.Millisecond)
+				clients[i] = slow
+			}
+			cfg := vfl.DefaultConfig()
+			cfg.Plan = planG20
+			cfg.Rounds = 1
+			cfg.Parallelism = par
+			srv, err := vfl.NewServer(clients, cfg)
+			if err != nil {
+				b.Fatal(err)
+			}
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if _, _, err := srv.TrainRound(); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
 	}
 }
 

@@ -12,6 +12,7 @@ import (
 	"fmt"
 	"os"
 	"strings"
+	"time"
 
 	"repro/internal/encoding"
 	"repro/internal/vfl"
@@ -38,6 +39,10 @@ func run(args []string) error {
 		pac        = fs.Int("pac", 1, "PacGAN packing degree (batch must divide)")
 		dpNoise    = fs.Float64("dp-noise", 0, "Gaussian DP noise std on received logits")
 		seed       = fs.Int64("seed", 1, "server random seed")
+		parallel   = fs.Int("parallel-clients", 0, "max clients driven concurrently per round (0 = all, 1 = sequential; results are identical)")
+		callTO     = fs.Duration("call-timeout", 30*time.Second, "per-RPC deadline (0 = wait forever)")
+		callTries  = fs.Int("call-retries", 2, "retries per RPC on transient transport errors")
+		callWait   = fs.Duration("call-backoff", 50*time.Millisecond, "initial backoff between RPC retries (doubles per retry)")
 		faithful   = fs.Bool("faithful-real-pass", false, "use the paper's full-local-pass index privacy mode")
 		synthRows  = fs.Int("synth-rows", 500, "synthetic rows to generate after training")
 		synthOut   = fs.String("synth-out", "synthetic.csv", "output CSV path")
@@ -51,10 +56,15 @@ func run(args []string) error {
 		return err
 	}
 
+	policy := vfl.CallPolicy{
+		Timeout:     *callTO,
+		MaxAttempts: 1 + *callTries,
+		Backoff:     *callWait,
+	}
 	addrs := strings.Split(*clientsArg, ",")
 	clients := make([]vfl.Client, len(addrs))
 	for i, addr := range addrs {
-		proxy, err := vfl.DialClient("tcp", strings.TrimSpace(addr))
+		proxy, err := vfl.DialClientPolicy("tcp", strings.TrimSpace(addr), policy)
 		if err != nil {
 			return err
 		}
@@ -75,6 +85,7 @@ func run(args []string) error {
 		DPLogitNoise:     *dpNoise,
 		Seed:             *seed,
 		FaithfulRealPass: *faithful,
+		Parallelism:      *parallel,
 	}
 	server, err := vfl.NewServer(clients, cfg)
 	if err != nil {

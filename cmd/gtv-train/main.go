@@ -47,6 +47,7 @@ func run(args []string, stdout io.Writer) error {
 		pac         = fs.Int("pac", 1, "PacGAN packing degree (batch must divide)")
 		dpNoise     = fs.Float64("dp-noise", 0, "Gaussian DP noise std on exchanged logits (GTV only)")
 		seed        = fs.Int64("seed", 1, "random seed")
+		parallel    = fs.Int("parallel-clients", 0, "max clients driven concurrently per round (0 = all, 1 = sequential; results are identical)")
 		faithful    = fs.Bool("faithful-real-pass", false, "use the paper's full-local-pass index privacy mode")
 		synthOut    = fs.String("synth-out", "", "write synthetic data to this CSV file")
 		every       = fs.Int("log-every", 50, "print losses every N rounds")
@@ -77,6 +78,7 @@ func run(args []string, stdout io.Writer) error {
 	opts.Pac = *pac
 	opts.DPLogitNoise = *dpNoise
 	opts.Seed = *seed
+	opts.Parallelism = *parallel
 	opts.FaithfulRealPass = *faithful
 
 	progress := func(round int, dLoss, gLoss float64) {

@@ -58,6 +58,11 @@ type Options struct {
 	// FaithfulRealPass selects the paper's index-privacy mode (see
 	// vfl.Config.FaithfulRealPass).
 	FaithfulRealPass bool
+	// Parallelism bounds how many clients the server drives concurrently
+	// per protocol step: 0 means all, 1 means sequential (see
+	// vfl.Config.Parallelism). Training results are bit-identical across
+	// settings.
+	Parallelism int
 }
 
 // DefaultOptions returns a laptop-scale configuration with the paper's
@@ -106,6 +111,7 @@ func (o Options) vflConfig() vfl.Config {
 		DPLogitNoise:     o.DPLogitNoise,
 		Seed:             o.Seed,
 		FaithfulRealPass: o.FaithfulRealPass,
+		Parallelism:      o.Parallelism,
 	}
 }
 

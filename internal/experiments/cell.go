@@ -69,6 +69,7 @@ func (s *Scale) options(plan vfl.Plan, enlargedGen bool, seed int64) core.Option
 	o.BlockDim = s.BlockDim
 	o.LR = s.LR
 	o.Seed = seed
+	o.Parallelism = s.ClientParallelism
 	if enlargedGen {
 		o.GenBlockDim = 3 * s.BlockDim
 	}

@@ -57,6 +57,19 @@ type Setup struct {
 
 // Client is the protocol surface the GTV server drives. LocalClient
 // implements it in-process; RPCClient proxies it over the network.
+//
+// Concurrency contract: the server fans protocol steps out across
+// clients, so distinct Client instances are driven from distinct
+// goroutines — but the server serializes the calls it makes to any single
+// client (a client never sees two of its own methods in flight at once).
+// An implementation must therefore tolerate its methods being invoked
+// from changing goroutines over time; the server's fan-out join provides
+// the happens-before edge between consecutive calls. Any state shared
+// BETWEEN client instances (e.g. the ShuffleCoordinator) must be
+// immutable or internally synchronized. LocalClient meets the contract
+// because all its mutable state is per-instance and the coordinator is
+// immutable; RPCClient meets it because net/rpc clients are safe for
+// concurrent use and its reconnect path is mutex-guarded.
 type Client interface {
 	// Info returns schema-shape metadata.
 	Info() (ClientInfo, error)

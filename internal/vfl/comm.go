@@ -2,6 +2,7 @@ package vfl
 
 import (
 	"fmt"
+	"sync"
 )
 
 // CommStats accumulates the bytes exchanged between server and clients,
@@ -47,3 +48,26 @@ func (c CommStats) String() string {
 const bytesPerElement = 8
 
 func matrixBytes(rows, cols int) int64 { return int64(rows) * int64(cols) * bytesPerElement }
+
+// commAccount is the mutable, concurrency-safe accumulator behind a
+// Server's CommStats. Training mutates it from the per-client fan-out
+// goroutines while monitoring code may read it at any time, so every
+// access goes through the mutex and readers get a consistent copy.
+type commAccount struct {
+	mu    sync.Mutex
+	stats CommStats
+}
+
+// add applies a mutation under the lock.
+func (a *commAccount) add(f func(*CommStats)) {
+	a.mu.Lock()
+	f(&a.stats)
+	a.mu.Unlock()
+}
+
+// snapshot returns a consistent copy of the accumulated stats.
+func (a *commAccount) snapshot() CommStats {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	return a.stats
+}

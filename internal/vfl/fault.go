@@ -1,0 +1,215 @@
+package vfl
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+	"time"
+
+	"repro/internal/condvec"
+	"repro/internal/encoding"
+	"repro/internal/tensor"
+)
+
+// FaultyTransport wraps a Client and injects configurable transport faults
+// before each call reaches the inner client: fixed per-call delays (slow
+// links), transient errors (flaky links — the call never reaches the
+// client, so retrying is safe), and dropped calls that hang until released
+// (dead links that trip per-call deadlines). It exists for the fault
+// tolerance tests and benchmarks; production code never constructs one.
+//
+// All knobs are safe to adjust while calls are in flight.
+type FaultyTransport struct {
+	Inner Client
+
+	mu       sync.Mutex
+	delay    time.Duration
+	failures int // remaining injected errors; <0 means fail forever
+	failErr  error
+	drops    int // remaining calls that hang until Release
+	release  chan struct{}
+	released bool
+	calls    int
+}
+
+var _ Client = (*FaultyTransport)(nil)
+
+// NewFaultyTransport wraps a client with a fault-free transport; use the
+// Set/Fail/Drop knobs to inject faults.
+func NewFaultyTransport(inner Client) *FaultyTransport {
+	return &FaultyTransport{Inner: inner, release: make(chan struct{})}
+}
+
+// SetDelay makes every subsequent call sleep d before proceeding.
+func (f *FaultyTransport) SetDelay(d time.Duration) {
+	f.mu.Lock()
+	f.delay = d
+	f.mu.Unlock()
+}
+
+// FailNext injects a transient error into the next n calls (n < 0 means
+// every call from now on). A nil err defaults to ErrTransient; the
+// injected error always wraps ErrTransient so retry policies classify it
+// correctly.
+func (f *FaultyTransport) FailNext(n int, err error) {
+	f.mu.Lock()
+	f.failures = n
+	f.failErr = err
+	f.mu.Unlock()
+}
+
+// DropNext makes the next n calls hang until Release is called, then fail
+// with a transient error — the shape of a dead peer whose TCP connection
+// is still open.
+func (f *FaultyTransport) DropNext(n int) {
+	f.mu.Lock()
+	f.drops = n
+	f.mu.Unlock()
+}
+
+// Release unblocks all dropped calls, present and future. Tests call it in
+// cleanup so leaked attempt goroutines exit.
+func (f *FaultyTransport) Release() {
+	f.mu.Lock()
+	if !f.released {
+		f.released = true
+		close(f.release)
+	}
+	f.mu.Unlock()
+}
+
+// Calls returns how many calls reached the transport (including faulted
+// ones).
+func (f *FaultyTransport) Calls() int {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	return f.calls
+}
+
+// before applies the configured faults for one call; a non-nil return
+// means the call must not reach the inner client.
+func (f *FaultyTransport) before(method string) error {
+	f.mu.Lock()
+	f.calls++
+	delay := f.delay
+	var failErr error
+	if f.failures != 0 {
+		if f.failures > 0 {
+			f.failures--
+		}
+		failErr = f.failErr
+		if failErr == nil {
+			failErr = ErrTransient
+		}
+	}
+	drop := false
+	if failErr == nil && f.drops > 0 {
+		f.drops--
+		drop = true
+	}
+	release := f.release
+	f.mu.Unlock()
+
+	if delay > 0 {
+		time.Sleep(delay)
+	}
+	if failErr != nil {
+		if errors.Is(failErr, ErrTransient) {
+			return fmt.Errorf("injected fault in %s: %w", method, failErr)
+		}
+		return fmt.Errorf("injected fault in %s: %w (%w)", method, failErr, ErrTransient)
+	}
+	if drop {
+		<-release
+		return fmt.Errorf("dropped call %s: %w", method, ErrTransient)
+	}
+	return nil
+}
+
+// Info implements Client.
+func (f *FaultyTransport) Info() (ClientInfo, error) {
+	if err := f.before("Info"); err != nil {
+		return ClientInfo{}, err
+	}
+	return f.Inner.Info()
+}
+
+// Configure implements Client.
+func (f *FaultyTransport) Configure(s Setup) error {
+	if err := f.before("Configure"); err != nil {
+		return err
+	}
+	return f.Inner.Configure(s)
+}
+
+// SampleCV implements Client.
+func (f *FaultyTransport) SampleCV(batch int, synthesis bool) (*condvec.Batch, error) {
+	if err := f.before("SampleCV"); err != nil {
+		return nil, err
+	}
+	return f.Inner.SampleCV(batch, synthesis)
+}
+
+// SampleCVFixed implements Client.
+func (f *FaultyTransport) SampleCVFixed(batch, spanIdx, category int) (*condvec.Batch, error) {
+	if err := f.before("SampleCVFixed"); err != nil {
+		return nil, err
+	}
+	return f.Inner.SampleCVFixed(batch, spanIdx, category)
+}
+
+// ForwardSynthetic implements Client.
+func (f *FaultyTransport) ForwardSynthetic(slice *tensor.Dense, phase Phase) (*tensor.Dense, error) {
+	if err := f.before("ForwardSynthetic"); err != nil {
+		return nil, err
+	}
+	return f.Inner.ForwardSynthetic(slice, phase)
+}
+
+// ForwardReal implements Client.
+func (f *FaultyTransport) ForwardReal(idx []int) (*tensor.Dense, error) {
+	if err := f.before("ForwardReal"); err != nil {
+		return nil, err
+	}
+	return f.Inner.ForwardReal(idx)
+}
+
+// BackwardDisc implements Client.
+func (f *FaultyTransport) BackwardDisc(gradSynth, gradReal *tensor.Dense) error {
+	if err := f.before("BackwardDisc"); err != nil {
+		return err
+	}
+	return f.Inner.BackwardDisc(gradSynth, gradReal)
+}
+
+// BackwardGen implements Client.
+func (f *FaultyTransport) BackwardGen(gradSynth *tensor.Dense, conditioned bool) (*tensor.Dense, error) {
+	if err := f.before("BackwardGen"); err != nil {
+		return nil, err
+	}
+	return f.Inner.BackwardGen(gradSynth, conditioned)
+}
+
+// EndRound implements Client.
+func (f *FaultyTransport) EndRound(round int) error {
+	if err := f.before("EndRound"); err != nil {
+		return err
+	}
+	return f.Inner.EndRound(round)
+}
+
+// GenerateRows implements Client.
+func (f *FaultyTransport) GenerateRows(slice *tensor.Dense) error {
+	if err := f.before("GenerateRows"); err != nil {
+		return err
+	}
+	return f.Inner.GenerateRows(slice)
+}
+
+// Publish implements Client.
+func (f *FaultyTransport) Publish() (*encoding.Table, error) {
+	if err := f.before("Publish"); err != nil {
+		return nil, err
+	}
+	return f.Inner.Publish()
+}

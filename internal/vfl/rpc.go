@@ -5,6 +5,7 @@ import (
 	"fmt"
 	"net"
 	"net/rpc"
+	"sync"
 
 	"repro/internal/condvec"
 	"repro/internal/encoding"
@@ -90,13 +91,15 @@ type SampleCVFixedArgs struct {
 // Empty is a placeholder for argument-less or reply-less calls.
 type Empty struct{}
 
-// ClientService exposes a LocalClient over net/rpc.
+// ClientService exposes a Client over net/rpc. Serving the interface (not
+// just *LocalClient) lets tests interpose fault-injecting transports
+// between the wire and the real client.
 type ClientService struct {
-	client *LocalClient
+	client Client
 }
 
-// NewClientService wraps a local client for serving.
-func NewClientService(c *LocalClient) *ClientService { return &ClientService{client: c} }
+// NewClientService wraps a client for serving.
+func NewClientService(c Client) *ClientService { return &ClientService{client: c} }
 
 // Info handles the metadata RPC.
 func (s *ClientService) Info(_ Empty, reply *ClientInfo) error {
@@ -195,9 +198,9 @@ func (s *ClientService) Publish(_ Empty, reply *WireTable) error {
 	return nil
 }
 
-// ServeClient serves a LocalClient on the listener until the listener is
+// ServeClient serves a client on the listener until the listener is
 // closed. It is the entry point of the gtv-client process.
-func ServeClient(lis net.Listener, c *LocalClient) error {
+func ServeClient(lis net.Listener, c Client) error {
 	srv := rpc.NewServer()
 	if err := srv.RegisterName("GTVClient", NewClientService(c)); err != nil {
 		return fmt.Errorf("vfl: registering RPC service: %w", err)
@@ -214,41 +217,107 @@ func ServeClient(lis net.Listener, c *LocalClient) error {
 	}
 }
 
-// RPCClient is the server-side proxy for a remote client process.
+// RPCClient is the server-side proxy for a remote client process. Every
+// call observes the client's CallPolicy: a per-call deadline bounds how
+// long a dead or wedged peer can stall a round, and transient transport
+// errors (dropped connections, resets) are retried with exponential
+// backoff after re-dialing. It is safe for concurrent use, though the
+// Server serializes the calls it makes to any one client.
 type RPCClient struct {
+	network, addr string
+	policy        CallPolicy
+
+	mu sync.Mutex
 	rc *rpc.Client
 }
 
 var _ Client = (*RPCClient)(nil)
 
-// DialClient connects to a remote GTV client.
+// DialClient connects to a remote GTV client with the zero CallPolicy (no
+// deadline, no retry — the legacy behavior). Production servers should
+// prefer DialClientPolicy.
 func DialClient(network, addr string) (*RPCClient, error) {
-	rc, err := rpc.Dial(network, addr)
-	if err != nil {
+	return DialClientPolicy(network, addr, CallPolicy{})
+}
+
+// DialClientPolicy connects to a remote GTV client and applies the policy
+// to every subsequent call.
+func DialClientPolicy(network, addr string, p CallPolicy) (*RPCClient, error) {
+	c := &RPCClient{network: network, addr: addr, policy: p}
+	if _, err := c.conn(); err != nil {
 		return nil, fmt.Errorf("vfl: dialing client %s: %w", addr, err)
 	}
-	return &RPCClient{rc: rc}, nil
+	return c, nil
+}
+
+// conn returns the live connection, dialing if necessary.
+func (c *RPCClient) conn() (*rpc.Client, error) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if c.rc == nil {
+		rc, err := rpc.Dial(c.network, c.addr)
+		if err != nil {
+			return nil, err
+		}
+		c.rc = rc
+	}
+	return c.rc, nil
+}
+
+// redial drops the (presumed broken) connection so the next attempt dials
+// fresh — a restarted client process can rejoin mid-training.
+func (c *RPCClient) redial() {
+	c.mu.Lock()
+	if c.rc != nil {
+		c.rc.Close()
+		c.rc = nil
+	}
+	c.mu.Unlock()
 }
 
 // Close releases the connection.
-func (c *RPCClient) Close() error { return c.rc.Close() }
+func (c *RPCClient) Close() error {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if c.rc == nil {
+		return nil
+	}
+	err := c.rc.Close()
+	c.rc = nil
+	return err
+}
+
+// callRPC runs one RPC under the client's policy. Each attempt allocates
+// its own reply so an abandoned timed-out attempt can never race with a
+// retry's reply.
+func callRPC[R any](c *RPCClient, method string, args any) (R, error) {
+	what := fmt.Sprintf("%s to client %s", method, c.addr)
+	return callWithPolicy(c.policy, what, c.redial, func() (R, error) {
+		var reply R
+		rc, err := c.conn()
+		if err != nil {
+			return reply, err
+		}
+		err = rc.Call(method, args, &reply)
+		return reply, err
+	})
+}
 
 // Info implements Client.
 func (c *RPCClient) Info() (ClientInfo, error) {
-	var reply ClientInfo
-	err := c.rc.Call("GTVClient.Info", Empty{}, &reply)
-	return reply, err
+	return callRPC[ClientInfo](c, "GTVClient.Info", Empty{})
 }
 
 // Configure implements Client.
 func (c *RPCClient) Configure(s Setup) error {
-	return c.rc.Call("GTVClient.Configure", s, &Empty{})
+	_, err := callRPC[Empty](c, "GTVClient.Configure", s)
+	return err
 }
 
 // SampleCV implements Client.
 func (c *RPCClient) SampleCV(batch int, synthesis bool) (*condvec.Batch, error) {
-	var reply WireCVBatch
-	if err := c.rc.Call("GTVClient.SampleCV", SampleCVArgs{Batch: batch, Synthesis: synthesis}, &reply); err != nil {
+	reply, err := callRPC[WireCVBatch](c, "GTVClient.SampleCV", SampleCVArgs{Batch: batch, Synthesis: synthesis})
+	if err != nil {
 		return nil, err
 	}
 	return &condvec.Batch{CV: FromWire(reply.CV), Rows: reply.Rows, Choices: reply.Choices}, nil
@@ -256,9 +325,9 @@ func (c *RPCClient) SampleCV(batch int, synthesis bool) (*condvec.Batch, error) 
 
 // SampleCVFixed implements Client.
 func (c *RPCClient) SampleCVFixed(batch, spanIdx, category int) (*condvec.Batch, error) {
-	var reply WireCVBatch
 	args := SampleCVFixedArgs{Batch: batch, Span: spanIdx, Category: category}
-	if err := c.rc.Call("GTVClient.SampleCVFixed", args, &reply); err != nil {
+	reply, err := callRPC[WireCVBatch](c, "GTVClient.SampleCVFixed", args)
+	if err != nil {
 		return nil, err
 	}
 	return &condvec.Batch{CV: FromWire(reply.CV), Rows: reply.Rows, Choices: reply.Choices}, nil
@@ -266,8 +335,9 @@ func (c *RPCClient) SampleCVFixed(batch, spanIdx, category int) (*condvec.Batch,
 
 // ForwardSynthetic implements Client.
 func (c *RPCClient) ForwardSynthetic(slice *tensor.Dense, phase Phase) (*tensor.Dense, error) {
-	var reply WireMatrix
-	if err := c.rc.Call("GTVClient.ForwardSynthetic", ForwardSyntheticArgs{Slice: ToWire(slice), Phase: phase}, &reply); err != nil {
+	args := ForwardSyntheticArgs{Slice: ToWire(slice), Phase: phase}
+	reply, err := callRPC[WireMatrix](c, "GTVClient.ForwardSynthetic", args)
+	if err != nil {
 		return nil, err
 	}
 	return FromWire(reply), nil
@@ -276,8 +346,8 @@ func (c *RPCClient) ForwardSynthetic(slice *tensor.Dense, phase Phase) (*tensor.
 // ForwardReal implements Client.
 func (c *RPCClient) ForwardReal(idx []int) (*tensor.Dense, error) {
 	args := ForwardRealArgs{All: idx == nil, Idx: idx}
-	var reply WireMatrix
-	if err := c.rc.Call("GTVClient.ForwardReal", args, &reply); err != nil {
+	reply, err := callRPC[WireMatrix](c, "GTVClient.ForwardReal", args)
+	if err != nil {
 		return nil, err
 	}
 	return FromWire(reply), nil
@@ -285,13 +355,16 @@ func (c *RPCClient) ForwardReal(idx []int) (*tensor.Dense, error) {
 
 // BackwardDisc implements Client.
 func (c *RPCClient) BackwardDisc(gradSynth, gradReal *tensor.Dense) error {
-	return c.rc.Call("GTVClient.BackwardDisc", BackwardDiscArgs{GradSynth: ToWire(gradSynth), GradReal: ToWire(gradReal)}, &Empty{})
+	args := BackwardDiscArgs{GradSynth: ToWire(gradSynth), GradReal: ToWire(gradReal)}
+	_, err := callRPC[Empty](c, "GTVClient.BackwardDisc", args)
+	return err
 }
 
 // BackwardGen implements Client.
 func (c *RPCClient) BackwardGen(gradSynth *tensor.Dense, conditioned bool) (*tensor.Dense, error) {
-	var reply WireMatrix
-	if err := c.rc.Call("GTVClient.BackwardGen", BackwardGenArgs{GradSynth: ToWire(gradSynth), Conditioned: conditioned}, &reply); err != nil {
+	args := BackwardGenArgs{GradSynth: ToWire(gradSynth), Conditioned: conditioned}
+	reply, err := callRPC[WireMatrix](c, "GTVClient.BackwardGen", args)
+	if err != nil {
 		return nil, err
 	}
 	return FromWire(reply), nil
@@ -299,18 +372,20 @@ func (c *RPCClient) BackwardGen(gradSynth *tensor.Dense, conditioned bool) (*ten
 
 // EndRound implements Client.
 func (c *RPCClient) EndRound(round int) error {
-	return c.rc.Call("GTVClient.EndRound", round, &Empty{})
+	_, err := callRPC[Empty](c, "GTVClient.EndRound", round)
+	return err
 }
 
 // GenerateRows implements Client.
 func (c *RPCClient) GenerateRows(slice *tensor.Dense) error {
-	return c.rc.Call("GTVClient.GenerateRows", ToWire(slice), &Empty{})
+	_, err := callRPC[Empty](c, "GTVClient.GenerateRows", ToWire(slice))
+	return err
 }
 
 // Publish implements Client.
 func (c *RPCClient) Publish() (*encoding.Table, error) {
-	var reply WireTable
-	if err := c.rc.Call("GTVClient.Publish", Empty{}, &reply); err != nil {
+	reply, err := callRPC[WireTable](c, "GTVClient.Publish", Empty{})
+	if err != nil {
 		return nil, err
 	}
 	return encoding.NewTable(reply.Specs, FromWire(reply.Data))

@@ -1,8 +1,13 @@
 package vfl
 
 import (
+	"errors"
 	"net"
+	"net/rpc"
+	"strings"
+	"sync"
 	"testing"
+	"time"
 
 	"repro/internal/tensor"
 )
@@ -30,7 +35,7 @@ func TestWireMatrixNil(t *testing.T) {
 
 // serveLocal starts an RPC server for a fresh LocalClient and returns a
 // connected proxy.
-func serveLocal(t *testing.T, c *LocalClient) *RPCClient {
+func serveLocal(t *testing.T, c Client) *RPCClient {
 	t.Helper()
 	lis, err := net.Listen("tcp", "127.0.0.1:0")
 	if err != nil {
@@ -199,5 +204,136 @@ func TestRPCMatchesLocalTrajectory(t *testing.T) {
 		if !dp[k].Data().Equal(rdp[k].Data()) {
 			t.Fatalf("top discriminator param %d diverges between local and RPC runs", k)
 		}
+	}
+}
+
+// serveKillable serves a client over TCP like serveLocal, but also tracks
+// accepted connections so the returned kill function can sever both the
+// listener and every live connection — simulating a client process dying
+// mid-round.
+func serveKillable(t *testing.T, c Client) (addr string, kill func()) {
+	t.Helper()
+	lis, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatalf("listen: %v", err)
+	}
+	srv := rpc.NewServer()
+	if err := srv.RegisterName("GTVClient", NewClientService(c)); err != nil {
+		t.Fatalf("register: %v", err)
+	}
+	var (
+		mu    sync.Mutex
+		conns []net.Conn
+	)
+	go func() {
+		for {
+			conn, err := lis.Accept()
+			if err != nil {
+				return
+			}
+			mu.Lock()
+			conns = append(conns, conn)
+			mu.Unlock()
+			go srv.ServeConn(conn)
+		}
+	}()
+	kill = func() {
+		lis.Close()
+		mu.Lock()
+		for _, cn := range conns {
+			cn.Close()
+		}
+		conns = nil
+		mu.Unlock()
+	}
+	t.Cleanup(kill)
+	return lis.Addr().String(), kill
+}
+
+// TestRPCClientDisconnectMidRound kills one client process between rounds
+// and verifies the next round fails within the retry budget with an error
+// naming the dead client — instead of hanging the server.
+func TestRPCClientDisconnectMidRound(t *testing.T) {
+	ta, tb := twoClientTables(t, 100, 91)
+	coord := NewShuffleCoordinator(12)
+	la, err := NewLocalClient(ta, coord, 1)
+	if err != nil {
+		t.Fatalf("NewLocalClient: %v", err)
+	}
+	lb, err := NewLocalClient(tb, coord, 2)
+	if err != nil {
+		t.Fatalf("NewLocalClient: %v", err)
+	}
+	pa := serveLocal(t, la)
+	addrB, killB := serveKillable(t, lb)
+	policy := CallPolicy{Timeout: 5 * time.Second, MaxAttempts: 2, Backoff: 10 * time.Millisecond}
+	pb, err := DialClientPolicy("tcp", addrB, policy)
+	if err != nil {
+		t.Fatalf("dial: %v", err)
+	}
+	t.Cleanup(func() { pb.Close() })
+
+	cfg := DefaultConfig()
+	cfg.Plan = Plan{DiscServer: 2, GenClient: 2}
+	cfg.Rounds = 2
+	cfg.DiscSteps = 1
+	cfg.BatchSize = 16
+	cfg.NoiseDim = 8
+	cfg.BlockDim = 16
+	srv, err := NewServer([]Client{pa, pb}, cfg)
+	if err != nil {
+		t.Fatalf("NewServer: %v", err)
+	}
+	if _, _, err := srv.TrainRound(); err != nil {
+		t.Fatalf("round 1 with both clients alive: %v", err)
+	}
+
+	killB()
+	start := time.Now()
+	_, _, err = srv.TrainRound()
+	elapsed := time.Since(start)
+	if err == nil {
+		t.Fatal("round 2 must fail after client B died")
+	}
+	if !strings.Contains(err.Error(), addrB) {
+		t.Fatalf("error should name the dead client %s: %v", addrB, err)
+	}
+	// Budget: 2 fast-failing attempts plus backoff, far under the 5s
+	// per-call deadline; 10s leaves slack for a loaded CI machine.
+	if elapsed > 10*time.Second {
+		t.Fatalf("dead client stalled the round for %v", elapsed)
+	}
+}
+
+// TestRPCSlowClientTripsDeadline serves a delay-injected client over real
+// TCP and verifies a short per-call deadline converts the slow reply into a
+// descriptive ErrCallTimeout well within the test's budget.
+func TestRPCSlowClientTripsDeadline(t *testing.T) {
+	ta, _ := twoClientTables(t, 60, 43)
+	coord := NewShuffleCoordinator(31)
+	la, err := NewLocalClient(ta, coord, 1)
+	if err != nil {
+		t.Fatalf("NewLocalClient: %v", err)
+	}
+	slow := NewFaultyTransport(la)
+	slow.SetDelay(2 * time.Second)
+	addr, _ := serveKillable(t, slow)
+	proxy, err := DialClientPolicy("tcp", addr, CallPolicy{Timeout: 100 * time.Millisecond})
+	if err != nil {
+		t.Fatalf("dial: %v", err)
+	}
+	t.Cleanup(func() { proxy.Close() })
+
+	start := time.Now()
+	_, err = proxy.Info()
+	elapsed := time.Since(start)
+	if !errors.Is(err, ErrCallTimeout) {
+		t.Fatalf("want ErrCallTimeout from slow client, got: %v", err)
+	}
+	if !strings.Contains(err.Error(), addr) {
+		t.Fatalf("timeout should name the slow client %s: %v", addr, err)
+	}
+	if elapsed >= 2*time.Second {
+		t.Fatalf("deadline did not cut the 2s slow call short: took %v", elapsed)
 	}
 }

@@ -50,6 +50,13 @@ type Config struct {
 	// the server broadcasts idx_p to every client — cheaper, with the
 	// privacy trade-off of the paper's P2P alternative.
 	FaithfulRealPass bool
+	// Parallelism bounds how many clients the server drives concurrently
+	// within each protocol step (forwards, gradient scatter, shuffle
+	// trigger, synthesis). 0 means all clients at once; 1 reproduces the
+	// sequential path. Training results are bit-identical across settings:
+	// all server-side randomness is drawn before each fan-out, in client
+	// order, and each client's own call sequence is preserved.
+	Parallelism int
 }
 
 // DefaultConfig returns a laptop-scale GTV configuration with the paper's
@@ -127,7 +134,13 @@ type Server struct {
 	dOpt *nn.Adam
 
 	round int
-	comm  CommStats
+	comm  commAccount
+}
+
+// fanOut drives fn across all clients under the configured parallelism
+// bound (see fanClients). fn must wrap its errors with client context.
+func (s *Server) fanOut(fn func(i int, c Client) error) error {
+	return fanClients(s.clients, s.cfg.Parallelism, fn)
 }
 
 // NewServer performs the setup handshake: it collects client metadata,
@@ -147,16 +160,21 @@ func NewServer(clients []Client, cfg Config) (*Server, error) {
 		infos:   make([]ClientInfo, len(clients)),
 	}
 	featureCounts := make([]int, len(clients))
-	for i, c := range clients {
+	err := s.fanOut(func(i int, c Client) error {
 		info, err := c.Info()
 		if err != nil {
-			return nil, fmt.Errorf("vfl: client %d info: %w", i, err)
+			return fmt.Errorf("vfl: client %d info: %w", i, err)
 		}
 		s.infos[i] = info
 		featureCounts[i] = info.Features
-		if i == 0 {
-			s.rows = info.Rows
-		} else if info.Rows != s.rows {
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	s.rows = s.infos[0].Rows
+	for i, info := range s.infos {
+		if info.Rows != s.rows {
 			return nil, fmt.Errorf("vfl: client %d has %d rows, client 0 has %d (tables must be aligned)",
 				i, info.Rows, s.rows)
 		}
@@ -196,7 +214,7 @@ func NewServer(clients []Client, cfg Config) (*Server, error) {
 	s.gOpt = nn.NewAdam(cfg.LR)
 	s.dOpt = nn.NewAdam(cfg.LR)
 
-	for i, c := range clients {
+	err = s.fanOut(func(i int, c Client) error {
 		setup := Setup{
 			Plan:          cfg.Plan,
 			SliceWidth:    s.sliceWidths[i],
@@ -206,8 +224,12 @@ func NewServer(clients []Client, cfg Config) (*Server, error) {
 			Seed:          cfg.Seed + int64(100+i),
 		}
 		if err := c.Configure(setup); err != nil {
-			return nil, fmt.Errorf("vfl: configuring client %d: %w", i, err)
+			return fmt.Errorf("vfl: configuring client %d: %w", i, err)
 		}
+		return nil
+	})
+	if err != nil {
+		return nil, err
 	}
 	return s, nil
 }
@@ -215,8 +237,10 @@ func NewServer(clients []Client, cfg Config) (*Server, error) {
 // Ratios exposes the computed P_r vector.
 func (s *Server) Ratios() []float64 { return s.ratios }
 
-// CommStats returns the accumulated server<->client payload accounting.
-func (s *Server) CommStats() CommStats { return s.comm }
+// CommStats returns a consistent snapshot of the accumulated
+// server<->client payload accounting. It is safe to call from any
+// goroutine, including while a round is in flight.
+func (s *Server) CommStats() CommStats { return s.comm.snapshot() }
 
 // SliceWidths exposes the generator boundary split (for tests/inspection).
 func (s *Server) SliceWidths() []int { return s.sliceWidths }
@@ -247,13 +271,18 @@ func (s *Server) TrainRound() (dLoss, gLoss float64, err error) {
 	if gLoss, err = s.genStep(); err != nil {
 		return 0, 0, fmt.Errorf("generator step: %w", err)
 	}
-	for i, c := range s.clients {
-		if err := c.EndRound(s.round); err != nil {
-			return 0, 0, fmt.Errorf("client %d shuffle: %w", i, err)
+	round := s.round
+	err = s.fanOut(func(i int, c Client) error {
+		if err := c.EndRound(round); err != nil {
+			return fmt.Errorf("client %d shuffle: %w", i, err)
 		}
+		return nil
+	})
+	if err != nil {
+		return 0, 0, err
 	}
 	s.round++
-	s.comm.Rounds++
+	s.comm.add(func(c *CommStats) { c.Rounds++ })
 	return dLoss, gLoss, nil
 }
 
@@ -290,15 +319,37 @@ func (s *Server) generatorForward(batch int, train bool) (p int, cvRows []int, g
 		return 0, nil, nil, nil, nil, fmt.Errorf("client %d SampleCV: %w", p, err)
 	}
 	globalCV = s.embedCV(cvb.CV, p)
-	s.comm.CVBytes += matrixBytes(cvb.CV.Rows(), cvb.CV.Cols())
+	s.comm.add(func(c *CommStats) { c.CVBytes += matrixBytes(cvb.CV.Rows(), cvb.CV.Cols()) })
 	noise := gan.SampleNoise(s.rng, batch, s.cfg.NoiseDim)
 	gin := tensor.ConcatCols(noise, globalCV)
 	gtOut = s.gTop.Forward(ag.Const(gin), train)
 	slices = gtOut.Data().SplitCols(s.sliceWidths)
 	for _, sl := range slices {
-		s.comm.GenSlicesSent += matrixBytes(sl.Rows(), sl.Cols())
+		rows, cols := sl.Rows(), sl.Cols()
+		s.comm.add(func(c *CommStats) { c.GenSlicesSent += matrixBytes(rows, cols) })
 	}
 	return p, cvb.Rows, globalCV, gtOut, slices, nil
+}
+
+// drawDPNoise pre-draws one DP perturbation matrix from the server RNG, or
+// returns nil when the DP mode is off. All draws happen on the main
+// goroutine before a fan-out, in client order, so the server's RNG stream
+// is consumed identically whether clients run sequentially or
+// concurrently.
+func (s *Server) drawDPNoise(rows, cols int) *tensor.Dense {
+	if s.cfg.DPLogitNoise <= 0 {
+		return nil
+	}
+	return tensor.Randn(s.rng, rows, cols, 0, s.cfg.DPLogitNoise)
+}
+
+// perturb applies a pre-drawn DP noise matrix to an incoming intermediate
+// logit matrix (the local-DP protection of §3.3; see Config.DPLogitNoise).
+func perturb(m, noise *tensor.Dense) *tensor.Dense {
+	if noise == nil {
+		return m
+	}
+	return tensor.Add(m, noise)
 }
 
 // discStep performs one distributed WGAN-GP critic update (steps 4-16).
@@ -312,39 +363,51 @@ func (s *Server) discStep() (float64, error) {
 	fakeVars := make([]*ag.Value, n)
 	realVars := make([]*ag.Value, n)
 	fullRealRows := make([]int, n) // >0 when the client did a full pass
-	for i, c := range s.clients {
+	// Pre-draw the DP perturbations in the sequential order (synthetic then
+	// real, per client) so concurrent rounds stay bit-identical.
+	synthNoise := make([]*tensor.Dense, n)
+	realNoise := make([]*tensor.Dense, n)
+	for i := range s.clients {
+		synthNoise[i] = s.drawDPNoise(batch, s.discWidths[i])
+		realNoise[i] = s.drawDPNoise(batch, s.discWidths[i])
+	}
+	err = s.fanOut(func(i int, c Client) error {
 		logits, err := c.ForwardSynthetic(slices[i], PhaseDiscriminator)
 		if err != nil {
-			return 0, fmt.Errorf("client %d synthetic forward: %w", i, err)
+			return fmt.Errorf("client %d synthetic forward: %w", i, err)
 		}
-		s.comm.DiscLogitsReceived += matrixBytes(logits.Rows(), logits.Cols())
-		fakeVars[i] = ag.Var(s.receiveLogits(logits))
+		s.comm.add(func(cs *CommStats) { cs.DiscLogitsReceived += matrixBytes(logits.Rows(), logits.Cols()) })
+		fakeVars[i] = ag.Var(perturb(logits, synthNoise[i]))
 
 		var realLogits *tensor.Dense
 		switch {
 		case i == p:
 			// The contributor selects its own matching rows (step 10).
 			if realLogits, err = c.ForwardReal(cvRows); err != nil {
-				return 0, fmt.Errorf("client %d real forward: %w", i, err)
+				return fmt.Errorf("client %d real forward: %w", i, err)
 			}
 		case s.cfg.FaithfulRealPass:
 			// Full local pass; the server selects logits (steps 12, 14).
 			full, err := c.ForwardReal(nil)
 			if err != nil {
-				return 0, fmt.Errorf("client %d real forward: %w", i, err)
+				return fmt.Errorf("client %d real forward: %w", i, err)
 			}
 			fullRealRows[i] = full.Rows()
-			s.comm.DiscLogitsReceived += matrixBytes(full.Rows(), full.Cols())
+			s.comm.add(func(cs *CommStats) { cs.DiscLogitsReceived += matrixBytes(full.Rows(), full.Cols()) })
 			realLogits = full.GatherRows(cvRows)
 		default:
 			if realLogits, err = c.ForwardReal(cvRows); err != nil {
-				return 0, fmt.Errorf("client %d real forward: %w", i, err)
+				return fmt.Errorf("client %d real forward: %w", i, err)
 			}
 		}
 		if fullRealRows[i] == 0 {
-			s.comm.DiscLogitsReceived += matrixBytes(realLogits.Rows(), realLogits.Cols())
+			s.comm.add(func(cs *CommStats) { cs.DiscLogitsReceived += matrixBytes(realLogits.Rows(), realLogits.Cols()) })
 		}
-		realVars[i] = ag.Var(s.receiveLogits(realLogits))
+		realVars[i] = ag.Var(perturb(realLogits, realNoise[i]))
+		return nil
+	})
+	if err != nil {
+		return 0, err
 	}
 
 	fakeIn, realIn := s.topInputs(fakeVars, realVars, globalCV)
@@ -369,7 +432,7 @@ func (s *Server) discStep() (float64, error) {
 	grads := ag.Grad(total, targets...)
 	s.dOpt.Step(serverParams, grads[:len(serverParams)])
 
-	for i, c := range s.clients {
+	err = s.fanOut(func(i int, c Client) error {
 		gradSynth := grads[len(serverParams)+i].Data()
 		gradReal := grads[len(serverParams)+n+i].Data()
 		if fullRealRows[i] > 0 {
@@ -377,11 +440,16 @@ func (s *Server) discStep() (float64, error) {
 			// accumulating duplicates.
 			gradReal = scatterRowsAccumulate(gradReal, cvRows, fullRealRows[i])
 		}
-		s.comm.GradsSent += matrixBytes(gradSynth.Rows(), gradSynth.Cols()) +
+		bytes := matrixBytes(gradSynth.Rows(), gradSynth.Cols()) +
 			matrixBytes(gradReal.Rows(), gradReal.Cols())
+		s.comm.add(func(cs *CommStats) { cs.GradsSent += bytes })
 		if err := c.BackwardDisc(gradSynth, gradReal); err != nil {
-			return 0, fmt.Errorf("client %d disc backward: %w", i, err)
+			return fmt.Errorf("client %d disc backward: %w", i, err)
 		}
+		return nil
+	})
+	if err != nil {
+		return 0, err
 	}
 	return total.Item(), nil
 }
@@ -395,13 +463,21 @@ func (s *Server) genStep() (float64, error) {
 	}
 	n := len(s.clients)
 	fakeVars := make([]*ag.Value, n)
-	for i, c := range s.clients {
+	synthNoise := make([]*tensor.Dense, n)
+	for i := range s.clients {
+		synthNoise[i] = s.drawDPNoise(batch, s.discWidths[i])
+	}
+	err = s.fanOut(func(i int, c Client) error {
 		logits, err := c.ForwardSynthetic(slices[i], PhaseGenerator)
 		if err != nil {
-			return 0, fmt.Errorf("client %d generator forward: %w", i, err)
+			return fmt.Errorf("client %d generator forward: %w", i, err)
 		}
-		s.comm.DiscLogitsReceived += matrixBytes(logits.Rows(), logits.Cols())
-		fakeVars[i] = ag.Var(s.receiveLogits(logits))
+		s.comm.add(func(cs *CommStats) { cs.DiscLogitsReceived += matrixBytes(logits.Rows(), logits.Cols()) })
+		fakeVars[i] = ag.Var(perturb(logits, synthNoise[i]))
+		return nil
+	})
+	if err != nil {
+		return 0, err
 	}
 	fakeIn, _ := s.topInputs(fakeVars, nil, globalCV)
 	scores := s.dTop.Forward(s.pack(fakeIn), true)
@@ -409,15 +485,19 @@ func (s *Server) genStep() (float64, error) {
 	grads := ag.Grad(loss, fakeVars...)
 
 	sliceGrads := make([]*tensor.Dense, n)
-	for i, c := range s.clients {
+	err = s.fanOut(func(i int, c Client) error {
 		g := grads[i].Data()
-		s.comm.GradsSent += matrixBytes(g.Rows(), g.Cols())
+		s.comm.add(func(cs *CommStats) { cs.GradsSent += matrixBytes(g.Rows(), g.Cols()) })
 		sg, err := c.BackwardGen(g, i == p)
 		if err != nil {
-			return 0, fmt.Errorf("client %d generator backward: %w", i, err)
+			return fmt.Errorf("client %d generator backward: %w", i, err)
 		}
-		s.comm.SliceGradsReceived += matrixBytes(sg.Rows(), sg.Cols())
+		s.comm.add(func(cs *CommStats) { cs.SliceGradsReceived += matrixBytes(sg.Rows(), sg.Cols()) })
 		sliceGrads[i] = sg
+		return nil
+	})
+	if err != nil {
+		return 0, err
 	}
 	// Continue backpropagation into G^t with the clients' input gradients.
 	boundaryGrad := tensor.ConcatCols(sliceGrads...)
@@ -434,15 +514,6 @@ func (s *Server) pack(v *ag.Value) *ag.Value {
 	}
 	rows, cols := v.Shape()
 	return ag.Reshape(v, rows/s.cfg.Pac, cols*s.cfg.Pac)
-}
-
-// receiveLogits applies the optional local-DP perturbation to an incoming
-// intermediate logit matrix.
-func (s *Server) receiveLogits(m *tensor.Dense) *tensor.Dense {
-	if s.cfg.DPLogitNoise <= 0 {
-		return m
-	}
-	return tensor.Add(m, tensor.Randn(s.rng, m.Rows(), m.Cols(), 0, s.cfg.DPLogitNoise))
 }
 
 // topInputs assembles D^t inputs: the concatenation of per-client logits
@@ -509,20 +580,28 @@ func (s *Server) SynthesizeParts(n int) (*encoding.Table, []*encoding.Table, err
 		if err != nil {
 			return nil, nil, err
 		}
-		for i, c := range s.clients {
+		err = s.fanOut(func(i int, c Client) error {
 			if err := c.GenerateRows(slices[i]); err != nil {
-				return nil, nil, fmt.Errorf("vfl: client %d generating: %w", i, err)
+				return fmt.Errorf("vfl: client %d generating: %w", i, err)
 			}
+			return nil
+		})
+		if err != nil {
+			return nil, nil, err
 		}
 		done += batch
 	}
 	parts := make([]*encoding.Table, len(s.clients))
-	for i, c := range s.clients {
+	err := s.fanOut(func(i int, c Client) error {
 		t, err := c.Publish()
 		if err != nil {
-			return nil, nil, fmt.Errorf("vfl: client %d publishing: %w", i, err)
+			return fmt.Errorf("vfl: client %d publishing: %w", i, err)
 		}
 		parts[i] = t
+		return nil
+	})
+	if err != nil {
+		return nil, nil, err
 	}
 	joined, err := encoding.ConcatColumns(parts...)
 	if err != nil {
@@ -552,26 +631,35 @@ func (s *Server) SynthesizeCondition(n, p, spanIdx, category int) (*encoding.Tab
 			return nil, fmt.Errorf("vfl: client %d fixed CV: %w", p, err)
 		}
 		globalCV := s.embedCV(cvb.CV, p)
-		s.comm.CVBytes += matrixBytes(cvb.CV.Rows(), cvb.CV.Cols())
+		s.comm.add(func(c *CommStats) { c.CVBytes += matrixBytes(cvb.CV.Rows(), cvb.CV.Cols()) })
 		noise := gan.SampleNoise(s.rng, batch, s.cfg.NoiseDim)
 		gin := tensor.ConcatCols(noise, globalCV)
 		gtOut := s.gTop.Forward(ag.Const(gin), false)
 		slices := gtOut.Data().SplitCols(s.sliceWidths)
-		for i, sl := range slices {
-			s.comm.GenSlicesSent += matrixBytes(sl.Rows(), sl.Cols())
-			if err := s.clients[i].GenerateRows(sl); err != nil {
-				return nil, fmt.Errorf("vfl: client %d generating: %w", i, err)
+		err = s.fanOut(func(i int, c Client) error {
+			sl := slices[i]
+			s.comm.add(func(cs *CommStats) { cs.GenSlicesSent += matrixBytes(sl.Rows(), sl.Cols()) })
+			if err := c.GenerateRows(sl); err != nil {
+				return fmt.Errorf("vfl: client %d generating: %w", i, err)
 			}
+			return nil
+		})
+		if err != nil {
+			return nil, err
 		}
 		done += batch
 	}
 	parts := make([]*encoding.Table, len(s.clients))
-	for i, c := range s.clients {
+	err := s.fanOut(func(i int, c Client) error {
 		t, err := c.Publish()
 		if err != nil {
-			return nil, fmt.Errorf("vfl: client %d publishing: %w", i, err)
+			return fmt.Errorf("vfl: client %d publishing: %w", i, err)
 		}
 		parts[i] = t
+		return nil
+	})
+	if err != nil {
+		return nil, err
 	}
 	joined, err := encoding.ConcatColumns(parts...)
 	if err != nil {
