@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build vet test race ci bench bench-round
+.PHONY: all build vet test race ci bench bench-round bench-kernels
 
 all: ci
 
@@ -17,7 +17,7 @@ test:
 # tests skip themselves), full mode for the concurrency-critical packages.
 race:
 	$(GO) test -race -short ./...
-	$(GO) test -race ./internal/vfl/... ./internal/tensor/...
+	$(GO) test -race ./internal/vfl/... ./internal/tensor/... ./internal/autograd/...
 
 ci: vet build test race
 
@@ -28,3 +28,10 @@ bench:
 # in CHANGES.md.
 bench-round:
 	$(GO) test -run xxx -bench 'BenchmarkGTVTrainingRound(Latency)?$$' -benchtime 5x .
+
+# Kernel microbenchmarks (matmul variants, broadcast ops, backward passes),
+# recorded as JSON in BENCH_kernels.json. The raw go test output is echoed
+# to stderr by the converter.
+bench-kernels:
+	$(GO) test -run xxx -bench . ./internal/tensor ./internal/autograd \
+		| $(GO) run ./cmd/benchjson > BENCH_kernels.json

@@ -1,0 +1,81 @@
+// Command benchjson converts `go test -bench` output on stdin into a JSON
+// array on stdout, one object per benchmark result. It backs the
+// `make bench-kernels` target, which records the kernel microbenchmark
+// numbers in BENCH_kernels.json.
+package main
+
+import (
+	"bufio"
+	"encoding/json"
+	"fmt"
+	"os"
+	"strconv"
+	"strings"
+)
+
+// result is one parsed benchmark line, e.g.
+//
+//	BenchmarkMatMul/n=256-4   100   7710000 ns/op   12 B/op   5 allocs/op
+type result struct {
+	Name        string  `json:"name"`
+	Iterations  int64   `json:"iterations"`
+	NsPerOp     float64 `json:"ns_per_op"`
+	BytesPerOp  *int64  `json:"bytes_per_op,omitempty"`
+	AllocsPerOp *int64  `json:"allocs_per_op,omitempty"`
+}
+
+func main() {
+	var results []result
+	sc := bufio.NewScanner(os.Stdin)
+	sc.Buffer(make([]byte, 1024*1024), 1024*1024)
+	for sc.Scan() {
+		line := sc.Text()
+		fmt.Fprintln(os.Stderr, line) // pass through for the operator
+		if r, ok := parse(line); ok {
+			results = append(results, r)
+		}
+	}
+	if err := sc.Err(); err != nil {
+		fmt.Fprintln(os.Stderr, "benchjson:", err)
+		os.Exit(1)
+	}
+	enc := json.NewEncoder(os.Stdout)
+	enc.SetIndent("", "  ")
+	if err := enc.Encode(results); err != nil {
+		fmt.Fprintln(os.Stderr, "benchjson:", err)
+		os.Exit(1)
+	}
+}
+
+func parse(line string) (result, bool) {
+	fields := strings.Fields(line)
+	if len(fields) < 4 || !strings.HasPrefix(fields[0], "Benchmark") {
+		return result{}, false
+	}
+	iters, err := strconv.ParseInt(fields[1], 10, 64)
+	if err != nil {
+		return result{}, false
+	}
+	r := result{Name: fields[0], Iterations: iters}
+	// The remaining fields come in "<value> <unit>" pairs.
+	for i := 2; i+1 < len(fields); i += 2 {
+		v, err := strconv.ParseFloat(fields[i], 64)
+		if err != nil {
+			return result{}, false
+		}
+		switch fields[i+1] {
+		case "ns/op":
+			r.NsPerOp = v
+		case "B/op":
+			b := int64(v)
+			r.BytesPerOp = &b
+		case "allocs/op":
+			a := int64(v)
+			r.AllocsPerOp = &a
+		}
+	}
+	if r.NsPerOp == 0 {
+		return result{}, false
+	}
+	return r, true
+}

@@ -14,6 +14,8 @@ import (
 	"io"
 	"math/rand"
 	"os"
+	"runtime"
+	"runtime/pprof"
 
 	"repro/internal/core"
 	"repro/internal/datasets"
@@ -51,9 +53,37 @@ func run(args []string, stdout io.Writer) error {
 		faithful    = fs.Bool("faithful-real-pass", false, "use the paper's full-local-pass index privacy mode")
 		synthOut    = fs.String("synth-out", "", "write synthetic data to this CSV file")
 		every       = fs.Int("log-every", 50, "print losses every N rounds")
+		cpuProfile  = fs.String("cpuprofile", "", "write a CPU profile of the run to this file")
+		memProfile  = fs.String("memprofile", "", "write a heap profile (taken after training) to this file")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
+	}
+
+	if *cpuProfile != "" {
+		f, err := os.Create(*cpuProfile)
+		if err != nil {
+			return fmt.Errorf("creating %s: %w", *cpuProfile, err)
+		}
+		defer f.Close()
+		if err := pprof.StartCPUProfile(f); err != nil {
+			return fmt.Errorf("starting CPU profile: %w", err)
+		}
+		defer pprof.StopCPUProfile()
+	}
+	if *memProfile != "" {
+		defer func() {
+			f, err := os.Create(*memProfile)
+			if err != nil {
+				fmt.Fprintln(os.Stderr, "gtv-train: creating heap profile:", err)
+				return
+			}
+			defer f.Close()
+			runtime.GC() // flush dead objects so the profile shows live retention
+			if err := pprof.WriteHeapProfile(f); err != nil {
+				fmt.Fprintln(os.Stderr, "gtv-train: writing heap profile:", err)
+			}
+		}()
 	}
 
 	d, err := datasets.Generate(*dataset, datasets.Config{Rows: *rows, Seed: *seed})

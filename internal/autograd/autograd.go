@@ -16,6 +16,7 @@ package autograd
 
 import (
 	"fmt"
+	"sync"
 
 	"repro/internal/tensor"
 )
@@ -75,16 +76,27 @@ func (v *Value) Item() float64 {
 	return v.data.At(0, 0)
 }
 
+// valuePool recycles interior Value structs between training steps (see
+// Release in tape.go). Leaves made by Var/Const are never pooled: optimizer
+// state and callers key off their identity.
+var valuePool = sync.Pool{New: func() any { return new(Value) }}
+
 // newValue wires up an interior node. requiresGrad is inherited from inputs.
+// The struct may come from the recycle pool; the inputs are copied into the
+// node's own slice so the varargs argument never escapes.
 func newValue(data *tensor.Dense, o op, inputs ...*Value) *Value {
-	rg := false
-	for _, in := range inputs {
+	v := valuePool.Get().(*Value)
+	v.data = data
+	v.op = o
+	v.inputs = append(v.inputs[:0], inputs...)
+	v.requiresGrad = false
+	for _, in := range v.inputs {
 		if in != nil && in.requiresGrad {
-			rg = true
+			v.requiresGrad = true
 			break
 		}
 	}
-	return &Value{data: data, op: o, inputs: inputs, requiresGrad: rg}
+	return v
 }
 
 // Grad computes the gradients of the scalar (or seed-weighted) output y with
@@ -105,15 +117,15 @@ func GradWithSeed(y, seed *Value, xs ...*Value) []*Value {
 		panic(fmt.Sprintf("autograd: seed shape %dx%d does not match output %dx%d", sr, sc, yr, yc))
 	}
 
-	order := topoOrder(y)
-	grads := make(map[*Value]*Value, len(order))
-	grads[y] = seed
+	st := gradStatePool.Get().(*gradState)
+	st.topo(y)
+	st.grads[y] = seed
 
 	// Walk in reverse topological order so each node's gradient is complete
 	// before it is propagated to its inputs.
-	for i := len(order) - 1; i >= 0; i-- {
-		node := order[i]
-		g, ok := grads[node]
+	for i := len(st.order) - 1; i >= 0; i-- {
+		node := st.order[i]
+		g, ok := st.grads[node]
 		if !ok || node.op == nil {
 			continue
 		}
@@ -132,54 +144,80 @@ func GradWithSeed(y, seed *Value, xs ...*Value) []*Value {
 				panic(fmt.Sprintf("autograd: op %s produced gradient %dx%d for input %dx%d",
 					node.op.name(), gr, gc, ir, ic))
 			}
-			if prev, ok := grads[in]; ok {
-				grads[in] = Add(prev, contribs[j])
+			if prev, ok := st.grads[in]; ok {
+				st.grads[in] = Add(prev, contribs[j])
 			} else {
-				grads[in] = contribs[j]
+				st.grads[in] = contribs[j]
 			}
 		}
 	}
 
 	out := make([]*Value, len(xs))
 	for i, x := range xs {
-		if g, ok := grads[x]; ok {
+		if g, ok := st.grads[x]; ok {
 			out[i] = g
 		} else {
 			xr, xc := x.Shape()
 			out[i] = Const(tensor.New(xr, xc))
 		}
 	}
+	st.release()
 	return out
 }
 
-// topoOrder returns the nodes reachable from y that participate in
-// differentiation, in topological order (inputs before outputs).
-func topoOrder(y *Value) []*Value {
-	var order []*Value
-	visited := make(map[*Value]bool)
-	// Iterative DFS to keep deep graphs (e.g. unrolled double-backprop
-	// chains) from overflowing the goroutine stack.
-	type frame struct {
-		v    *Value
-		next int
+// gradState holds the scratch structures of one backward pass. States are
+// pooled: a training step runs Grad several times and the maps/slices reach a
+// steady-state capacity after the first step, making subsequent backward
+// passes allocation-free in the traversal machinery.
+type gradState struct {
+	order   []*Value
+	stack   []frame
+	visited map[*Value]bool
+	grads   map[*Value]*Value
+}
+
+// frame is one step of the iterative DFS in gradState.topo.
+type frame struct {
+	v    *Value
+	next int
+}
+
+var gradStatePool = sync.Pool{New: func() any {
+	return &gradState{
+		visited: make(map[*Value]bool, 64),
+		grads:   make(map[*Value]*Value, 64),
 	}
-	stack := []frame{{v: y}}
-	visited[y] = true
-	for len(stack) > 0 {
-		f := &stack[len(stack)-1]
+}}
+
+func (s *gradState) release() {
+	s.order = s.order[:0]
+	s.stack = s.stack[:0]
+	clear(s.visited)
+	clear(s.grads)
+	gradStatePool.Put(s)
+}
+
+// topo fills s.order with the nodes reachable from y that participate in
+// differentiation, in topological order (inputs before outputs). Iterative
+// DFS keeps deep graphs (e.g. unrolled double-backprop chains) from
+// overflowing the goroutine stack.
+func (s *gradState) topo(y *Value) {
+	s.stack = append(s.stack, frame{v: y})
+	s.visited[y] = true
+	for len(s.stack) > 0 {
+		f := &s.stack[len(s.stack)-1]
 		if f.next < len(f.v.inputs) {
 			in := f.v.inputs[f.next]
 			f.next++
-			if in != nil && in.requiresGrad && !visited[in] {
-				visited[in] = true
-				stack = append(stack, frame{v: in})
+			if in != nil && in.requiresGrad && !s.visited[in] {
+				s.visited[in] = true
+				s.stack = append(s.stack, frame{v: in})
 			}
 			continue
 		}
-		order = append(order, f.v)
-		stack = stack[:len(stack)-1]
+		s.order = append(s.order, f.v)
+		s.stack = s.stack[:len(s.stack)-1]
 	}
-	return order
 }
 
 // reduceTo sums g down to the given target shape, inverting broadcasting.

@@ -244,7 +244,7 @@ func (softmaxOp) backward(_ []*Value, output, grad *Value) []*Value {
 // SoftmaxRows applies a numerically stable softmax independently to each row.
 func SoftmaxRows(a *Value) *Value {
 	rows, cols := a.data.Shape()
-	out := tensor.New(rows, cols)
+	out := tensor.NewPooled(rows, cols)
 	for i := 0; i < rows; i++ {
 		src := a.data.RawRow(i)
 		dst := out.RawRow(i)
@@ -273,16 +273,75 @@ type matmulOp struct{}
 
 func (matmulOp) name() string { return "matmul" }
 func (matmulOp) backward(inputs []*Value, _, grad *Value) []*Value {
+	// dA = G·Bᵀ and dB = Aᵀ·G via the fused kernels: no transpose is ever
+	// materialized, and the fused ops' own backwards close over {MatMul,
+	// MatMulTA, MatMulTB}, so differentiating these gradients again (as the
+	// WGAN-GP penalty does) stays within the fused set.
 	a, b := inputs[0], inputs[1]
 	return []*Value{
-		MatMul(grad, Transpose(b)),
-		MatMul(Transpose(a), grad),
+		MatMulTB(grad, b),
+		MatMulTA(a, grad),
 	}
 }
 
 // MatMul returns the matrix product a*b.
 func MatMul(a, b *Value) *Value {
 	return newValue(tensor.MatMul(a.data, b.data), matmulOp{}, a, b)
+}
+
+type matmulTAOp struct{}
+
+func (matmulTAOp) name() string { return "matmulTA" }
+func (matmulTAOp) backward(inputs []*Value, _, grad *Value) []*Value {
+	// y = aᵀ·b with a KxM and b KxN, G MxN: dA = B·Gᵀ (KxM), dB = A·G (KxN).
+	a, b := inputs[0], inputs[1]
+	return []*Value{
+		MatMulTB(b, grad),
+		MatMul(a, grad),
+	}
+}
+
+// MatMulTA returns aᵀ*b without materializing the transpose (a is KxM, b is
+// KxN, the result is MxN).
+func MatMulTA(a, b *Value) *Value {
+	return newValue(tensor.MatMulTA(a.data, b.data), matmulTAOp{}, a, b)
+}
+
+type matmulTBOp struct{}
+
+func (matmulTBOp) name() string { return "matmulTB" }
+func (matmulTBOp) backward(inputs []*Value, _, grad *Value) []*Value {
+	// y = a·bᵀ with a MxN and b PxN, G MxP: dA = G·B (MxN), dB = Gᵀ·A (PxN).
+	a, b := inputs[0], inputs[1]
+	return []*Value{
+		MatMul(grad, b),
+		MatMulTA(grad, a),
+	}
+}
+
+// MatMulTB returns a*bᵀ without materializing the transpose (a is MxN, b is
+// PxN, the result is MxP).
+func MatMulTB(a, b *Value) *Value {
+	return newValue(tensor.MatMulTB(a.data, b.data), matmulTBOp{}, a, b)
+}
+
+type affineOp struct{}
+
+func (affineOp) name() string { return "affine" }
+func (affineOp) backward(inputs []*Value, _, grad *Value) []*Value {
+	x, w := inputs[0], inputs[1]
+	return []*Value{
+		MatMulTB(grad, w),
+		MatMulTA(x, grad),
+		SumRows(grad),
+	}
+}
+
+// Affine returns x*w + bias in one fused kernel, where bias is a 1xCols(w)
+// row broadcast over the rows of the product. It is the fused form of
+// Add(MatMul(x, w), bias) used by Linear layers.
+func Affine(x, w, bias *Value) *Value {
+	return newValue(tensor.Affine(x.data, w.data, bias.data), affineOp{}, x, w, bias)
 }
 
 type transposeOp struct{}
@@ -322,7 +381,9 @@ func (sumAllOp) backward(inputs []*Value, _, grad *Value) []*Value {
 
 // SumAll returns the 1x1 sum of all elements of a.
 func SumAll(a *Value) *Value {
-	return newValue(tensor.Scalar(a.data.Sum()), sumAllOp{}, a)
+	out := tensor.NewPooled(1, 1)
+	out.Set(0, 0, a.data.Sum())
+	return newValue(out, sumAllOp{}, a)
 }
 
 // MeanAll returns the 1x1 mean of all elements of a.
@@ -422,7 +483,7 @@ func PadCols(a *Value, left, total int) *Value {
 	if left < 0 || left+ac > total {
 		panic("autograd: PadCols out of range")
 	}
-	out := tensor.New(ar, total)
+	out := tensor.NewPooled(ar, total)
 	for i := 0; i < ar; i++ {
 		copy(out.RawRow(i)[left:left+ac], a.data.RawRow(i))
 	}
@@ -461,7 +522,7 @@ func ScatterRows(a *Value, idx []int, rows int) *Value {
 	if len(idx) != ar {
 		panic("autograd: ScatterRows index length mismatch")
 	}
-	out := tensor.New(rows, ac)
+	out := tensor.NewPooled(rows, ac)
 	for k, i := range idx {
 		dst := out.RawRow(i)
 		src := a.data.RawRow(k)

@@ -195,8 +195,18 @@ func (c *Centralized) trainDiscStep() (float64, error) {
 		return c.disc.Forward(x, true)
 	})
 	total := ag.Add(loss, gp)
-	c.discOpt.Step(c.disc.Params(), nn.Grads(total, c.disc))
-	return total.Item(), nil
+	grads := nn.Grads(total, c.disc)
+	c.discOpt.Step(c.disc.Params(), grads)
+	lossVal := total.Item()
+
+	// The step's graph is dead now: recycle it. fake is a root of its own
+	// (the generator forward was cut by Detach); the Detach leaf inside
+	// total's graph keeps the shared activation buffer itself alive.
+	var tape ag.Tape
+	tape.Track(total, fake)
+	tape.Track(grads...)
+	tape.Release()
+	return lossVal, nil
 }
 
 // trainGenStep performs one generator update (Wasserstein + conditioning).
@@ -210,8 +220,15 @@ func (c *Centralized) trainGenStep() (float64, error) {
 	loss := GeneratorLoss(scores)
 	cond := ConditionLoss(raw, c.transformer.CategoricalSpans(), cvb.Choices)
 	total := ag.Add(loss, cond)
-	c.genOpt.Step(c.gen.Params(), nn.Grads(total, c.gen))
-	return total.Item(), nil
+	grads := nn.Grads(total, c.gen)
+	c.genOpt.Step(c.gen.Params(), grads)
+	lossVal := total.Item()
+
+	var tape ag.Tape
+	tape.Track(total)
+	tape.Track(grads...)
+	tape.Release()
+	return lossVal, nil
 }
 
 // Synthesize generates n synthetic rows and decodes them to a raw table.

@@ -49,7 +49,7 @@ func (m *LogisticRegression) Fit(x *tensor.Dense, y []int, numClasses int) error
 		for i := 0; i < n; i++ {
 			probs.Set(i, y[i], probs.At(i, y[i])-1)
 		}
-		gw := tensor.MatMul(x.Transpose(), probs).Scale(1 / float64(n))
+		gw := tensor.MatMulTA(x, probs).Scale(1 / float64(n))
 		gw.AxpyInPlace(m.L2, m.w)
 		gb := probs.MeanRows()
 		m.w.AxpyInPlace(-m.LR, gw)

@@ -49,7 +49,7 @@ func NewLinear(rng *rand.Rand, in, out int) *Linear {
 
 // Forward implements Layer.
 func (l *Linear) Forward(x *ag.Value, _ bool) *ag.Value {
-	return ag.Add(ag.MatMul(x, l.W), l.B)
+	return ag.Affine(x, l.W, l.B)
 }
 
 // Params implements Layer.

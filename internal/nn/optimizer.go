@@ -56,9 +56,6 @@ func (a *Adam) Step(params, grads []*ag.Value) {
 	for i, p := range params {
 		g := grads[i].Data()
 		w := p.Data()
-		if a.WeightDecay != 0 {
-			g = tensor.Add(g, w.Scale(a.WeightDecay))
-		}
 		m, ok := a.m[p]
 		if !ok {
 			m = tensor.New(w.Rows(), w.Cols())
@@ -69,10 +66,14 @@ func (a *Adam) Step(params, grads []*ag.Value) {
 			v = tensor.New(w.Rows(), w.Cols())
 			a.v[p] = v
 		}
+		// Weight decay is folded into the element loop (gk = g + wd*w)
+		// instead of materializing a decayed-gradient matrix per parameter.
 		md, vd, gd, wd := m.Data(), v.Data(), g.Data(), w.Data()
+		decay := a.WeightDecay
 		for k := range wd {
-			md[k] = a.Beta1*md[k] + (1-a.Beta1)*gd[k]
-			vd[k] = a.Beta2*vd[k] + (1-a.Beta2)*gd[k]*gd[k]
+			gk := gd[k] + decay*wd[k]
+			md[k] = a.Beta1*md[k] + (1-a.Beta1)*gk
+			vd[k] = a.Beta2*vd[k] + (1-a.Beta2)*gk*gk
 			mhat := md[k] / bc1
 			vhat := vd[k] / bc2
 			wd[k] -= a.LR * mhat / (math.Sqrt(vhat) + a.Eps)

@@ -1,0 +1,303 @@
+package tensor
+
+import "fmt"
+
+// Cache-blocked matrix kernels. All three products share the same design:
+// the k (reduction) dimension is tiled so the streamed panel of b stays in
+// cache, the inner loops are unrolled four-wide with register accumulation,
+// and rows of dst are distributed across the persistent worker pool. The
+// per-element summation order is a pure function of the operand shapes —
+// ascending k in groups of four, each group summed left to right — so
+// identical inputs always produce bitwise identical outputs (though results
+// may differ in low-order bits from a naive ikj loop).
+
+const (
+	// matmulKC is the k-dimension tile: a 256-row panel of b (256*cols
+	// floats) is revisited for every dst row before moving on, keeping it
+	// resident in L2 for the sizes this codebase runs.
+	matmulKC = 256
+	// transposeBlock tiles Transpose into 32x32 sub-blocks (8 KiB working
+	// set) so the strided writes stay within a few cache lines.
+	transposeBlock = 32
+)
+
+// allFinite reports whether every element of data is finite. The v-v trick
+// is branch-light: it is zero for finite v and NaN for NaN or ±Inf.
+func allFinite(data []float64) bool {
+	for _, v := range data {
+		if v-v != 0 {
+			return false
+		}
+	}
+	return true
+}
+
+// MatMul returns a*b.
+func MatMul(a, b *Dense) *Dense {
+	if a.cols != b.rows {
+		panic(fmt.Sprintf("tensor: MatMul shape mismatch %dx%d * %dx%d", a.rows, a.cols, b.rows, b.cols))
+	}
+	out := newPooledNoZero(a.rows, b.cols)
+	clear(out.data)
+	matmulAcc(out, a, b)
+	return out
+}
+
+// MatMulInto computes dst = a*b, reusing dst's storage. dst must have shape
+// Rows(a) x Cols(b) and must not alias a or b.
+func MatMulInto(dst, a, b *Dense) *Dense {
+	if a.cols != b.rows {
+		panic(fmt.Sprintf("tensor: MatMul shape mismatch %dx%d * %dx%d", a.rows, a.cols, b.rows, b.cols))
+	}
+	checkDst(dst, a, b, a.rows, b.cols, "MatMulInto")
+	clear(dst.data)
+	matmulAcc(dst, a, b)
+	return dst
+}
+
+// MatMulTA returns aᵀ*b without materializing the transpose: a is KxM, b is
+// KxN and the result is MxN. It is the fused form of
+// MatMul(a.Transpose(), b) used by backward passes.
+func MatMulTA(a, b *Dense) *Dense {
+	if a.rows != b.rows {
+		panic(fmt.Sprintf("tensor: MatMulTA shape mismatch %dx%dᵀ * %dx%d", a.rows, a.cols, b.rows, b.cols))
+	}
+	out := newPooledNoZero(a.cols, b.cols)
+	clear(out.data)
+	matmulTAAcc(out, a, b)
+	return out
+}
+
+// MatMulTAInto computes dst = aᵀ*b, reusing dst's storage. dst must have
+// shape Cols(a) x Cols(b) and must not alias a or b.
+func MatMulTAInto(dst, a, b *Dense) *Dense {
+	if a.rows != b.rows {
+		panic(fmt.Sprintf("tensor: MatMulTA shape mismatch %dx%dᵀ * %dx%d", a.rows, a.cols, b.rows, b.cols))
+	}
+	checkDst(dst, a, b, a.cols, b.cols, "MatMulTAInto")
+	clear(dst.data)
+	matmulTAAcc(dst, a, b)
+	return dst
+}
+
+// MatMulTB returns a*bᵀ without materializing the transpose: a is MxN, b is
+// PxN and the result is MxP. It is the fused form of
+// MatMul(a, b.Transpose()) used by backward passes.
+func MatMulTB(a, b *Dense) *Dense {
+	if a.cols != b.cols {
+		panic(fmt.Sprintf("tensor: MatMulTB shape mismatch %dx%d * %dx%dᵀ", a.rows, a.cols, b.rows, b.cols))
+	}
+	out := newPooledNoZero(a.rows, b.rows)
+	runRows(kernelTask{kind: kernelMatMulTB, dst: out, a: a, b: b}, a.rows, a.cols*b.rows)
+	return out
+}
+
+// MatMulTBInto computes dst = a*bᵀ, reusing dst's storage. dst must have
+// shape Rows(a) x Rows(b) and must not alias a or b.
+func MatMulTBInto(dst, a, b *Dense) *Dense {
+	if a.cols != b.cols {
+		panic(fmt.Sprintf("tensor: MatMulTB shape mismatch %dx%d * %dx%dᵀ", a.rows, a.cols, b.rows, b.cols))
+	}
+	checkDst(dst, a, b, a.rows, b.rows, "MatMulTBInto")
+	runRows(kernelTask{kind: kernelMatMulTB, dst: dst, a: a, b: b}, a.rows, a.cols*b.rows)
+	return dst
+}
+
+// Affine returns a*b + bias with the 1xCols(b) bias row folded into the
+// matmul: dst rows are seeded with the bias and the product accumulates on
+// top, saving the broadcast-add pass and its intermediate.
+func Affine(a, b, bias *Dense) *Dense {
+	if a.cols != b.rows {
+		panic(fmt.Sprintf("tensor: Affine shape mismatch %dx%d * %dx%d", a.rows, a.cols, b.rows, b.cols))
+	}
+	if bias.rows != 1 || bias.cols != b.cols {
+		panic(fmt.Sprintf("tensor: Affine bias %dx%d, want 1x%d", bias.rows, bias.cols, b.cols))
+	}
+	out := newPooledNoZero(a.rows, b.cols)
+	p := b.cols
+	for i := 0; i < a.rows; i++ {
+		copy(out.data[i*p:(i+1)*p], bias.data)
+	}
+	matmulAcc(out, a, b)
+	return out
+}
+
+func checkDst(dst, a, b *Dense, rows, cols int, op string) {
+	if dst.rows != rows || dst.cols != cols {
+		panic(fmt.Sprintf("tensor: %s dst %dx%d, want %dx%d", op, dst.rows, dst.cols, rows, cols))
+	}
+	if len(dst.data) == 0 {
+		return
+	}
+	if (len(a.data) > 0 && &dst.data[0] == &a.data[0]) ||
+		(len(b.data) > 0 && &dst.data[0] == &b.data[0]) {
+		panic("tensor: " + op + " dst must not alias an operand")
+	}
+}
+
+// matmulAcc adds a*b onto dst (which the caller has initialized), fanning
+// rows of dst across the worker pool for large products.
+func matmulAcc(dst, a, b *Dense) {
+	if len(dst.data) == 0 || a.cols == 0 {
+		return
+	}
+	t := kernelTask{kind: kernelMatMulAcc, dst: dst, a: a, b: b, bFinite: allFinite(b.data)}
+	runRows(t, a.rows, a.cols*b.cols)
+}
+
+// matmulTATransposeThreshold: below it (operand fits L2) the strided-column
+// kernel wins by skipping the copy; above it the column walk thrashes and a
+// blocked transpose into a pooled scratch followed by the contiguous kernel
+// is faster. The path depends only on a's shape, so outputs stay a pure
+// function of the inputs.
+const matmulTATransposeThreshold = 1 << 15
+
+// matmulTAAcc adds aᵀ*b onto dst.
+func matmulTAAcc(dst, a, b *Dense) {
+	if len(dst.data) == 0 || a.rows == 0 {
+		return
+	}
+	if len(a.data) >= matmulTATransposeThreshold {
+		at := a.Transpose()
+		matmulAcc(dst, at, b)
+		at.Release()
+		return
+	}
+	t := kernelTask{kind: kernelMatMulTAAcc, dst: dst, a: a, b: b, bFinite: allFinite(b.data)}
+	runRows(t, a.cols, a.rows*b.cols)
+}
+
+// matmulAccRange accumulates rows [lo,hi) of dst += a*b. The zero-skip is
+// gated on bFinite: 0*finite adds exactly zero, so skipping is legal, but
+// when b contains NaN or ±Inf every product must be formed so IEEE
+// propagation (0*Inf = NaN) is preserved.
+func matmulAccRange(dst, a, b *Dense, lo, hi int, bFinite bool) {
+	n, p := a.cols, b.cols
+	ad, bd, od := a.data, b.data, dst.data
+	for kk := 0; kk < n; kk += matmulKC {
+		kend := min(kk+matmulKC, n)
+		for i := lo; i < hi; i++ {
+			arow := ad[i*n : (i+1)*n]
+			orow := od[i*p : (i+1)*p]
+			k := kk
+			for ; k+3 < kend; k += 4 {
+				a0, a1, a2, a3 := arow[k], arow[k+1], arow[k+2], arow[k+3]
+				if bFinite && a0 == 0 && a1 == 0 && a2 == 0 && a3 == 0 {
+					continue
+				}
+				b0 := bd[k*p : (k+1)*p]
+				b1 := bd[(k+1)*p : (k+2)*p]
+				b2 := bd[(k+2)*p : (k+3)*p]
+				b3 := bd[(k+3)*p : (k+4)*p]
+				for j, bv := range b0 {
+					orow[j] += a0*bv + a1*b1[j] + a2*b2[j] + a3*b3[j]
+				}
+			}
+			for ; k < kend; k++ {
+				av := arow[k]
+				if bFinite && av == 0 {
+					continue
+				}
+				brow := bd[k*p : (k+1)*p]
+				for j, bv := range brow {
+					orow[j] += av * bv
+				}
+			}
+		}
+	}
+}
+
+// matmulTAAccRange accumulates rows [lo,hi) of dst += aᵀ*b. dst row i is
+// a's column i, loaded with stride Cols(a); the b panel access pattern is
+// identical to matmulAccRange.
+func matmulTAAccRange(dst, a, b *Dense, lo, hi int, bFinite bool) {
+	kN, m, n := a.rows, a.cols, b.cols
+	ad, bd, od := a.data, b.data, dst.data
+	for kk := 0; kk < kN; kk += matmulKC {
+		kend := min(kk+matmulKC, kN)
+		for i := lo; i < hi; i++ {
+			orow := od[i*n : (i+1)*n]
+			k := kk
+			for ; k+3 < kend; k += 4 {
+				a0 := ad[k*m+i]
+				a1 := ad[(k+1)*m+i]
+				a2 := ad[(k+2)*m+i]
+				a3 := ad[(k+3)*m+i]
+				if bFinite && a0 == 0 && a1 == 0 && a2 == 0 && a3 == 0 {
+					continue
+				}
+				b0 := bd[k*n : (k+1)*n]
+				b1 := bd[(k+1)*n : (k+2)*n]
+				b2 := bd[(k+2)*n : (k+3)*n]
+				b3 := bd[(k+3)*n : (k+4)*n]
+				for j, bv := range b0 {
+					orow[j] += a0*bv + a1*b1[j] + a2*b2[j] + a3*b3[j]
+				}
+			}
+			for ; k < kend; k++ {
+				av := ad[k*m+i]
+				if bFinite && av == 0 {
+					continue
+				}
+				brow := bd[k*n : (k+1)*n]
+				for j, bv := range brow {
+					orow[j] += av * bv
+				}
+			}
+		}
+	}
+}
+
+// matmulTBRange computes rows [lo,hi) of dst = a*bᵀ as dot products,
+// streaming one a row against four b rows with four register accumulators.
+// Every output element is written (not accumulated), so the destination
+// needs no zero fill and NaN/Inf propagate naturally.
+func matmulTBRange(dst, a, b *Dense, lo, hi int) {
+	n, p := a.cols, b.rows
+	ad, bd, od := a.data, b.data, dst.data
+	for i := lo; i < hi; i++ {
+		arow := ad[i*n : i*n+n]
+		orow := od[i*p : i*p+p]
+		j := 0
+		for ; j+3 < p; j += 4 {
+			b0 := bd[j*n : (j+1)*n]
+			b1 := bd[(j+1)*n : (j+2)*n]
+			b2 := bd[(j+2)*n : (j+3)*n]
+			b3 := bd[(j+3)*n : (j+4)*n]
+			var s0, s1, s2, s3 float64
+			for k, av := range arow {
+				s0 += av * b0[k]
+				s1 += av * b1[k]
+				s2 += av * b2[k]
+				s3 += av * b3[k]
+			}
+			orow[j], orow[j+1], orow[j+2], orow[j+3] = s0, s1, s2, s3
+		}
+		for ; j < p; j++ {
+			brow := bd[j*n : (j+1)*n]
+			var s float64
+			for k, av := range arow {
+				s += av * brow[k]
+			}
+			orow[j] = s
+		}
+	}
+}
+
+// transposeRange writes the transpose of m into dst in 32x32 blocks.
+func transposeBlocks(dst, m *Dense) {
+	r, c := m.rows, m.cols
+	md, dd := m.data, dst.data
+	for ii := 0; ii < r; ii += transposeBlock {
+		iend := min(ii+transposeBlock, r)
+		for jj := 0; jj < c; jj += transposeBlock {
+			jend := min(jj+transposeBlock, c)
+			for i := ii; i < iend; i++ {
+				row := md[i*c : (i+1)*c]
+				for j := jj; j < jend; j++ {
+					dd[j*r+i] = row[j]
+				}
+			}
+		}
+	}
+}

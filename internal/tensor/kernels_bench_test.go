@@ -1,0 +1,122 @@
+package tensor
+
+import (
+	"fmt"
+	"math/rand"
+	"testing"
+)
+
+// Kernel microbenchmarks behind BENCH_kernels.json (make bench-kernels).
+// Sizes span the shapes the GTV training loop actually runs (batch 128,
+// width 256) up to 1024 to expose cache-blocking behavior.
+
+var benchSizes = []int{32, 64, 128, 256, 512, 1024}
+
+func BenchmarkMatMul(b *testing.B) {
+	for _, n := range benchSizes {
+		b.Run(fmt.Sprintf("n=%d", n), func(b *testing.B) {
+			rng := rand.New(rand.NewSource(1))
+			x := Randn(rng, n, n, 0, 1)
+			y := Randn(rng, n, n, 0, 1)
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				MatMul(x, y).Release()
+			}
+		})
+	}
+}
+
+func BenchmarkMatMulTA(b *testing.B) {
+	for _, n := range benchSizes {
+		b.Run(fmt.Sprintf("n=%d", n), func(b *testing.B) {
+			rng := rand.New(rand.NewSource(1))
+			x := Randn(rng, n, n, 0, 1)
+			y := Randn(rng, n, n, 0, 1)
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				MatMulTA(x, y).Release()
+			}
+		})
+	}
+}
+
+func BenchmarkMatMulTB(b *testing.B) {
+	for _, n := range benchSizes {
+		b.Run(fmt.Sprintf("n=%d", n), func(b *testing.B) {
+			rng := rand.New(rand.NewSource(1))
+			x := Randn(rng, n, n, 0, 1)
+			y := Randn(rng, n, n, 0, 1)
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				MatMulTB(x, y).Release()
+			}
+		})
+	}
+}
+
+// BenchmarkTransposeMatMul is the unfused form MatMulTA replaces; kept so
+// the fused speedup stays measurable in one run.
+func BenchmarkTransposeMatMul(b *testing.B) {
+	for _, n := range []int{256, 512} {
+		b.Run(fmt.Sprintf("n=%d", n), func(b *testing.B) {
+			rng := rand.New(rand.NewSource(1))
+			x := Randn(rng, n, n, 0, 1)
+			y := Randn(rng, n, n, 0, 1)
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				xt := x.Transpose()
+				MatMul(xt, y).Release()
+				xt.Release()
+			}
+		})
+	}
+}
+
+func BenchmarkTranspose(b *testing.B) {
+	for _, n := range []int{256, 1024} {
+		b.Run(fmt.Sprintf("n=%d", n), func(b *testing.B) {
+			rng := rand.New(rand.NewSource(1))
+			x := Randn(rng, n, n, 0, 1)
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				x.Transpose().Release()
+			}
+		})
+	}
+}
+
+func BenchmarkBroadcastAdd(b *testing.B) {
+	for _, n := range []int{32, 128, 512, 1024} {
+		b.Run(fmt.Sprintf("n=%d", n), func(b *testing.B) {
+			rng := rand.New(rand.NewSource(1))
+			x := Randn(rng, n, n, 0, 1)
+			y := Randn(rng, 1, n, 0, 1)
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				Add(x, y).Release()
+			}
+		})
+	}
+}
+
+func BenchmarkBroadcastAddInto(b *testing.B) {
+	for _, n := range []int{128, 512} {
+		b.Run(fmt.Sprintf("n=%d", n), func(b *testing.B) {
+			rng := rand.New(rand.NewSource(1))
+			x := Randn(rng, n, n, 0, 1)
+			y := Randn(rng, 1, n, 0, 1)
+			dst := New(n, n)
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				AddInto(dst, x, y)
+			}
+		})
+	}
+}

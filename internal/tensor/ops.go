@@ -14,53 +14,191 @@ func BroadcastOK(ar, ac, br, bc int) bool {
 	return (br == ar || br == 1) && (bc == ac || bc == 1)
 }
 
-// broadcastBinary applies f element-wise with b broadcast over a.
-// b's rows and cols must each be equal to a's or 1.
-func broadcastBinary(a, b *Dense, f func(x, y float64) float64) *Dense {
+// The four broadcasting binary operations are specialized per operator and
+// per broadcast shape (same-shape, scalar, row vector, column vector)
+// instead of funnelling every element through a closure. The same-shape
+// case of large operands fans out across the kernel worker pool.
+
+// binOp selects the operator for the shared broadcast dispatcher. The
+// dispatcher switches on it once per row segment, not per element.
+type binOp uint8
+
+const (
+	binAdd binOp = iota
+	binSub
+	binMul
+	binDiv
+)
+
+func checkBinShapes(dst, a, b *Dense, op string) {
 	if !BroadcastOK(a.rows, a.cols, b.rows, b.cols) {
 		panic(fmt.Sprintf("tensor: cannot broadcast %dx%d onto %dx%d", b.rows, b.cols, a.rows, a.cols))
 	}
-	out := New(a.rows, a.cols)
-	for i := 0; i < a.rows; i++ {
-		bi := i
-		if b.rows == 1 {
-			bi = 0
+	if dst.rows != a.rows || dst.cols != a.cols {
+		panic(fmt.Sprintf("tensor: %s dst %dx%d, want %dx%d", op, dst.rows, dst.cols, a.rows, a.cols))
+	}
+}
+
+// binInto computes dst = a OP b with b broadcast over a. dst may alias a;
+// it may alias b only when b has a's full shape.
+func binInto(dst, a, b *Dense, op binOp) *Dense {
+	switch {
+	case b.rows == a.rows && b.cols == a.cols:
+		if len(a.data) >= matmulParallelThreshold && poolWorkers() > 1 {
+			parallelRowsFunc(a.rows, a.cols, func(lo, hi int) {
+				c := a.cols
+				binSame(dst.data[lo*c:hi*c], a.data[lo*c:hi*c], b.data[lo*c:hi*c], op)
+			})
+			return dst
 		}
-		arow := a.data[i*a.cols : (i+1)*a.cols]
-		brow := b.data[bi*b.cols : (bi+1)*b.cols]
-		orow := out.data[i*a.cols : (i+1)*a.cols]
-		if b.cols == 1 {
-			bv := brow[0]
-			for j, av := range arow {
-				orow[j] = f(av, bv)
+		binSame(dst.data, a.data, b.data, op)
+	case b.rows == 1 && b.cols == 1:
+		bv := b.data[0]
+		od, ad := dst.data, a.data
+		switch op {
+		case binAdd:
+			for i, av := range ad {
+				od[i] = av + bv
 			}
-		} else {
-			for j, av := range arow {
-				orow[j] = f(av, brow[j])
+		case binSub:
+			for i, av := range ad {
+				od[i] = av - bv
+			}
+		case binMul:
+			for i, av := range ad {
+				od[i] = av * bv
+			}
+		case binDiv:
+			for i, av := range ad {
+				od[i] = av / bv
+			}
+		}
+	case b.rows == 1: // 1xC row vector broadcast down the rows
+		c := a.cols
+		for i := 0; i < a.rows; i++ {
+			binRow(dst.data[i*c:(i+1)*c], a.data[i*c:(i+1)*c], b.data, op)
+		}
+	default: // Rx1 column vector: one scalar per row
+		c := a.cols
+		for i := 0; i < a.rows; i++ {
+			arow := a.data[i*c : (i+1)*c]
+			orow := dst.data[i*c : (i+1)*c]
+			bv := b.data[i]
+			switch op {
+			case binAdd:
+				for j, av := range arow {
+					orow[j] = av + bv
+				}
+			case binSub:
+				for j, av := range arow {
+					orow[j] = av - bv
+				}
+			case binMul:
+				for j, av := range arow {
+					orow[j] = av * bv
+				}
+			case binDiv:
+				for j, av := range arow {
+					orow[j] = av / bv
+				}
 			}
 		}
 	}
-	return out
+	return dst
+}
+
+// binSame applies op over equal-length flat slices.
+func binSame(od, ad, bd []float64, op binOp) {
+	bd = bd[:len(ad)]
+	od = od[:len(ad)]
+	switch op {
+	case binAdd:
+		for i, av := range ad {
+			od[i] = av + bd[i]
+		}
+	case binSub:
+		for i, av := range ad {
+			od[i] = av - bd[i]
+		}
+	case binMul:
+		for i, av := range ad {
+			od[i] = av * bd[i]
+		}
+	case binDiv:
+		for i, av := range ad {
+			od[i] = av / bd[i]
+		}
+	}
+}
+
+// binRow applies op between one matrix row and a broadcast row vector.
+func binRow(od, ad, bd []float64, op binOp) {
+	bd = bd[:len(ad)]
+	od = od[:len(ad)]
+	switch op {
+	case binAdd:
+		for j, av := range ad {
+			od[j] = av + bd[j]
+		}
+	case binSub:
+		for j, av := range ad {
+			od[j] = av - bd[j]
+		}
+	case binMul:
+		for j, av := range ad {
+			od[j] = av * bd[j]
+		}
+	case binDiv:
+		for j, av := range ad {
+			od[j] = av / bd[j]
+		}
+	}
 }
 
 // Add returns a+b with b broadcast over a where needed.
-func Add(a, b *Dense) *Dense {
-	return broadcastBinary(a, b, func(x, y float64) float64 { return x + y })
-}
+func Add(a, b *Dense) *Dense { return binInto(newBinDst(a, b, "Add"), a, b, binAdd) }
 
 // Sub returns a-b with b broadcast over a where needed.
-func Sub(a, b *Dense) *Dense {
-	return broadcastBinary(a, b, func(x, y float64) float64 { return x - y })
-}
+func Sub(a, b *Dense) *Dense { return binInto(newBinDst(a, b, "Sub"), a, b, binSub) }
 
 // Mul returns the element-wise product a*b with b broadcast over a.
-func Mul(a, b *Dense) *Dense {
-	return broadcastBinary(a, b, func(x, y float64) float64 { return x * y })
-}
+func Mul(a, b *Dense) *Dense { return binInto(newBinDst(a, b, "Mul"), a, b, binMul) }
 
 // Div returns the element-wise quotient a/b with b broadcast over a.
-func Div(a, b *Dense) *Dense {
-	return broadcastBinary(a, b, func(x, y float64) float64 { return x / y })
+func Div(a, b *Dense) *Dense { return binInto(newBinDst(a, b, "Div"), a, b, binDiv) }
+
+// AddInto computes dst = a+b with b broadcast over a. dst may alias a; it
+// may alias b only when b has a's full shape.
+func AddInto(dst, a, b *Dense) *Dense {
+	checkBinShapes(dst, a, b, "AddInto")
+	return binInto(dst, a, b, binAdd)
+}
+
+// SubInto computes dst = a-b under the aliasing rules of AddInto.
+func SubInto(dst, a, b *Dense) *Dense {
+	checkBinShapes(dst, a, b, "SubInto")
+	return binInto(dst, a, b, binSub)
+}
+
+// MulInto computes dst = a*b (element-wise) under the aliasing rules of
+// AddInto.
+func MulInto(dst, a, b *Dense) *Dense {
+	checkBinShapes(dst, a, b, "MulInto")
+	return binInto(dst, a, b, binMul)
+}
+
+// DivInto computes dst = a/b (element-wise) under the aliasing rules of
+// AddInto.
+func DivInto(dst, a, b *Dense) *Dense {
+	checkBinShapes(dst, a, b, "DivInto")
+	return binInto(dst, a, b, binDiv)
+}
+
+func newBinDst(a, b *Dense, op string) *Dense {
+	if !BroadcastOK(a.rows, a.cols, b.rows, b.cols) {
+		panic(fmt.Sprintf("tensor: cannot broadcast %dx%d onto %dx%d", b.rows, b.cols, a.rows, a.cols))
+	}
+	return newPooledNoZero(a.rows, a.cols)
 }
 
 // Scale returns m*s.
@@ -104,7 +242,7 @@ func (m *Dense) Expand(rows, cols int) *Dense {
 	if !BroadcastOK(rows, cols, m.rows, m.cols) {
 		panic(fmt.Sprintf("tensor: cannot expand %dx%d to %dx%d", m.rows, m.cols, rows, cols))
 	}
-	out := New(rows, cols)
+	out := newPooledNoZero(rows, cols)
 	for i := 0; i < rows; i++ {
 		si := i
 		if m.rows == 1 {
@@ -142,7 +280,7 @@ func (m *Dense) Mean() float64 {
 
 // SumRows returns a 1xC row vector with the sum over rows of each column.
 func (m *Dense) SumRows() *Dense {
-	out := New(1, m.cols)
+	out := NewPooled(1, m.cols)
 	for i := 0; i < m.rows; i++ {
 		row := m.data[i*m.cols : (i+1)*m.cols]
 		for j, v := range row {
@@ -154,7 +292,7 @@ func (m *Dense) SumRows() *Dense {
 
 // SumCols returns an Rx1 column vector with the sum over columns of each row.
 func (m *Dense) SumCols() *Dense {
-	out := New(m.rows, 1)
+	out := newPooledNoZero(m.rows, 1)
 	for i := 0; i < m.rows; i++ {
 		row := m.data[i*m.cols : (i+1)*m.cols]
 		var s float64
@@ -214,7 +352,7 @@ func ConcatCols(ms ...*Dense) *Dense {
 		}
 		total += m.cols
 	}
-	out := New(rows, total)
+	out := newPooledNoZero(rows, total)
 	for i := 0; i < rows; i++ {
 		off := i * total
 		for _, m := range ms {
@@ -230,7 +368,7 @@ func (m *Dense) SliceCols(from, to int) *Dense {
 	if from < 0 || to > m.cols || from > to {
 		panic(fmt.Sprintf("tensor: SliceCols [%d,%d) out of range %d", from, to, m.cols))
 	}
-	out := New(m.rows, to-from)
+	out := newPooledNoZero(m.rows, to-from)
 	for i := 0; i < m.rows; i++ {
 		copy(out.data[i*out.cols:(i+1)*out.cols], m.data[i*m.cols+from:i*m.cols+to])
 	}
@@ -258,7 +396,7 @@ func (m *Dense) SplitCols(widths []int) []*Dense {
 
 // GatherRows returns a new matrix whose row k is m's row idx[k].
 func (m *Dense) GatherRows(idx []int) *Dense {
-	out := New(len(idx), m.cols)
+	out := newPooledNoZero(len(idx), m.cols)
 	for k, i := range idx {
 		if i < 0 || i >= m.rows {
 			panic(fmt.Sprintf("tensor: GatherRows index %d out of range %d", i, m.rows))
@@ -273,7 +411,7 @@ func (m *Dense) SliceRows(from, to int) *Dense {
 	if from < 0 || to > m.rows || from > to {
 		panic(fmt.Sprintf("tensor: SliceRows [%d,%d) out of range %d", from, to, m.rows))
 	}
-	out := New(to-from, m.cols)
+	out := newPooledNoZero(to-from, m.cols)
 	copy(out.data, m.data[from*m.cols:to*m.cols])
 	return out
 }
@@ -292,7 +430,7 @@ func ConcatRows(ms ...*Dense) *Dense {
 		}
 		total += m.rows
 	}
-	out := New(total, cols)
+	out := newPooledNoZero(total, cols)
 	off := 0
 	for _, m := range ms {
 		copy(out.data[off:off+len(m.data)], m.data)
@@ -317,7 +455,7 @@ func Permutation(rng *rand.Rand, n int) []int {
 
 // RowL2Norms returns an Rx1 vector of the Euclidean norm of each row.
 func (m *Dense) RowL2Norms() *Dense {
-	out := New(m.rows, 1)
+	out := newPooledNoZero(m.rows, 1)
 	for i := 0; i < m.rows; i++ {
 		var s float64
 		for _, v := range m.data[i*m.cols : (i+1)*m.cols] {

@@ -15,8 +15,6 @@ import (
 	"fmt"
 	"math"
 	"math/rand"
-	"runtime"
-	"sync"
 )
 
 // Dense is a dense, row-major matrix of float64 values.
@@ -137,9 +135,36 @@ func (m *Dense) RawRow(i int) []float64 {
 
 // Clone returns a deep copy of m.
 func (m *Dense) Clone() *Dense {
-	out := New(m.rows, m.cols)
+	out := newPooledNoZero(m.rows, m.cols)
 	copy(out.data, m.data)
 	return out
+}
+
+// CopyInto copies m into dst when dst's backing storage can hold it
+// (reshaping dst as needed) and allocates a fresh copy otherwise, so
+// callers with a scratch buffer avoid the allocation of Clone. It returns
+// the matrix holding the copy.
+func (m *Dense) CopyInto(dst *Dense) *Dense {
+	dst = Reuse(dst, m.rows, m.cols)
+	copy(dst.data, m.data)
+	return dst
+}
+
+// Reuse returns a rows x cols matrix, reusing scratch's backing storage
+// when its capacity suffices and allocating otherwise. The returned
+// matrix's contents are unspecified until overwritten; scratch (which may
+// be nil) must not be used again if it was absorbed.
+func Reuse(scratch *Dense, rows, cols int) *Dense {
+	if rows < 0 || cols < 0 {
+		panic(fmt.Sprintf("tensor: negative shape %dx%d", rows, cols))
+	}
+	n := rows * cols
+	if scratch != nil && cap(scratch.data) >= n {
+		scratch.rows, scratch.cols = rows, cols
+		scratch.data = scratch.data[:cap(scratch.data)][:n]
+		return scratch
+	}
+	return newPooledNoZero(rows, cols)
 }
 
 // CopyFrom copies src into m. Shapes must match.
@@ -181,7 +206,7 @@ func (m *Dense) String() string {
 
 // Apply returns a new matrix with f applied to every element.
 func (m *Dense) Apply(f func(float64) float64) *Dense {
-	out := New(m.rows, m.cols)
+	out := newPooledNoZero(m.rows, m.cols)
 	for i, v := range m.data {
 		out.data[i] = f(v)
 	}
@@ -233,74 +258,24 @@ func (m *Dense) HasNaN() bool {
 	return false
 }
 
-// matmulParallelThreshold is the number of multiply-adds above which MatMul
-// fans work out across GOMAXPROCS goroutines.
-const matmulParallelThreshold = 1 << 17
-
-// MatMul returns a*b.
-func MatMul(a, b *Dense) *Dense {
-	if a.cols != b.rows {
-		panic(fmt.Sprintf("tensor: MatMul shape mismatch %dx%d * %dx%d", a.rows, a.cols, b.rows, b.cols))
-	}
-	out := New(a.rows, b.cols)
-	work := a.rows * a.cols * b.cols
-	if work < matmulParallelThreshold {
-		matmulRange(a, b, out, 0, a.rows)
-		return out
-	}
-	workers := runtime.GOMAXPROCS(0)
-	if workers > a.rows {
-		workers = a.rows
-	}
-	var wg sync.WaitGroup
-	chunk := (a.rows + workers - 1) / workers
-	for w := 0; w < workers; w++ {
-		lo := w * chunk
-		hi := lo + chunk
-		if hi > a.rows {
-			hi = a.rows
-		}
-		if lo >= hi {
-			break
-		}
-		wg.Add(1)
-		go func(lo, hi int) {
-			defer wg.Done()
-			matmulRange(a, b, out, lo, hi)
-		}(lo, hi)
-	}
-	wg.Wait()
-	return out
-}
-
-// matmulRange computes rows [lo,hi) of out = a*b using an ikj loop order
-// that streams through b row-by-row for cache friendliness.
-func matmulRange(a, b, out *Dense, lo, hi int) {
-	n, p := a.cols, b.cols
-	for i := lo; i < hi; i++ {
-		arow := a.data[i*n : (i+1)*n]
-		orow := out.data[i*p : (i+1)*p]
-		for k := 0; k < n; k++ {
-			av := arow[k]
-			if av == 0 {
-				continue
-			}
-			brow := b.data[k*p : (k+1)*p]
-			for j, bv := range brow {
-				orow[j] += av * bv
-			}
-		}
-	}
-}
-
-// Transpose returns the transpose of m.
+// Transpose returns the transpose of m, computed in cache-friendly 32x32
+// blocks (see kernels.go).
 func (m *Dense) Transpose() *Dense {
-	out := New(m.cols, m.rows)
-	for i := 0; i < m.rows; i++ {
-		row := m.data[i*m.cols : (i+1)*m.cols]
-		for j, v := range row {
-			out.data[j*m.rows+i] = v
-		}
-	}
+	out := newPooledNoZero(m.cols, m.rows)
+	transposeBlocks(out, m)
 	return out
+}
+
+// TransposeInto writes the transpose of m into dst, which must have shape
+// Cols(m) x Rows(m) and must not alias m. Callers with a scratch buffer
+// (see Reuse) avoid the allocation of Transpose.
+func TransposeInto(dst, m *Dense) *Dense {
+	if dst.rows != m.cols || dst.cols != m.rows {
+		panic(fmt.Sprintf("tensor: TransposeInto dst %dx%d, want %dx%d", dst.rows, dst.cols, m.cols, m.rows))
+	}
+	if len(dst.data) > 0 && len(m.data) > 0 && &dst.data[0] == &m.data[0] {
+		panic("tensor: TransposeInto dst must not alias m")
+	}
+	transposeBlocks(dst, m)
+	return dst
 }

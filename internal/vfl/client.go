@@ -130,6 +130,7 @@ type LocalClient struct {
 	lastRealOut  *ag.Value
 	lastRawGen   *ag.Value
 	lastSliceVar *ag.Value
+	lastDiscGen  *ag.Value // detached generator forward of the critic phase
 	lastCV       *condvec.Batch
 
 	synthBuf []*tensor.Dense
@@ -265,11 +266,14 @@ func (c *LocalClient) ForwardSynthetic(slice *tensor.Dense, phase Phase) (*tenso
 	}
 	switch phase {
 	case PhaseDiscriminator:
-		// Critic training: the generator path is outside the graph.
+		// Critic training: the generator path is outside the graph. The
+		// activated output is retained so BackwardDisc can recycle the
+		// generator forward graph along with the critic's.
 		raw := c.gen.Forward(ag.Const(slice), true)
 		activated := gan.ActivateOutput(raw, c.transformer.Spans(), c.rng, false)
 		c.lastSliceVar = nil
 		c.lastRawGen = nil
+		c.lastDiscGen = activated
 		c.lastSynthOut = c.disc.Forward(activated.Detach(), true)
 	case PhaseGenerator:
 		// Generator training: keep the full graph, including the input
@@ -312,8 +316,17 @@ func (c *LocalClient) BackwardDisc(gradSynth, gradReal *tensor.Dense) error {
 		ag.SumAll(ag.Mul(c.lastRealOut, ag.Const(gradReal))),
 	)
 	params := c.disc.Params()
-	c.discOpt.Step(params, ag.Grad(proxy, params...))
-	c.lastSynthOut, c.lastRealOut = nil, nil
+	grads := ag.Grad(proxy, params...)
+	c.discOpt.Step(params, grads)
+
+	// Recycle the whole critic-phase graph, including the generator forward
+	// retained by ForwardSynthetic. The Detach leaf inside proxy's graph
+	// shields the activation buffer the two graphs share.
+	var tape ag.Tape
+	tape.Track(proxy, c.lastDiscGen)
+	tape.Track(grads...)
+	tape.Release()
+	c.lastSynthOut, c.lastRealOut, c.lastDiscGen = nil, nil, nil
 	return nil
 }
 
@@ -336,7 +349,14 @@ func (c *LocalClient) BackwardGen(gradSynth *tensor.Dense, conditioned bool) (*t
 	targets = append(targets, c.lastSliceVar)
 	grads := ag.Grad(proxy, targets...)
 	c.genOpt.Step(params, grads[:len(params)])
-	sliceGrad := grads[len(params)].Data()
+	// The slice gradient outlives the release below (the server concatenates
+	// it into the boundary gradient), so it is copied out of the graph.
+	sliceGrad := grads[len(params)].Data().Clone()
+
+	var tape ag.Tape
+	tape.Track(proxy)
+	tape.Track(grads...)
+	tape.Release()
 	c.lastSynthOut, c.lastSliceVar, c.lastRawGen = nil, nil, nil
 	return sliceGrad, nil
 }

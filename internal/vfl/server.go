@@ -355,7 +355,7 @@ func perturb(m, noise *tensor.Dense) *tensor.Dense {
 // discStep performs one distributed WGAN-GP critic update (steps 4-16).
 func (s *Server) discStep() (float64, error) {
 	batch := s.cfg.BatchSize
-	p, cvRows, globalCV, _, slices, err := s.generatorForward(batch, true)
+	p, cvRows, globalCV, gtOut, slices, err := s.generatorForward(batch, true)
 	if err != nil {
 		return 0, err
 	}
@@ -451,7 +451,18 @@ func (s *Server) discStep() (float64, error) {
 	if err != nil {
 		return 0, err
 	}
-	return total.Item(), nil
+	lossVal := total.Item()
+
+	// All clients have consumed their gradient matrices; recycle the server
+	// side of the step's graph. gtOut is a root of its own because the
+	// discriminator phase never connects the generator forward to the loss
+	// (clients receive plain slices). The fakeVars/realVars leaves are
+	// skipped, so client-owned logit buffers are never touched here.
+	var tape ag.Tape
+	tape.Track(total, gtOut)
+	tape.Track(grads...)
+	tape.Release()
+	return lossVal, nil
 }
 
 // genStep performs one distributed generator update (steps 18-22).
@@ -503,8 +514,16 @@ func (s *Server) genStep() (float64, error) {
 	boundaryGrad := tensor.ConcatCols(sliceGrads...)
 	proxy := ag.SumAll(ag.Mul(gtOut, ag.Const(boundaryGrad)))
 	params := s.gTop.Params()
-	s.gOpt.Step(params, ag.Grad(proxy, params...))
-	return loss.Item(), nil
+	pgrads := ag.Grad(proxy, params...)
+	s.gOpt.Step(params, pgrads)
+	lossVal := loss.Item()
+
+	var tape ag.Tape
+	tape.Track(proxy, loss)
+	tape.Track(grads...)
+	tape.Track(pgrads...)
+	tape.Release()
+	return lossVal, nil
 }
 
 // pack applies PacGAN packing at the critic boundary.
