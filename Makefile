@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build vet test race ci bench bench-round bench-kernels
+.PHONY: all build vet lint test race ci bench bench-round bench-kernels
 
 all: ci
 
@@ -9,6 +9,12 @@ build:
 
 vet:
 	$(GO) vet ./...
+
+# Domain-specific static analysis (internal/lint): pool/tape lifetimes,
+# seeded-randomness discipline, map-order determinism, float comparison
+# hygiene, mutex-guard annotations, dropped errors.
+lint:
+	$(GO) run ./cmd/gtv-lint ./...
 
 test:
 	$(GO) test ./...
@@ -19,7 +25,7 @@ race:
 	$(GO) test -race -short ./...
 	$(GO) test -race ./internal/vfl/... ./internal/tensor/... ./internal/autograd/...
 
-ci: vet build test race
+ci: vet lint build test race
 
 bench:
 	$(GO) test -run xxx -bench . -benchtime 1x .

@@ -74,7 +74,7 @@ func parse(line string) (result, bool) {
 			r.AllocsPerOp = &a
 		}
 	}
-	if r.NsPerOp == 0 {
+	if r.NsPerOp <= 0 {
 		return result{}, false
 	}
 	return r, true

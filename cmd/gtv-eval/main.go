@@ -132,7 +132,8 @@ func readRawCSV(path string) (rows [][]string, header []string, err error) {
 	if err != nil {
 		return nil, nil, err
 	}
-	defer f.Close()
+	// Read-only file: a Close failure cannot lose data.
+	defer func() { _ = f.Close() }()
 	cr := csv.NewReader(f)
 	all, err := cr.ReadAll()
 	if err != nil {

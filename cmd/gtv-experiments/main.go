@@ -69,7 +69,13 @@ func run(args []string, stdout io.Writer) error {
 		if err != nil {
 			return fmt.Errorf("opening -out file: %w", err)
 		}
-		defer f.Close()
+		defer func() {
+			// The file is written to throughout the run; a failed Close can
+			// mean lost results, so it must not pass silently.
+			if cerr := f.Close(); cerr != nil {
+				fmt.Fprintln(os.Stderr, "gtv-experiments: closing -out file:", cerr)
+			}
+		}()
 		w = io.MultiWriter(stdout, f)
 	}
 

@@ -1,0 +1,106 @@
+// Command gtv-lint runs the repo's domain-specific static analyzers (see
+// internal/lint and DESIGN.md "Static analysis") over the module and
+// exits non-zero on any finding. It is wired into ci.sh between go vet
+// and the build, and `make lint` runs it standalone.
+//
+// Usage:
+//
+//	gtv-lint              # analyze the whole module
+//	gtv-lint ./...        # same
+//	gtv-lint internal/vfl # only report findings under these path prefixes
+//	gtv-lint -list        # print the rule catalog
+//	gtv-lint -rules floateq,maporder
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+
+	"repro/internal/lint"
+)
+
+func main() {
+	code, err := run(os.Args[1:], os.Stdout)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "gtv-lint:", err)
+		os.Exit(2)
+	}
+	os.Exit(code)
+}
+
+func run(args []string, stdout *os.File) (int, error) {
+	fs := flag.NewFlagSet("gtv-lint", flag.ContinueOnError)
+	var (
+		root  = fs.String("root", ".", "directory inside the module to lint")
+		list  = fs.Bool("list", false, "print the rule catalog and exit")
+		rules = fs.String("rules", "", "comma-separated rule subset (default: all)")
+	)
+	if err := fs.Parse(args); err != nil {
+		return 2, err
+	}
+	if *list {
+		for _, a := range lint.Analyzers() {
+			fmt.Fprintf(stdout, "%-14s %s\n", a.Name, a.Doc)
+		}
+		return 0, nil
+	}
+
+	analyzers := lint.Analyzers()
+	if *rules != "" {
+		analyzers = analyzers[:0:0]
+		for _, name := range strings.Split(*rules, ",") {
+			a := lint.AnalyzerByName(strings.TrimSpace(name))
+			if a == nil {
+				return 2, fmt.Errorf("unknown rule %q (try -list)", name)
+			}
+			analyzers = append(analyzers, a)
+		}
+	}
+
+	loader, err := lint.NewLoader(*root)
+	if err != nil {
+		return 2, err
+	}
+	pkgs, err := loader.LoadModule()
+	if err != nil {
+		return 2, err
+	}
+	findings := lint.Run(pkgs, analyzers)
+	lint.Relativize(findings, loader.ModuleRoot)
+
+	// Positional arguments filter reported paths; "./..." (or none) means
+	// everything.
+	var prefixes []string
+	for _, arg := range fs.Args() {
+		if arg == "./..." || arg == "..." || arg == "." {
+			prefixes = nil
+			break
+		}
+		prefixes = append(prefixes, filepath.Clean(strings.TrimPrefix(arg, "./")))
+	}
+	shown := 0
+	for _, f := range findings {
+		if len(prefixes) > 0 && !matchesAny(f.Pos.Filename, prefixes) {
+			continue
+		}
+		fmt.Fprintln(stdout, f)
+		shown++
+	}
+	if shown > 0 {
+		fmt.Fprintf(stdout, "gtv-lint: %d finding(s)\n", shown)
+		return 1, nil
+	}
+	return 0, nil
+}
+
+func matchesAny(path string, prefixes []string) bool {
+	for _, p := range prefixes {
+		if path == p || strings.HasPrefix(path, p+string(filepath.Separator)) {
+			return true
+		}
+	}
+	return false
+}

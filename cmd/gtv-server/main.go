@@ -68,7 +68,9 @@ func run(args []string) error {
 		if err != nil {
 			return err
 		}
-		defer proxy.Close()
+		// Teardown of an already-finished training connection: nothing left
+		// to lose if the close fails.
+		defer func() { _ = proxy.Close() }()
 		clients[i] = proxy
 		fmt.Printf("connected to client %d at %s\n", i, addr)
 	}
@@ -109,9 +111,14 @@ func run(args []string) error {
 	if err != nil {
 		return fmt.Errorf("creating %s: %w", *synthOut, err)
 	}
-	defer f.Close()
 	if err := encoding.WriteCSV(f, synth); err != nil {
+		_ = f.Close() // the write error is the one worth reporting
 		return err
+	}
+	// A failed Close on a written file can mean the synthetic data never
+	// reached disk, so it is propagated rather than deferred away.
+	if err := f.Close(); err != nil {
+		return fmt.Errorf("closing %s: %w", *synthOut, err)
 	}
 	fmt.Printf("wrote %d synthetic rows (%d columns) to %s\n", synth.Rows(), synth.Cols(), *synthOut)
 	return nil

@@ -65,7 +65,11 @@ func run(args []string, stdout io.Writer) error {
 		if err != nil {
 			return fmt.Errorf("creating %s: %w", *cpuProfile, err)
 		}
-		defer f.Close()
+		defer func() {
+			if cerr := f.Close(); cerr != nil {
+				fmt.Fprintln(os.Stderr, "gtv-train: closing CPU profile:", cerr)
+			}
+		}()
 		if err := pprof.StartCPUProfile(f); err != nil {
 			return fmt.Errorf("starting CPU profile: %w", err)
 		}
@@ -78,10 +82,12 @@ func run(args []string, stdout io.Writer) error {
 				fmt.Fprintln(os.Stderr, "gtv-train: creating heap profile:", err)
 				return
 			}
-			defer f.Close()
 			runtime.GC() // flush dead objects so the profile shows live retention
 			if err := pprof.WriteHeapProfile(f); err != nil {
 				fmt.Fprintln(os.Stderr, "gtv-train: writing heap profile:", err)
+			}
+			if err := f.Close(); err != nil {
+				fmt.Fprintln(os.Stderr, "gtv-train: closing heap profile:", err)
 			}
 		}()
 	}
@@ -189,9 +195,14 @@ func run(args []string, stdout io.Writer) error {
 		if err != nil {
 			return fmt.Errorf("creating %s: %w", *synthOut, err)
 		}
-		defer f.Close()
 		if err := encoding.WriteCSV(f, synth); err != nil {
+			_ = f.Close() // the write error is the one worth reporting
 			return err
+		}
+		// A failed Close on a written file can mean the synthetic data never
+		// reached disk, so it is propagated rather than deferred away.
+		if err := f.Close(); err != nil {
+			return fmt.Errorf("closing %s: %w", *synthOut, err)
 		}
 		fmt.Fprintf(stdout, "synthetic data written to %s\n", *synthOut)
 	}

@@ -52,7 +52,8 @@ func main() {
 		if err != nil {
 			log.Fatal(err)
 		}
-		defer proxy.Close()
+		// Teardown at example exit: nothing to lose if the close fails.
+		defer func() { _ = proxy.Close() }()
 		clients[i] = proxy
 		fmt.Printf("client %d serving %d columns at %s\n", i, part.Cols(), lis.Addr())
 	}

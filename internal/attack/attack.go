@@ -59,7 +59,8 @@ func (a *CuriousServer) Observe(cv *tensor.Dense, rows []int) error {
 	a.round++
 	for i, row := range rows {
 		for j := 0; j < a.cvWidth; j++ {
-			if cv.At(i, j) != 1 {
+			// CV bits are exact 0/1 indicators, so compare as integers.
+			if int(cv.At(i, j)) != 1 {
 				continue
 			}
 			cell, ok := a.observations[row]
@@ -139,7 +140,7 @@ func (r *Reconstruction) Accuracy(tables []*encoding.Table, spans []CVSpan) (flo
 			}
 		}
 	}
-	if total == 0 {
+	if total < 1 {
 		return 0, errors.New("attack: no observations to score")
 	}
 	return correct / total, nil

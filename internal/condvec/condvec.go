@@ -86,7 +86,7 @@ func NewSampler(t *encoding.Table, tr *encoding.Transformer) (*Sampler, error) {
 			probs[k] = math.Log1p(f * float64(t.Rows()))
 			total += probs[k]
 		}
-		if total == 0 {
+		if total <= 0 {
 			return nil, fmt.Errorf("condvec: column %d has no observed categories", sp.Column)
 		}
 		for k := range probs {

@@ -378,7 +378,7 @@ func dot(a, b []float64) float64 {
 // sampling (the Gumbel-max trick).
 func gumbel(rng *rand.Rand) float64 {
 	u := rng.Float64()
-	for u == 0 {
+	for u <= 0 {
 		u = rng.Float64()
 	}
 	return -math.Log(-math.Log(u))

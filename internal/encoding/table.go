@@ -102,6 +102,7 @@ func NewTable(specs []ColumnSpec, data *tensor.Dense) (*Table, error) {
 				return nil, fmt.Errorf("encoding: row %d column %q is not finite", i, specs[j].Name)
 			}
 			if specs[j].Kind == KindCategorical {
+				//lint:ignore floateq category indices must be exactly integral; Trunc round-trip is the intended exactness test
 				if v != math.Trunc(v) || v < 0 || int(v) >= len(specs[j].Categories) {
 					return nil, fmt.Errorf("encoding: row %d column %q has invalid category index %v", i, specs[j].Name, v)
 				}

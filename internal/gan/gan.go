@@ -9,6 +9,7 @@ package gan
 import (
 	"math"
 	"math/rand"
+	"sort"
 
 	ag "repro/internal/autograd"
 	"repro/internal/condvec"
@@ -57,7 +58,7 @@ func gumbelSoftmax(logits *ag.Value, rng *rand.Rand, hard bool) *ag.Value {
 	data := noise.Data()
 	for i := range data {
 		u := rng.Float64()
-		for u == 0 {
+		for u <= 0 {
 			u = rng.Float64()
 		}
 		data[i] = -math.Log(-math.Log(u))
@@ -96,9 +97,18 @@ func ConditionLoss(rawOut *ag.Value, catSpans []encoding.Span, choices []condvec
 	if len(rowsBySpan) == 0 {
 		return ag.Scalar(0)
 	}
+	// Iterate spans in sorted order: map iteration order is randomized per
+	// run, and float addition is not associative, so accumulating the span
+	// terms in map order would make same-seed runs diverge bit-for-bit.
+	spanIdxs := make([]int, 0, len(rowsBySpan))
+	for spanIdx := range rowsBySpan {
+		spanIdxs = append(spanIdxs, spanIdx)
+	}
+	sort.Ints(spanIdxs)
 	total := ag.Scalar(0)
 	var counted float64
-	for spanIdx, rows := range rowsBySpan {
+	for _, spanIdx := range spanIdxs {
+		rows := rowsBySpan[spanIdx]
 		sp := catSpans[spanIdx]
 		logits := ag.SliceCols(ag.GatherRows(rawOut, rows), sp.Start, sp.End())
 		probs := ag.SoftmaxRows(logits)

@@ -1,0 +1,94 @@
+package lint
+
+import (
+	"go/ast"
+	"go/types"
+)
+
+// AnalyzerErrDrop flags statements that call an error-returning function
+// and silently drop the result: bare expression statements, defers, and
+// go statements. In this codebase a dropped error on a vfl transport or
+// protocol call means a failed round looks like a successful one, and a
+// dropped Close on a written file means data loss goes unnoticed.
+// Explicitly assigning the error to _ is accepted as a deliberate,
+// reviewable decision. Calls into fmt and writes to in-memory buffers
+// (strings.Builder, bytes.Buffer), which are documented never to fail
+// meaningfully, are exempt.
+var AnalyzerErrDrop = &Analyzer{
+	Name: "errdrop",
+	Doc:  "flag statements that silently drop an error result",
+	Run:  runErrDrop,
+}
+
+func runErrDrop(p *Pass) {
+	info := p.Pkg.Info
+	for _, file := range p.Pkg.Files {
+		ast.Inspect(file, func(n ast.Node) bool {
+			var call *ast.CallExpr
+			switch st := n.(type) {
+			case *ast.ExprStmt:
+				call, _ = ast.Unparen(st.X).(*ast.CallExpr)
+			case *ast.DeferStmt:
+				call = st.Call
+			case *ast.GoStmt:
+				call = st.Call
+			}
+			if call == nil || !returnsError(info, call) || errDropExempt(info, call) {
+				return true
+			}
+			p.Reportf(call.Pos(), "%s returns an error that is silently dropped; handle it or assign it to _ deliberately", calleeName(info, call))
+			return true
+		})
+	}
+}
+
+// returnsError reports whether any result of the call is the error type.
+func returnsError(info *types.Info, call *ast.CallExpr) bool {
+	t := info.TypeOf(call)
+	if t == nil {
+		return false
+	}
+	if tup, ok := t.(*types.Tuple); ok {
+		for i := 0; i < tup.Len(); i++ {
+			if isErrorType(tup.At(i).Type()) {
+				return true
+			}
+		}
+		return false
+	}
+	return isErrorType(t)
+}
+
+// errDropExempt lists the never-meaningfully-fails targets: the fmt
+// package and in-memory buffer writers.
+func errDropExempt(info *types.Info, call *ast.CallExpr) bool {
+	obj := calleeObject(info, call)
+	fn, ok := obj.(*types.Func)
+	if !ok {
+		return false
+	}
+	if fn.Pkg() != nil && fn.Pkg().Path() == "fmt" {
+		return true
+	}
+	sig, ok := fn.Type().(*types.Signature)
+	if !ok || sig.Recv() == nil {
+		return false
+	}
+	switch recvTypeString(sig.Recv().Type()) {
+	case "strings.Builder", "bytes.Buffer":
+		return true
+	}
+	return false
+}
+
+// recvTypeString renders a receiver type as "pkg.Name" without pointers.
+func recvTypeString(t types.Type) string {
+	if ptr, ok := t.(*types.Pointer); ok {
+		t = ptr.Elem()
+	}
+	named, ok := t.(*types.Named)
+	if !ok || named.Obj().Pkg() == nil {
+		return ""
+	}
+	return named.Obj().Pkg().Path() + "." + named.Obj().Name()
+}

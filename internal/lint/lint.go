@@ -1,0 +1,336 @@
+// Package lint is a from-scratch static-analysis driver for this repo,
+// built only on the stdlib go/ast, go/parser and go/types packages. It
+// enforces the invariants GTV's reproducibility and concurrency claims
+// rest on but the compiler cannot see: pooled-buffer and tape lifetimes,
+// seeded-randomness discipline, map-iteration determinism, float
+// comparison hygiene, mutex-guarded field access, and unchecked protocol
+// errors. See DESIGN.md ("Static analysis") for the rule catalog and how
+// to add a rule.
+package lint
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+	"path/filepath"
+	"regexp"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// Analyzer is one named rule. Run inspects a single type-checked package
+// and reports findings through the Pass.
+type Analyzer struct {
+	// Name is the rule ID used in reports and //lint:ignore comments.
+	Name string
+	// Doc is a one-line description for -list output.
+	Doc string
+	// Run executes the rule over one package.
+	Run func(*Pass)
+}
+
+// Pass carries one (analyzer, package) execution.
+type Pass struct {
+	// Pkg is the package under analysis.
+	Pkg *Package
+
+	analyzer *Analyzer
+	findings *[]Finding
+}
+
+// Reportf records a finding at pos.
+func (p *Pass) Reportf(pos token.Pos, format string, args ...any) {
+	*p.findings = append(*p.findings, Finding{
+		Pos:  p.Pkg.Fset.Position(pos),
+		Rule: p.analyzer.Name,
+		Msg:  fmt.Sprintf(format, args...),
+	})
+}
+
+// Finding is one rule violation at a source position.
+type Finding struct {
+	Pos  token.Position
+	Rule string
+	Msg  string
+}
+
+// String renders a finding in file:line:col form. Paths are kept as the
+// loader produced them; callers may relativize beforehand.
+func (f Finding) String() string {
+	return fmt.Sprintf("%s:%d:%d: %s (%s)", f.Pos.Filename, f.Pos.Line, f.Pos.Column, f.Msg, f.Rule)
+}
+
+// Analyzers returns the full rule registry in reporting order.
+func Analyzers() []*Analyzer {
+	return []*Analyzer{
+		AnalyzerTapeLifetime,
+		AnalyzerGlobalRand,
+		AnalyzerMapOrder,
+		AnalyzerFloatEq,
+		AnalyzerLockedField,
+		AnalyzerErrDrop,
+	}
+}
+
+// AnalyzerByName resolves a rule ID, or nil.
+func AnalyzerByName(name string) *Analyzer {
+	for _, a := range Analyzers() {
+		if a.Name == name {
+			return a
+		}
+	}
+	return nil
+}
+
+// Run executes the analyzers over every package, applies //lint:ignore
+// suppressions, and returns the surviving findings sorted by position.
+// Malformed or unused suppressions are themselves findings (rule "lint"),
+// so suppressions can never silently rot into blanket disables.
+func Run(pkgs []*Package, analyzers []*Analyzer) []Finding {
+	var all []Finding
+	for _, pkg := range pkgs {
+		var raw []Finding
+		for _, a := range analyzers {
+			a.Run(&Pass{Pkg: pkg, analyzer: a, findings: &raw})
+		}
+		sup, bad := collectSuppressions(pkg)
+		all = append(all, bad...)
+		for _, f := range raw {
+			if s := sup.match(f); s != nil {
+				s.used = true
+				continue
+			}
+			all = append(all, f)
+		}
+		all = append(all, sup.unused()...)
+	}
+	sort.Slice(all, func(i, j int) bool {
+		a, b := all[i], all[j]
+		if a.Pos.Filename != b.Pos.Filename {
+			return a.Pos.Filename < b.Pos.Filename
+		}
+		if a.Pos.Line != b.Pos.Line {
+			return a.Pos.Line < b.Pos.Line
+		}
+		if a.Pos.Column != b.Pos.Column {
+			return a.Pos.Column < b.Pos.Column
+		}
+		return a.Rule < b.Rule
+	})
+	return all
+}
+
+// Relativize rewrites finding paths relative to root for stable output.
+func Relativize(findings []Finding, root string) {
+	for i := range findings {
+		if rel, err := filepath.Rel(root, findings[i].Pos.Filename); err == nil {
+			findings[i].Pos.Filename = rel
+		}
+	}
+}
+
+// ---- suppression comments ----
+
+// A suppression is one well-formed "//lint:ignore <rule> <reason>"
+// comment. It silences findings of that rule on its own line and on the
+// line directly below it (so it works both as a trailing comment and as a
+// comment line above the offending statement).
+type suppression struct {
+	file string
+	line int
+	rule string
+	pos  token.Position
+	used bool
+}
+
+type suppressionSet []*suppression
+
+func (s suppressionSet) match(f Finding) *suppression {
+	for _, sup := range s {
+		if sup.rule == f.Rule && sup.file == f.Pos.Filename &&
+			(sup.line == f.Pos.Line || sup.line == f.Pos.Line-1) {
+			return sup
+		}
+	}
+	return nil
+}
+
+func (s suppressionSet) unused() []Finding {
+	var out []Finding
+	for _, sup := range s {
+		if !sup.used {
+			out = append(out, Finding{
+				Pos:  sup.pos,
+				Rule: "lint",
+				Msg:  fmt.Sprintf("unused //lint:ignore %s suppression (nothing to suppress here; delete it)", sup.rule),
+			})
+		}
+	}
+	return out
+}
+
+// collectSuppressions parses every //lint:ignore comment of a package.
+// Malformed ones (missing rule, unknown rule, or missing reason) are
+// returned as findings so they cannot act as blanket disables.
+func collectSuppressions(pkg *Package) (suppressionSet, []Finding) {
+	var (
+		sups suppressionSet
+		bad  []Finding
+	)
+	for _, file := range pkg.Files {
+		for _, cg := range file.Comments {
+			for _, c := range cg.List {
+				text, ok := strings.CutPrefix(c.Text, "//lint:ignore")
+				if !ok {
+					continue
+				}
+				pos := pkg.Fset.Position(c.Pos())
+				fields := strings.Fields(text)
+				if len(fields) < 2 {
+					bad = append(bad, Finding{Pos: pos, Rule: "lint",
+						Msg: "malformed suppression: want //lint:ignore <rule> <reason>"})
+					continue
+				}
+				rule := fields[0]
+				if AnalyzerByName(rule) == nil {
+					bad = append(bad, Finding{Pos: pos, Rule: "lint",
+						Msg: fmt.Sprintf("suppression names unknown rule %q", rule)})
+					continue
+				}
+				sups = append(sups, &suppression{file: pos.Filename, line: pos.Line, rule: rule, pos: pos})
+			}
+		}
+	}
+	return sups, bad
+}
+
+// ---- shared analysis helpers ----
+
+// errorType is the universe error interface.
+var errorType = types.Universe.Lookup("error").Type()
+
+// isErrorType reports whether t is exactly the error interface.
+func isErrorType(t types.Type) bool { return t != nil && types.Identical(t, errorType) }
+
+// isFloat reports whether t's underlying type is a floating-point or
+// complex basic type.
+func isFloat(t types.Type) bool {
+	b, ok := t.Underlying().(*types.Basic)
+	return ok && b.Info()&(types.IsFloat|types.IsComplex) != 0
+}
+
+// isInteger reports whether t's underlying type is an integer or boolean
+// basic type (accumulations over these are order-independent).
+func isOrderInsensitive(t types.Type) bool {
+	b, ok := t.Underlying().(*types.Basic)
+	return ok && b.Info()&(types.IsInteger|types.IsBoolean|types.IsUnsigned) != 0
+}
+
+// calleeObject resolves the object a call expression invokes (function,
+// method, or builtin), or nil when it cannot (calls through function
+// values, conversions).
+func calleeObject(info *types.Info, call *ast.CallExpr) types.Object {
+	switch fun := ast.Unparen(call.Fun).(type) {
+	case *ast.Ident:
+		return info.Uses[fun]
+	case *ast.SelectorExpr:
+		return info.Uses[fun.Sel]
+	}
+	return nil
+}
+
+// calleeName renders a human-readable name for a call's target.
+func calleeName(info *types.Info, call *ast.CallExpr) string {
+	switch fun := ast.Unparen(call.Fun).(type) {
+	case *ast.Ident:
+		return fun.Name
+	case *ast.SelectorExpr:
+		if x, ok := ast.Unparen(fun.X).(*ast.Ident); ok {
+			return x.Name + "." + fun.Sel.Name
+		}
+		return types.ExprString(fun.X) + "." + fun.Sel.Name
+	}
+	return "call"
+}
+
+// pkgPathSuffix reports whether obj belongs to a package whose import
+// path is exactly path or ends with "/"+path. Matching by suffix keeps
+// analyzers independent of the module name, so fixture packages that
+// import the real module resolve the same way the module itself does.
+func pkgPathSuffix(obj types.Object, path string) bool {
+	if obj == nil || obj.Pkg() == nil {
+		return false
+	}
+	p := obj.Pkg().Path()
+	return p == path || strings.HasSuffix(p, "/"+path)
+}
+
+// isPkgFunc reports whether call invokes the package-level function
+// pkgSuffix.name.
+func isPkgFunc(info *types.Info, call *ast.CallExpr, pkgSuffix, name string) bool {
+	obj := calleeObject(info, call)
+	fn, ok := obj.(*types.Func)
+	return ok && fn.Name() == name && fn.Type().(*types.Signature).Recv() == nil && pkgPathSuffix(fn, pkgSuffix)
+}
+
+// walkStack traverses root depth-first, calling fn with the node stack
+// (outermost first, current node last). Returning false skips the
+// subtree.
+func walkStack(root ast.Node, fn func(stack []ast.Node) bool) {
+	var stack []ast.Node
+	ast.Inspect(root, func(n ast.Node) bool {
+		if n == nil {
+			stack = stack[:len(stack)-1]
+			return true
+		}
+		stack = append(stack, n)
+		if !fn(stack) {
+			stack = stack[:len(stack)-1]
+			return false
+		}
+		return true
+	})
+}
+
+// enclosingFuncBody returns the body of the innermost FuncDecl or FuncLit
+// on the stack (excluding the last element itself if it is the function),
+// or nil.
+func enclosingFuncBody(stack []ast.Node) *ast.BlockStmt {
+	for i := len(stack) - 2; i >= 0; i-- {
+		switch f := stack[i].(type) {
+		case *ast.FuncDecl:
+			return f.Body
+		case *ast.FuncLit:
+			return f.Body
+		}
+	}
+	return nil
+}
+
+// outermostFuncBody returns the body of the outermost enclosing FuncDecl.
+func outermostFuncBody(stack []ast.Node) *ast.BlockStmt {
+	for i := 0; i < len(stack); i++ {
+		if f, ok := stack[i].(*ast.FuncDecl); ok {
+			return f.Body
+		}
+	}
+	return nil
+}
+
+var guardedRe = regexp.MustCompile(`guarded by ([A-Za-z_][A-Za-z0-9_]*)`)
+
+// unquoteAll extracts the unquoted contents of every double-quoted string
+// in s (used by the test harness for // want "..." expectations).
+func unquoteAll(s string) []string {
+	var out []string
+	re := regexp.MustCompile(`"(?:[^"\\]|\\.)*"`)
+	for _, q := range re.FindAllString(s, -1) {
+		u, err := strconv.Unquote(q)
+		if err == nil {
+			out = append(out, u)
+		}
+	}
+	return out
+}

@@ -1,0 +1,173 @@
+package lint
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+	"regexp"
+	"strings"
+	"testing"
+)
+
+// fixtureCases maps each analyzer to the fixture packages exercising it.
+// Fixture files carry `// want "regexp"` comments on the lines where a
+// finding is expected; lines without one must stay clean.
+var fixtureCases = []struct {
+	rule       string
+	dir        string
+	importPath string
+}{
+	{"tapelifetime", "testdata/src/tapelifetime", "tapelifetime"},
+	{"globalrand", "testdata/src/globalrand", "globalrand"},
+	{"globalrand", "testdata/src/cmd/globalrandcmd", "cmd/globalrandcmd"},
+	{"maporder", "testdata/src/maporder", "maporder"},
+	{"floateq", "testdata/src/floateq", "floateq"},
+	{"lockedfield", "testdata/src/lockedfield", "lockedfield"},
+	{"errdrop", "testdata/src/errdrop", "errdrop"},
+	{"floateq", "testdata/src/suppress", "suppress"},
+}
+
+func TestAnalyzersOnFixtures(t *testing.T) {
+	loader, err := NewLoader(".")
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, tc := range fixtureCases {
+		name := tc.rule + "/" + filepath.Base(tc.dir)
+		t.Run(name, func(t *testing.T) {
+			a := AnalyzerByName(tc.rule)
+			if a == nil {
+				t.Fatalf("unknown rule %q", tc.rule)
+			}
+			pkg, err := loader.LoadDir(tc.dir, tc.importPath)
+			if err != nil {
+				t.Fatal(err)
+			}
+			findings := Run([]*Package{pkg}, []*Analyzer{a})
+			checkWants(t, tc.dir, findings)
+		})
+	}
+}
+
+// expectation is one parsed `// want "re"` comment.
+type expectation struct {
+	file    string
+	line    int
+	re      *regexp.Regexp
+	matched bool
+}
+
+// parseWants scans every fixture file in dir for want comments.
+func parseWants(t *testing.T, dir string) []*expectation {
+	t.Helper()
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var wants []*expectation
+	for _, e := range entries {
+		if e.IsDir() || !strings.HasSuffix(e.Name(), ".go") {
+			continue
+		}
+		path := filepath.Join(dir, e.Name())
+		data, err := os.ReadFile(path)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for i, line := range strings.Split(string(data), "\n") {
+			idx := strings.Index(line, "// want ")
+			if idx < 0 {
+				continue
+			}
+			quoted := unquoteAll(line[idx+len("// want "):])
+			if len(quoted) == 0 {
+				t.Fatalf("%s:%d: want comment with no quoted regexp", path, i+1)
+			}
+			for _, q := range quoted {
+				re, err := regexp.Compile(q)
+				if err != nil {
+					t.Fatalf("%s:%d: bad want regexp %q: %v", path, i+1, q, err)
+				}
+				wants = append(wants, &expectation{file: path, line: i + 1, re: re})
+			}
+		}
+	}
+	return wants
+}
+
+// checkWants verifies findings against the dir's want comments: every
+// finding must match exactly one pending expectation on its line, and
+// every expectation must be consumed.
+func checkWants(t *testing.T, dir string, findings []Finding) {
+	t.Helper()
+	wants := parseWants(t, dir)
+	for _, f := range findings {
+		full := fmt.Sprintf("%s (%s)", f.Msg, f.Rule)
+		var hit *expectation
+		for _, w := range wants {
+			if !w.matched && w.file == f.Pos.Filename && w.line == f.Pos.Line && w.re.MatchString(full) {
+				hit = w
+				break
+			}
+		}
+		if hit == nil {
+			t.Errorf("unexpected finding: %s", f)
+			continue
+		}
+		hit.matched = true
+	}
+	for _, w := range wants {
+		if !w.matched {
+			t.Errorf("%s:%d: expected a finding matching %q, got none", w.file, w.line, w.re)
+		}
+	}
+}
+
+// TestMalformedSuppressions covers the forms a want comment cannot
+// annotate inline (the want text would change how the suppression
+// parses): a missing reason and an unknown rule name must both surface
+// as rule-"lint" findings.
+func TestMalformedSuppressions(t *testing.T) {
+	loader, err := NewLoader(".")
+	if err != nil {
+		t.Fatal(err)
+	}
+	pkg, err := loader.LoadDir("testdata/src/suppressbad", "suppressbad")
+	if err != nil {
+		t.Fatal(err)
+	}
+	findings := Run([]*Package{pkg}, []*Analyzer{AnalyzerFloatEq})
+	if len(findings) != 2 {
+		t.Fatalf("got %d findings, want 2: %v", len(findings), findings)
+	}
+	for _, f := range findings {
+		if f.Rule != "lint" {
+			t.Errorf("finding %s: rule = %q, want \"lint\"", f, f.Rule)
+		}
+	}
+	if !strings.Contains(findings[0].Msg, "malformed suppression") {
+		t.Errorf("first finding %q, want a malformed-suppression report", findings[0].Msg)
+	}
+	if !strings.Contains(findings[1].Msg, `unknown rule "nosuchrule"`) {
+		t.Errorf("second finding %q, want an unknown-rule report", findings[1].Msg)
+	}
+}
+
+func TestAnalyzerRegistry(t *testing.T) {
+	seen := map[string]bool{}
+	for _, a := range Analyzers() {
+		if a.Name == "" || a.Doc == "" || a.Run == nil {
+			t.Errorf("analyzer %+v is missing a name, doc, or run function", a)
+		}
+		if seen[a.Name] {
+			t.Errorf("duplicate analyzer name %q", a.Name)
+		}
+		seen[a.Name] = true
+		if AnalyzerByName(a.Name) != a {
+			t.Errorf("AnalyzerByName(%q) does not round-trip", a.Name)
+		}
+	}
+	if AnalyzerByName("lint") != nil {
+		t.Error(`"lint" must stay reserved for driver findings`)
+	}
+}

@@ -1,0 +1,30 @@
+package lint
+
+import "testing"
+
+// TestModuleIsLintClean runs every analyzer over the whole module — the
+// same sweep ci.sh performs via cmd/gtv-lint — so a violation introduced
+// anywhere in the tree fails `go test ./internal/lint/...` without
+// needing the CI script. Skipped under -short: it type-checks the entire
+// module.
+func TestModuleIsLintClean(t *testing.T) {
+	if testing.Short() {
+		t.Skip("skipping whole-module lint sweep in short mode")
+	}
+	loader, err := NewLoader(".")
+	if err != nil {
+		t.Fatal(err)
+	}
+	pkgs, err := loader.LoadModule()
+	if err != nil {
+		t.Fatal(err)
+	}
+	findings := Run(pkgs, Analyzers())
+	Relativize(findings, loader.ModuleRoot)
+	for _, f := range findings {
+		t.Errorf("%s", f)
+	}
+	if len(pkgs) < 10 {
+		t.Errorf("loaded only %d packages; the module walk looks broken", len(pkgs))
+	}
+}

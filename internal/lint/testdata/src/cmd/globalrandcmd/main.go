@@ -1,0 +1,14 @@
+// Negative fixture: packages under a cmd/ path segment are exempt from
+// the globalrand rule (wall-clock use in commands is legitimate).
+package main
+
+import (
+	"fmt"
+	"math/rand"
+	"time"
+)
+
+func main() {
+	rng := rand.New(rand.NewSource(time.Now().UnixNano()))
+	fmt.Println(rng.Int(), rand.Int())
+}

@@ -1,0 +1,43 @@
+// Fixture for the errdrop rule: statements that silently drop an error
+// result.
+package errdrop
+
+import (
+	"errors"
+	"fmt"
+	"strings"
+)
+
+func mayFail() error { return errors.New("boom") }
+
+type closer interface{ Close() error }
+
+func badBare() {
+	mayFail() // want "mayFail returns an error that is silently dropped"
+}
+
+func badDefer(f closer) {
+	defer f.Close() // want "f.Close returns an error that is silently dropped"
+}
+
+func badGo() {
+	go mayFail() // want "mayFail returns an error that is silently dropped"
+}
+
+func goodReturned() error {
+	return mayFail()
+}
+
+func goodExplicitDrop() {
+	_ = mayFail()
+}
+
+func goodFmt() {
+	fmt.Println("fmt is exempt")
+}
+
+func goodBuilder() string {
+	var b strings.Builder
+	b.WriteString("in-memory writes are exempt")
+	return b.String()
+}

@@ -1,0 +1,32 @@
+// Fixture for the floateq rule: exact ==/!= on floating-point operands.
+package floateq
+
+func badEq(a, b float64) bool {
+	return a == b // want "floating-point == comparison is rounding-sensitive"
+}
+
+func badNeqZero(a float64) bool {
+	return a != 0 // want "floating-point != comparison is rounding-sensitive"
+}
+
+func badFloat32(a float32) bool {
+	return a == 1.5 // want "floating-point == comparison is rounding-sensitive"
+}
+
+func goodInt(a, b int) bool {
+	return a == b
+}
+
+func goodTolerance(a, b float64) bool {
+	d := a - b
+	if d < 0 {
+		d = -d
+	}
+	return d < 1e-9
+}
+
+const half = 0.5
+const ratio = 1.0 / 2.0
+
+// Both operands are compile-time constants: evaluated exactly, no finding.
+var constantsAreExact = half == ratio

@@ -1,0 +1,28 @@
+// Fixture for the globalrand rule: no process-global math/rand functions
+// and no time-derived seeds outside cmd/.
+package globalrand
+
+import (
+	"math/rand"
+	"time"
+)
+
+func badGlobal() int {
+	return rand.Int() // want "math/rand.Int draws from the process-global source"
+}
+
+func badShuffle(xs []int) {
+	rand.Shuffle(len(xs), func(i, j int) { xs[i], xs[j] = xs[j], xs[i] }) // want "math/rand.Shuffle draws from the process-global source"
+}
+
+func badSeed() rand.Source {
+	return rand.NewSource(time.Now().UnixNano()) // want "seeding rand.NewSource from time.Now"
+}
+
+func goodSeeded(seed int64) *rand.Rand {
+	return rand.New(rand.NewSource(seed))
+}
+
+func goodDraw(rng *rand.Rand) float64 {
+	return rng.Float64() // method on an explicit generator: fine
+}

@@ -1,0 +1,51 @@
+// Fixture for the lockedfield rule: fields annotated "guarded by <mutex>"
+// may only be touched in functions that lock that mutex.
+package lockedfield
+
+import "sync"
+
+type counter struct {
+	mu sync.Mutex
+	n  int // guarded by mu
+}
+
+func (c *counter) goodInc() {
+	c.mu.Lock()
+	c.n++
+	c.mu.Unlock()
+}
+
+func (c *counter) goodDeferred() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.n
+}
+
+func (c *counter) badRead() int {
+	return c.n // want "counter.n is guarded by counter.mu but this function never locks c.mu"
+}
+
+type rwBox struct {
+	mu sync.RWMutex
+	// The value cache; guarded by mu.
+	val string
+}
+
+func (b *rwBox) goodGet() string {
+	b.mu.RLock()
+	defer b.mu.RUnlock()
+	return b.val
+}
+
+func (b *rwBox) badSet(s string) {
+	b.val = s // want "rwBox.val is guarded by rwBox.mu but this function never locks b.mu"
+}
+
+type unguarded struct {
+	mu sync.Mutex
+	n  int
+}
+
+func (u *unguarded) anyAccess() int {
+	return u.n // no annotation: no finding
+}

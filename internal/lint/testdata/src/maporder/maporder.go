@@ -1,0 +1,68 @@
+// Fixture for the maporder rule: order-sensitive accumulation inside
+// range-over-map loops.
+package maporder
+
+import "sort"
+
+func badAppend(m map[string]int) []string {
+	var keys []string
+	for k := range m {
+		keys = append(keys, k) // want "append to keys inside range over a map"
+	}
+	return keys
+}
+
+func goodCollectThenSort(m map[string]int) []string {
+	var keys []string
+	for k := range m {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	return keys
+}
+
+func badFloatSum(m map[string]float64) float64 {
+	var total float64
+	for _, v := range m {
+		total += v // want "\\+= accumulation into total inside range over a map"
+	}
+	return total
+}
+
+func goodIntSum(m map[string]int) int {
+	var n int
+	for _, v := range m {
+		n += v // integer addition is exact and order-independent
+	}
+	return n
+}
+
+func badSelfReferential(m map[string]string) string {
+	out := ""
+	for _, v := range m {
+		out = out + v // want "self-referential update of out inside range over a map"
+	}
+	return out
+}
+
+func goodLoopLocal(m map[string][]float64) int {
+	rows := 0
+	for _, vs := range m {
+		var s float64
+		for _, v := range vs {
+			s += v // accumulator is loop-local: resets every iteration
+		}
+		if s > 0 {
+			rows++
+		}
+	}
+	return rows
+}
+
+func goodSliceRange(xs []float64) float64 {
+	var total float64
+	for _, v := range xs {
+		total += v // slice iteration order is deterministic
+	}
+	return total
+}

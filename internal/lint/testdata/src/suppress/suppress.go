@@ -1,0 +1,22 @@
+// Fixture for //lint:ignore suppression semantics: a suppression silences
+// findings of its rule on its own line and the line below; a suppression
+// that silences nothing is itself a finding.
+package suppress
+
+func suppressedDocForm(a, b float64) bool {
+	//lint:ignore floateq fixture: deliberate exact comparison, doc-comment form
+	return a == b
+}
+
+func suppressedTrailingForm(a, b float64) bool {
+	return a == b //lint:ignore floateq fixture: deliberate exact comparison, trailing form
+}
+
+func unsuppressed(a, b float64) bool {
+	return a == b // want "floating-point == comparison is rounding-sensitive"
+}
+
+func unusedSuppression(a, b int) bool {
+	//lint:ignore floateq integer comparison never fires this rule // want "unused //lint:ignore floateq suppression"
+	return a == b
+}

@@ -1,0 +1,9 @@
+// Fixture for malformed suppressions: both forms below must surface as
+// rule-"lint" findings so they can never act as blanket disables.
+package suppressbad
+
+//lint:ignore floateq
+var missingReason = 1
+
+//lint:ignore nosuchrule the rule name does not exist
+var unknownRule = 2

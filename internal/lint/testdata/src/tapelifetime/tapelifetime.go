@@ -1,0 +1,45 @@
+// Fixture for the tapelifetime rule: pooled buffers and tracked tapes
+// must be Released in the acquiring function unless they visibly escape.
+package tapelifetime
+
+import (
+	ag "repro/internal/autograd"
+	"repro/internal/tensor"
+)
+
+func leakBuffer() int {
+	buf := tensor.NewPooled(4, 4) // want "tensor.NewPooled buffer is acquired here but never Released"
+	return buf.Rows()
+}
+
+func releasedBuffer() int {
+	buf := tensor.NewPooled(4, 4)
+	defer buf.Release()
+	return buf.Rows()
+}
+
+func escapingBuffer() *tensor.Dense {
+	buf := tensor.NewPooled(2, 2)
+	return buf // ownership transfers to the caller: no finding
+}
+
+func leakConstructedTape(v *ag.Value) {
+	tape := ag.NewTape() // want "autograd tape is acquired here but never Released"
+	tape.Track(v)
+}
+
+func leakZeroValueTape(v *ag.Value) {
+	var tape ag.Tape // want "autograd tape is acquired here but never Released"
+	tape.Track(v)
+}
+
+func releasedTape(v *ag.Value) {
+	var tape ag.Tape
+	tape.Track(v)
+	tape.Release()
+}
+
+func untrackedTape() ag.Tape {
+	var tape ag.Tape // never tracked, and escapes: no finding
+	return tape
+}

@@ -29,13 +29,13 @@ func (m *LogisticRegression) Fit(x *tensor.Dense, y []int, numClasses int) error
 	if x.Rows() == 0 || x.Rows() != len(y) {
 		return errors.New("ml: logistic regression fit with empty or misaligned data")
 	}
-	if m.LR == 0 {
+	if m.LR <= 0 {
 		m.LR = 0.5
 	}
 	if m.Epochs == 0 {
 		m.Epochs = 200
 	}
-	if m.L2 == 0 {
+	if m.L2 <= 0 {
 		m.L2 = 1e-4
 	}
 	n, d := x.Shape()
@@ -104,13 +104,13 @@ func (m *LinearSVM) Fit(x *tensor.Dense, y []int, numClasses int) error {
 	if x.Rows() == 0 || x.Rows() != len(y) {
 		return errors.New("ml: svm fit with empty or misaligned data")
 	}
-	if m.LR == 0 {
+	if m.LR <= 0 {
 		m.LR = 0.1
 	}
 	if m.Epochs == 0 {
 		m.Epochs = 150
 	}
-	if m.C == 0 {
+	if m.C <= 0 {
 		m.C = 1
 	}
 	n, d := x.Shape()

@@ -68,7 +68,7 @@ func BinaryAUC(scores []float64, y []int) float64 {
 			neg++
 		}
 	}
-	if pos == 0 || neg == 0 {
+	if pos < 1 || neg < 1 {
 		return 0.5
 	}
 	sort.Slice(ps, func(a, b int) bool { return ps[a].s < ps[b].s })
@@ -77,7 +77,7 @@ func BinaryAUC(scores []float64, y []int) float64 {
 	ranks := make([]float64, len(ps))
 	for i := 0; i < len(ps); {
 		j := i
-		for j < len(ps) && ps[j].s == ps[i].s {
+		for j < len(ps) && !(ps[i].s < ps[j].s) { // sorted: not-less means tied
 			j++
 		}
 		avg := float64(i+j+1) / 2 // 1-based average rank

@@ -39,7 +39,7 @@ func (m *MLP) Fit(x *tensor.Dense, y []int, numClasses int) error {
 	if m.Epochs == 0 {
 		m.Epochs = 120
 	}
-	if m.LR == 0 {
+	if m.LR <= 0 {
 		m.LR = 1e-2
 	}
 	m.numClasses = numClasses

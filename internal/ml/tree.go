@@ -65,7 +65,7 @@ func (t *DecisionTree) build(x *tensor.Dense, y []int, idx []int, depth int) *tr
 	node := &treeNode{}
 	pure := false
 	for _, c := range counts {
-		if c == float64(len(idx)) {
+		if int(c) == len(idx) { // counts are exact integers
 			pure = true
 		}
 	}
@@ -123,7 +123,7 @@ func (t *DecisionTree) bestSplit(x *tensor.Dense, y []int, idx []int, parentCoun
 		for k := 0; k < len(vals)-1; k++ {
 			leftCounts[vals[k].y]++
 			rightCounts[vals[k].y]--
-			if vals[k].v == vals[k+1].v {
+			if !(vals[k].v < vals[k+1].v) { // sorted: not-less means equal value
 				continue
 			}
 			nl, nr := float64(k+1), n-float64(k+1)
@@ -170,7 +170,7 @@ func (t *DecisionTree) PredictProba(x *tensor.Dense) *tensor.Dense {
 }
 
 func gini(counts []float64, n float64) float64 {
-	if n == 0 {
+	if n < 1 {
 		return 0
 	}
 	s := 1.0

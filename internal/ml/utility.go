@@ -2,6 +2,7 @@ package ml
 
 import (
 	"fmt"
+	"sort"
 
 	"repro/internal/encoding"
 )
@@ -39,7 +40,15 @@ func UtilityScores(train, test *encoding.Table, target int, seed int64) (map[str
 	per := make(map[string]Scores)
 	var avg Scores
 	set := ClassifierSet(seed)
-	for name, clf := range set {
+	// Train and accumulate in sorted-name order: averaging float scores in
+	// randomized map order would make the reported utility run-dependent.
+	names := make([]string, 0, len(set))
+	for name := range set {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	for _, name := range names {
+		clf := set[name]
 		if err := clf.Fit(xTrain, yTrain, k); err != nil {
 			return nil, Scores{}, fmt.Errorf("ml: fitting %s: %w", name, err)
 		}

@@ -169,7 +169,7 @@ func NewDropout(rng *rand.Rand, p float64) *Dropout {
 
 // Forward implements Layer.
 func (d *Dropout) Forward(x *ag.Value, train bool) *ag.Value {
-	if !train || d.P == 0 {
+	if !train || d.P <= 0 {
 		return x
 	}
 	rows, cols := x.Shape()

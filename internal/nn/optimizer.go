@@ -104,7 +104,7 @@ func (s *SGD) Step(params, grads []*ag.Value) {
 	for i, p := range params {
 		g := grads[i].Data()
 		w := p.Data()
-		if s.Momentum == 0 {
+		if s.Momentum <= 0 {
 			w.AxpyInPlace(-s.LR, g)
 			continue
 		}

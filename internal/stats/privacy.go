@@ -58,7 +58,7 @@ func DistanceToClosestRecord(real, synth *encoding.Table) (*DCRReport, error) {
 			var d float64
 			for j := 0; j < cols; j++ {
 				if real.Specs[j].Kind == encoding.KindCategorical {
-					if srow[j] != rrow[j] {
+					if int(srow[j]) != int(rrow[j]) { // label-encoded categories are exact integers
 						d++
 					}
 				} else {
@@ -72,12 +72,12 @@ func DistanceToClosestRecord(real, synth *encoding.Table) (*DCRReport, error) {
 			if d < best {
 				best = d
 			}
-			if best == 0 {
+			if best <= 0 {
 				break
 			}
 		}
 		dists[i] = best
-		if best == 0 {
+		if best <= 0 {
 			exact++
 		}
 	}

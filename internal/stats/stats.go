@@ -44,7 +44,7 @@ func JSD(p, q []float64) (float64, error) {
 }
 
 func klTerm(p, m float64) float64 {
-	if p == 0 {
+	if p <= 0 {
 		return 0
 	}
 	return p * math.Log2(p/m)
@@ -58,7 +58,7 @@ func normalize(p []float64) ([]float64, error) {
 		}
 		sum += v
 	}
-	if sum == 0 {
+	if sum <= 0 {
 		return nil, errors.New("stats: zero probability mass")
 	}
 	out := make([]float64, len(p))
@@ -239,10 +239,10 @@ func minMax(xs []float64) (float64, float64) {
 // Pearson returns the Pearson correlation coefficient of two equal-length
 // samples (0 when either is constant).
 func Pearson(a, b []float64) float64 {
-	n := float64(len(a))
-	if n == 0 {
+	if len(a) == 0 {
 		return 0
 	}
+	n := float64(len(a))
 	ma, sa := meanStd(a)
 	mb, sb := meanStd(b)
 	if sa < 1e-12 || sb < 1e-12 {

@@ -1,6 +1,9 @@
 package tensor
 
-import "fmt"
+import (
+	"fmt"
+	"math"
+)
 
 // Cache-blocked matrix kernels. All three products share the same design:
 // the k (reduction) dimension is tiled so the streamed panel of b stays in
@@ -21,11 +24,10 @@ const (
 	transposeBlock = 32
 )
 
-// allFinite reports whether every element of data is finite. The v-v trick
-// is branch-light: it is zero for finite v and NaN for NaN or ±Inf.
+// allFinite reports whether every element of data is finite.
 func allFinite(data []float64) bool {
 	for _, v := range data {
-		if v-v != 0 {
+		if math.IsNaN(v) || math.IsInf(v, 0) {
 			return false
 		}
 	}
@@ -182,6 +184,7 @@ func matmulAccRange(dst, a, b *Dense, lo, hi int, bFinite bool) {
 			k := kk
 			for ; k+3 < kend; k += 4 {
 				a0, a1, a2, a3 := arow[k], arow[k+1], arow[k+2], arow[k+3]
+				//lint:ignore floateq exact-zero skip is bit-identical to the multiply it avoids (x+0*y==x for finite y, gated on bFinite)
 				if bFinite && a0 == 0 && a1 == 0 && a2 == 0 && a3 == 0 {
 					continue
 				}
@@ -195,6 +198,7 @@ func matmulAccRange(dst, a, b *Dense, lo, hi int, bFinite bool) {
 			}
 			for ; k < kend; k++ {
 				av := arow[k]
+				//lint:ignore floateq exact-zero skip is bit-identical to the multiply it avoids
 				if bFinite && av == 0 {
 					continue
 				}
@@ -223,6 +227,7 @@ func matmulTAAccRange(dst, a, b *Dense, lo, hi int, bFinite bool) {
 				a1 := ad[(k+1)*m+i]
 				a2 := ad[(k+2)*m+i]
 				a3 := ad[(k+3)*m+i]
+				//lint:ignore floateq exact-zero skip is bit-identical to the multiply it avoids (x+0*y==x for finite y, gated on bFinite)
 				if bFinite && a0 == 0 && a1 == 0 && a2 == 0 && a3 == 0 {
 					continue
 				}
@@ -236,6 +241,7 @@ func matmulTAAccRange(dst, a, b *Dense, lo, hi int, bFinite bool) {
 			}
 			for ; k < kend; k++ {
 				av := ad[k*m+i]
+				//lint:ignore floateq exact-zero skip is bit-identical to the multiply it avoids
 				if bFinite && av == 0 {
 					continue
 				}

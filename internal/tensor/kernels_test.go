@@ -46,13 +46,13 @@ func naiveMatMulTB(a, b *Dense) *Dense {
 var kernelShapes = []struct{ m, k, n int }{
 	{1, 1, 1},
 	{1, 7, 1},
-	{1, 64, 33},  // 1xN against the unroll boundary
-	{33, 64, 1},  // Nx1 result column
+	{1, 64, 33}, // 1xN against the unroll boundary
+	{33, 64, 1}, // Nx1 result column
 	{4, 4, 4},
-	{3, 5, 7},    // nothing divides the tile or unroll
-	{8, 256, 8},  // k exactly one tile
-	{8, 257, 8},  // k one past a tile
-	{8, 259, 8},  // tile tail of 3 (partial unroll group)
+	{3, 5, 7},   // nothing divides the tile or unroll
+	{8, 256, 8}, // k exactly one tile
+	{8, 257, 8}, // k one past a tile
+	{8, 259, 8}, // tile tail of 3 (partial unroll group)
 	{17, 31, 13},
 	{32, 32, 32},
 	{64, 100, 48},

@@ -227,6 +227,7 @@ func (m *Dense) Equal(n *Dense) bool {
 		return false
 	}
 	for i := range m.data {
+		//lint:ignore floateq Equal's contract is bitwise identity — it backs the same-seed replay tests
 		if m.data[i] != n.data[i] {
 			return false
 		}

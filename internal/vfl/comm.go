@@ -55,7 +55,7 @@ func matrixBytes(rows, cols int) int64 { return int64(rows) * int64(cols) * byte
 // access goes through the mutex and readers get a consistent copy.
 type commAccount struct {
 	mu    sync.Mutex
-	stats CommStats
+	stats CommStats // guarded by mu
 }
 
 // add applies a mutation under the lock.

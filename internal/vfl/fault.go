@@ -23,13 +23,13 @@ type FaultyTransport struct {
 	Inner Client
 
 	mu       sync.Mutex
-	delay    time.Duration
-	failures int // remaining injected errors; <0 means fail forever
-	failErr  error
-	drops    int // remaining calls that hang until Release
-	release  chan struct{}
-	released bool
-	calls    int
+	delay    time.Duration // guarded by mu
+	failures int           // guarded by mu; remaining injected errors; <0 means fail forever
+	failErr  error         // guarded by mu
+	drops    int           // guarded by mu; remaining calls that hang until Release
+	release  chan struct{} // guarded by mu
+	released bool          // guarded by mu
+	calls    int           // guarded by mu
 }
 
 var _ Client = (*FaultyTransport)(nil)

@@ -228,7 +228,7 @@ type RPCClient struct {
 	policy        CallPolicy
 
 	mu sync.Mutex
-	rc *rpc.Client
+	rc *rpc.Client // guarded by mu
 }
 
 var _ Client = (*RPCClient)(nil)
@@ -269,7 +269,9 @@ func (c *RPCClient) conn() (*rpc.Client, error) {
 func (c *RPCClient) redial() {
 	c.mu.Lock()
 	if c.rc != nil {
-		c.rc.Close()
+		// The connection is presumed broken — the close error carries no
+		// information beyond the call failure that triggered the redial.
+		_ = c.rc.Close()
 		c.rc = nil
 	}
 	c.mu.Unlock()
