@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build vet lint test race ci bench bench-round bench-kernels
+.PHONY: all build vet lint lint-json test race ci bench bench-round bench-kernels
 
 all: ci
 
@@ -12,9 +12,16 @@ vet:
 
 # Domain-specific static analysis (internal/lint): pool/tape lifetimes,
 # seeded-randomness discipline, map-order determinism, float comparison
-# hygiene, mutex-guard annotations, dropped errors.
+# hygiene, mutex-guard annotations, dropped errors, and the privflow
+# privacy-boundary taint analysis. Findings are cached under .lintcache/
+# keyed by file contents, so unchanged repeat runs skip type-checking.
 lint:
 	$(GO) run ./cmd/gtv-lint ./...
+
+# Machine-readable findings for tooling; exit status 1 (findings exist)
+# still writes the report, only a lint crash (exit 2) fails the target.
+lint-json:
+	$(GO) run ./cmd/gtv-lint -json ./... > LINT_findings.json || [ $$? -eq 1 ]
 
 test:
 	$(GO) test ./...

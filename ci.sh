@@ -1,16 +1,18 @@
 #!/bin/sh
 # ci.sh — the checks every change must pass, in increasing cost order:
 # vet, the repo's own static analyzers (gtv-lint: lifetimes, determinism,
-# guarded fields, dropped errors — see DESIGN.md "Static analysis"), build,
-# full tests, then the race detector over the whole module in short mode
-# (GAN-training tests skip themselves) and in full mode over the
-# concurrency-critical packages (the vfl protocol driver and the
-# tensor/autograd substrate — worker pool, buffer free lists — it fans out
-# over).
+# guarded fields, dropped errors, and the privflow privacy-boundary taint
+# analysis — see DESIGN.md "Static analysis" and "Privacy boundary"),
+# build, full tests (the lint fixture packages, privflow's included, run
+# even under -short), then the race detector over the whole module in
+# short mode (GAN-training tests skip themselves) and in full mode over
+# the concurrency-critical packages (the vfl protocol driver and the
+# tensor/autograd substrate — worker pool, buffer free lists — it fans
+# out over).
 set -eux
 
 go vet ./...
-go run ./cmd/gtv-lint ./...
+make lint
 go build ./...
 go test ./...
 go test -race -short ./...

@@ -132,7 +132,7 @@ func readRawCSV(path string) (rows [][]string, header []string, err error) {
 	if err != nil {
 		return nil, nil, err
 	}
-	// Read-only file: a Close failure cannot lose data.
+	//lint:ignore errdrop read-only file, a Close failure cannot lose data
 	defer func() { _ = f.Close() }()
 	cr := csv.NewReader(f)
 	all, err := cr.ReadAll()

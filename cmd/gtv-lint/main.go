@@ -1,7 +1,12 @@
 // Command gtv-lint runs the repo's domain-specific static analyzers (see
-// internal/lint and DESIGN.md "Static analysis") over the module and
-// exits non-zero on any finding. It is wired into ci.sh between go vet
-// and the build, and `make lint` runs it standalone.
+// internal/lint and DESIGN.md "Static analysis" / "Privacy boundary")
+// over the module and exits non-zero on any finding. It is wired into
+// ci.sh via `make lint`, and `make lint-json` captures machine-readable
+// findings.
+//
+// Findings are cached under <module>/.lintcache keyed by file contents,
+// so runs over an unchanged tree skip type-checking entirely; -nocache
+// forces a full run.
 //
 // Usage:
 //
@@ -10,9 +15,11 @@
 //	gtv-lint internal/vfl # only report findings under these path prefixes
 //	gtv-lint -list        # print the rule catalog
 //	gtv-lint -rules floateq,maporder
+//	gtv-lint -json        # machine-readable findings on stdout
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
@@ -34,9 +41,11 @@ func main() {
 func run(args []string, stdout *os.File) (int, error) {
 	fs := flag.NewFlagSet("gtv-lint", flag.ContinueOnError)
 	var (
-		root  = fs.String("root", ".", "directory inside the module to lint")
-		list  = fs.Bool("list", false, "print the rule catalog and exit")
-		rules = fs.String("rules", "", "comma-separated rule subset (default: all)")
+		root    = fs.String("root", ".", "directory inside the module to lint")
+		list    = fs.Bool("list", false, "print the rule catalog and exit")
+		rules   = fs.String("rules", "", "comma-separated rule subset (default: all)")
+		jsonOut = fs.Bool("json", false, "emit findings as JSON")
+		nocache = fs.Bool("nocache", false, "bypass the findings cache")
 	)
 	if err := fs.Parse(args); err != nil {
 		return 2, err
@@ -60,16 +69,10 @@ func run(args []string, stdout *os.File) (int, error) {
 		}
 	}
 
-	loader, err := lint.NewLoader(*root)
+	findings, err := collectFindings(*root, analyzers, *nocache)
 	if err != nil {
 		return 2, err
 	}
-	pkgs, err := loader.LoadModule()
-	if err != nil {
-		return 2, err
-	}
-	findings := lint.Run(pkgs, analyzers)
-	lint.Relativize(findings, loader.ModuleRoot)
 
 	// Positional arguments filter reported paths; "./..." (or none) means
 	// everything.
@@ -81,19 +84,171 @@ func run(args []string, stdout *os.File) (int, error) {
 		}
 		prefixes = append(prefixes, filepath.Clean(strings.TrimPrefix(arg, "./")))
 	}
-	shown := 0
+	var shown []lint.Finding
 	for _, f := range findings {
 		if len(prefixes) > 0 && !matchesAny(f.Pos.Filename, prefixes) {
 			continue
 		}
-		fmt.Fprintln(stdout, f)
-		shown++
+		shown = append(shown, f)
 	}
-	if shown > 0 {
-		fmt.Fprintf(stdout, "gtv-lint: %d finding(s)\n", shown)
+
+	if *jsonOut {
+		enc := json.NewEncoder(stdout)
+		enc.SetIndent("", "  ")
+		if err := enc.Encode(report{Count: len(shown), Findings: shown}); err != nil {
+			return 2, err
+		}
+		if len(shown) > 0 {
+			return 1, nil
+		}
+		return 0, nil
+	}
+	for _, f := range shown {
+		fmt.Fprintln(stdout, f)
+		if p := f.PathString(); p != "" {
+			fmt.Fprintln(stdout, p)
+		}
+	}
+	if len(shown) > 0 {
+		fmt.Fprintf(stdout, "gtv-lint: %d finding(s)\n", len(shown))
 		return 1, nil
 	}
 	return 0, nil
+}
+
+// report is the -json document: the finding count and the findings, each
+// with rule, position, message, and (for privflow) the taint path.
+type report struct {
+	Count    int
+	Findings []lint.Finding
+}
+
+// collectFindings produces the module's findings, through the cache
+// unless disabled. Any cache infrastructure failure falls back to a full
+// uncached run — caching must never change results, only speed.
+func collectFindings(root string, analyzers []*lint.Analyzer, nocache bool) ([]lint.Finding, error) {
+	if !nocache {
+		if findings, err := collectCached(root, analyzers); err == nil {
+			return findings, nil
+		}
+	}
+	loader, err := lint.NewLoader(root)
+	if err != nil {
+		return nil, err
+	}
+	pkgs, err := loader.LoadModule()
+	if err != nil {
+		return nil, err
+	}
+	findings := lint.Run(pkgs, analyzers)
+	lint.Relativize(findings, loader.ModuleRoot)
+	return findings, nil
+}
+
+// collectCached runs the analysis through the findings cache: per-package
+// rules re-run only for packages whose content+dependency key changed,
+// and the whole-module rules re-run only when anything changed.
+func collectCached(root string, analyzers []*lint.Analyzer) ([]lint.Finding, error) {
+	ix, err := lint.BuildModuleIndex(root)
+	if err != nil {
+		return nil, err
+	}
+	perPkg, module := lint.SplitAnalyzers(analyzers)
+	names := make([]string, 0, len(analyzers))
+	for _, a := range analyzers {
+		names = append(names, a.Name)
+	}
+	cache := lint.OpenCache(filepath.Join(ix.Root, ".lintcache"), lint.CacheSalt(ix, names))
+
+	var all []lint.Finding
+	live := make(map[string]bool)
+	missed := make(map[string]bool)
+	for _, rel := range ix.Dirs {
+		key := cache.Key("pkg", rel, ix.PackageKey(rel))
+		live[key] = true
+		if cached, ok := cache.Get(key); ok {
+			all = append(all, cached...)
+		} else {
+			missed[rel] = true
+		}
+	}
+	moduleKey := cache.Key("module", ix.ModuleKey())
+	moduleMiss := false
+	if len(module) > 0 {
+		live[moduleKey] = true
+		if cached, ok := cache.Get(moduleKey); ok {
+			all = append(all, cached...)
+		} else {
+			moduleMiss = true
+		}
+	}
+
+	if len(missed) > 0 || moduleMiss {
+		loader, err := lint.NewLoader(ix.Root)
+		if err != nil {
+			return nil, err
+		}
+		if moduleMiss {
+			// A module rule must see every package, so load the whole
+			// module and refresh the missed per-package entries on the way.
+			pkgs, err := loader.LoadModule()
+			if err != nil {
+				return nil, err
+			}
+			for _, pkg := range pkgs {
+				rel := pkgRelDir(ix.ModulePath, pkg.Path)
+				if !missed[rel] {
+					continue
+				}
+				fs := lint.RunPackage(pkg, perPkg)
+				lint.Relativize(fs, ix.Root)
+				if err := cache.Put(cache.Key("pkg", rel, ix.PackageKey(rel)), fs); err != nil {
+					return nil, err
+				}
+				all = append(all, fs...)
+			}
+			fs := lint.RunModuleAnalyzers(pkgs, module)
+			lint.Relativize(fs, ix.Root)
+			if err := cache.Put(moduleKey, fs); err != nil {
+				return nil, err
+			}
+			all = append(all, fs...)
+		} else {
+			// Only per-package work is stale: load just those packages
+			// (their dependencies type-check on demand, without running
+			// analyzers over them).
+			for _, rel := range ix.Dirs {
+				if !missed[rel] {
+					continue
+				}
+				ip := ix.ModulePath
+				if rel != "." {
+					ip = ix.ModulePath + "/" + rel
+				}
+				pkg, err := loader.LoadDir(filepath.Join(ix.Root, filepath.FromSlash(rel)), ip)
+				if err != nil {
+					return nil, err
+				}
+				fs := lint.RunPackage(pkg, perPkg)
+				lint.Relativize(fs, ix.Root)
+				if err := cache.Put(cache.Key("pkg", rel, ix.PackageKey(rel)), fs); err != nil {
+					return nil, err
+				}
+				all = append(all, fs...)
+			}
+		}
+	}
+	cache.Prune(live)
+	lint.SortFindings(all)
+	return all, nil
+}
+
+// pkgRelDir maps an import path back to the module-relative directory.
+func pkgRelDir(modPath, importPath string) string {
+	if importPath == modPath {
+		return "."
+	}
+	return strings.TrimPrefix(importPath, modPath+"/")
 }
 
 func matchesAny(path string, prefixes []string) bool {

@@ -68,8 +68,7 @@ func run(args []string) error {
 		if err != nil {
 			return err
 		}
-		// Teardown of an already-finished training connection: nothing left
-		// to lose if the close fails.
+		//lint:ignore errdrop teardown of a finished training connection, nothing left to lose
 		defer func() { _ = proxy.Close() }()
 		clients[i] = proxy
 		fmt.Printf("connected to client %d at %s\n", i, addr)
@@ -112,7 +111,7 @@ func run(args []string) error {
 		return fmt.Errorf("creating %s: %w", *synthOut, err)
 	}
 	if err := encoding.WriteCSV(f, synth); err != nil {
-		_ = f.Close() // the write error is the one worth reporting
+		_ = f.Close() //lint:ignore errdrop the write error is the one worth reporting
 		return err
 	}
 	// A failed Close on a written file can mean the synthetic data never

@@ -196,7 +196,7 @@ func run(args []string, stdout io.Writer) error {
 			return fmt.Errorf("creating %s: %w", *synthOut, err)
 		}
 		if err := encoding.WriteCSV(f, synth); err != nil {
-			_ = f.Close() // the write error is the one worth reporting
+			_ = f.Close() //lint:ignore errdrop the write error is the one worth reporting
 			return err
 		}
 		// A failed Close on a written file can mean the synthetic data never

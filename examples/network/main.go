@@ -52,7 +52,7 @@ func main() {
 		if err != nil {
 			log.Fatal(err)
 		}
-		// Teardown at example exit: nothing to lose if the close fails.
+		//lint:ignore errdrop teardown at example exit, nothing to lose if the close fails
 		defer func() { _ = proxy.Close() }()
 		clients[i] = proxy
 		fmt.Printf("client %d serving %d columns at %s\n", i, part.Cols(), lis.Addr())

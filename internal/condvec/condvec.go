@@ -44,12 +44,15 @@ type Batch struct {
 // Sampler draws conditional vectors and matching row indices for one
 // party's local table.
 type Sampler struct {
-	spans     []encoding.Span
-	width     int
-	numRows   int
-	probs     [][]float64 // per span: log-frequency category distribution
-	rawProbs  [][]float64 // per span: raw category frequencies
-	rowsByCat [][][]int   // per span, per category: matching row indices
+	spans    []encoding.Span
+	width    int
+	numRows  int
+	probs    [][]float64 // per span: log-frequency category distribution
+	rawProbs [][]float64 // per span: raw category frequencies
+	// rowsByCat indexes real training rows by category value; the idx_p
+	// drawn from it reveal which rows match a condition.
+	//privacy:source matching-row indices (idx_p)
+	rowsByCat [][][]int // per span, per category: matching row indices
 	// offsets[i] is the first CV position of span i (spans are re-based to
 	// the CV coordinate space, which contains only categorical one-hots).
 	offsets []int

@@ -112,10 +112,16 @@ func NewTable(specs []ColumnSpec, data *tensor.Dense) (*Table, error) {
 	return &Table{Specs: specs, Data: data}, nil
 }
 
-// Rows returns the number of rows.
+// Rows returns the number of rows. Row and column counts are shape
+// metadata the protocol discloses by design (the server sizes batches and
+// splits with them), not row values.
+//
+//privacy:sanitizer table shape metadata (row count)
 func (t *Table) Rows() int { return t.Data.Rows() }
 
 // Cols returns the number of columns.
+//
+//privacy:sanitizer table shape metadata (column count)
 func (t *Table) Cols() int { return t.Data.Cols() }
 
 // Column returns a copy of column j's raw values.

@@ -229,6 +229,10 @@ func (tr *Transformer) Inverse(enc *tensor.Dense) (*Table, error) {
 
 // CategoryFrequencies returns, for categorical column j, the frequency of
 // each category in the table. It is used by conditional-vector sampling.
+// Frequencies are whole-column aggregates, the disclosure granularity the
+// paper's conditional sampling already assumes.
+//
+//privacy:sanitizer per-column category frequencies (aggregate)
 func CategoryFrequencies(t *Table, j int) ([]float64, error) {
 	if j < 0 || j >= len(t.Specs) || t.Specs[j].Kind != KindCategorical {
 		return nil, fmt.Errorf("encoding: column %d is not categorical", j)

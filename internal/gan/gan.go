@@ -86,6 +86,8 @@ func gumbelSoftmax(logits *ag.Value, rng *rand.Rand, hard bool) *ag.Value {
 // party's categorical spans in encoded coordinates, and choices[i] names
 // the (span, category) that row i's CV selected, where Span indexes
 // catSpans.
+//
+//privacy:sanitizer batch-aggregated conditioning cross-entropy
 func ConditionLoss(rawOut *ag.Value, catSpans []encoding.Span, choices []condvec.Choice) *ag.Value {
 	// Group rows by conditioned span so each span costs one graph slice.
 	rowsBySpan := make(map[int][]int)

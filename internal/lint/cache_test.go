@@ -1,0 +1,127 @@
+package lint
+
+import (
+	"go/token"
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+// cacheTestModule lays out a small module with a dependency chain
+// (root imports sub) and an independent leaf package.
+func cacheTestModule(t *testing.T) string {
+	t.Helper()
+	root := t.TempDir()
+	writeTree(t, root, map[string]string{
+		"go.mod":    "module example.com/m\n\ngo 1.21\n",
+		"a.go":      "package m\n\nimport \"example.com/m/sub\"\n\nvar _ = sub.B\n",
+		"sub/b.go":  "package sub\n\nvar B = 1\n",
+		"leaf/c.go": "package leaf\n\nvar C = 2\n",
+	})
+	return root
+}
+
+// TestModuleIndexKeyStability pins the cache-key contract: unchanged
+// trees rebuild to identical keys; editing a package changes its own
+// key, its importers' keys, and the module key, and leaves unrelated
+// packages untouched.
+func TestModuleIndexKeyStability(t *testing.T) {
+	root := cacheTestModule(t)
+	ix1, err := BuildModuleIndex(root)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ix2, err := BuildModuleIndex(root)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, rel := range []string{".", "sub", "leaf"} {
+		if k1, k2 := ix1.PackageKey(rel), ix2.PackageKey(rel); k1 == "" || k1 != k2 {
+			t.Errorf("package %q: keys %q vs %q, want equal and non-empty", rel, k1, k2)
+		}
+	}
+	if ix1.ModuleKey() != ix2.ModuleKey() {
+		t.Errorf("module keys differ on an unchanged tree")
+	}
+
+	// Edit sub: even a comment-only change is a content change.
+	path := filepath.Join(root, "sub", "b.go")
+	if err := os.WriteFile(path, []byte("package sub\n\n// edited\nvar B = 1\n"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	ix3, err := BuildModuleIndex(root)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ix3.PackageKey("sub") == ix1.PackageKey("sub") {
+		t.Error("sub key unchanged after editing sub")
+	}
+	if ix3.PackageKey(".") == ix1.PackageKey(".") {
+		t.Error("root key unchanged although root imports the edited sub")
+	}
+	if ix3.PackageKey("leaf") != ix1.PackageKey("leaf") {
+		t.Error("leaf key changed although leaf does not depend on sub")
+	}
+	if ix3.ModuleKey() == ix1.ModuleKey() {
+		t.Error("module key unchanged after editing a package")
+	}
+}
+
+// TestCacheSaltCoversRuleSet ensures runs with different rule selections
+// cannot share entries.
+func TestCacheSaltCoversRuleSet(t *testing.T) {
+	root := cacheTestModule(t)
+	ix, err := BuildModuleIndex(root)
+	if err != nil {
+		t.Fatal(err)
+	}
+	all := CacheSalt(ix, []string{"privflow", "errdrop"})
+	if all != CacheSalt(ix, []string{"errdrop", "privflow"}) {
+		t.Error("salt depends on rule-name order")
+	}
+	if all == CacheSalt(ix, []string{"errdrop"}) {
+		t.Error("salt ignores the selected rule set")
+	}
+}
+
+// TestCacheRoundTrip covers Get/Put/Prune: a put entry hits with its
+// findings (paths included) intact, unknown keys miss, and pruning with
+// an empty live set empties the cache.
+func TestCacheRoundTrip(t *testing.T) {
+	c := OpenCache(filepath.Join(t.TempDir(), ".lintcache"), "salt")
+	key := c.Key("pkg", "internal/vfl", "abc123")
+	if _, ok := c.Get(key); ok {
+		t.Fatal("hit on an empty cache")
+	}
+	findings := []Finding{{
+		Pos:  token.Position{Filename: "internal/vfl/client.go", Line: 7, Column: 2},
+		Rule: "privflow",
+		Msg:  "test finding",
+		Path: []PathHop{
+			{Func: "vfl.leak", Pos: token.Position{Filename: "internal/vfl/client.go", Line: 5}},
+			{Func: "vfl.Handler", Pos: token.Position{Filename: "internal/vfl/rpc.go", Line: 9}},
+		},
+	}}
+	if err := c.Put(key, findings); err != nil {
+		t.Fatal(err)
+	}
+	got, ok := c.Get(key)
+	if !ok {
+		t.Fatal("miss right after Put")
+	}
+	// PathHop slices make Finding non-comparable; compare rendered forms.
+	if len(got) != 1 || got[0].String() != findings[0].String() || got[0].PathString() != findings[0].PathString() {
+		t.Fatalf("round-trip mismatch: got %+v, want %+v", got, findings)
+	}
+	if c.Key("pkg", "internal/vfl", "abc123") != key {
+		t.Error("Key is not deterministic")
+	}
+	other := OpenCache(c.dir, "othersalt")
+	if other.Key("pkg", "internal/vfl", "abc123") == key {
+		t.Error("different salts produced the same key")
+	}
+	c.Prune(map[string]bool{})
+	if _, ok := c.Get(key); ok {
+		t.Error("entry survived a prune that kept nothing")
+	}
+}

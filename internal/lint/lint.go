@@ -20,8 +20,11 @@ import (
 	"strings"
 )
 
-// Analyzer is one named rule. Run inspects a single type-checked package
-// and reports findings through the Pass.
+// Analyzer is one named rule. Per-package rules implement Run, which
+// inspects a single type-checked package; whole-module rules (such as the
+// interprocedural privflow taint analysis) implement RunModule instead and
+// see every package of one load at once. Exactly one of Run and RunModule
+// must be set.
 type Analyzer struct {
 	// Name is the rule ID used in reports and //lint:ignore comments.
 	Name string
@@ -29,6 +32,8 @@ type Analyzer struct {
 	Doc string
 	// Run executes the rule over one package.
 	Run func(*Pass)
+	// RunModule executes the rule once over all loaded packages.
+	RunModule func(*ModulePass)
 }
 
 // Pass carries one (analyzer, package) execution.
@@ -49,17 +54,67 @@ func (p *Pass) Reportf(pos token.Pos, format string, args ...any) {
 	})
 }
 
-// Finding is one rule violation at a source position.
+// ModulePass carries one (module analyzer, package set) execution.
+type ModulePass struct {
+	// Pkgs are all packages of the load, sorted by import path.
+	Pkgs []*Package
+
+	analyzer *Analyzer
+	findings *[]Finding
+}
+
+// Fset returns the file set shared by the loaded packages.
+func (p *ModulePass) Fset() *token.FileSet { return p.Pkgs[0].Fset }
+
+// Report records a finding with an optional dataflow path (source-to-sink
+// hops for taint rules).
+func (p *ModulePass) Report(pos token.Pos, msg string, path []PathHop) {
+	*p.findings = append(*p.findings, Finding{
+		Pos:  p.Fset().Position(pos),
+		Rule: p.analyzer.Name,
+		Msg:  msg,
+		Path: path,
+	})
+}
+
+// PathHop is one step of a dataflow path: the function the value moved
+// through and the position of the move (a read, call, or store site).
+type PathHop struct {
+	Func string
+	Pos  token.Position
+}
+
+// Finding is one rule violation at a source position. Path, when present,
+// is the source-to-sink dataflow chain behind a taint finding.
 type Finding struct {
 	Pos  token.Position
 	Rule string
 	Msg  string
+	Path []PathHop `json:",omitempty"`
 }
 
 // String renders a finding in file:line:col form. Paths are kept as the
 // loader produced them; callers may relativize beforehand.
 func (f Finding) String() string {
 	return fmt.Sprintf("%s:%d:%d: %s (%s)", f.Pos.Filename, f.Pos.Line, f.Pos.Column, f.Msg, f.Rule)
+}
+
+// PathString renders the dataflow path as an indented multi-line block, or
+// "" when the finding has none.
+func (f Finding) PathString() string {
+	if len(f.Path) == 0 {
+		return ""
+	}
+	var b strings.Builder
+	for i, h := range f.Path {
+		if i == 0 {
+			b.WriteString("    taint path: ")
+		} else {
+			b.WriteString("\n             ->  ")
+		}
+		fmt.Fprintf(&b, "%s (%s:%d)", h.Func, h.Pos.Filename, h.Pos.Line)
+	}
+	return b.String()
 }
 
 // Analyzers returns the full rule registry in reporting order.
@@ -71,6 +126,7 @@ func Analyzers() []*Analyzer {
 		AnalyzerFloatEq,
 		AnalyzerLockedField,
 		AnalyzerErrDrop,
+		AnalyzerPrivFlow,
 	}
 }
 
@@ -84,28 +140,96 @@ func AnalyzerByName(name string) *Analyzer {
 	return nil
 }
 
+// SplitAnalyzers partitions a rule set into per-package and whole-module
+// analyzers — the two independently cacheable phases of a run.
+func SplitAnalyzers(analyzers []*Analyzer) (perPkg, module []*Analyzer) {
+	for _, a := range analyzers {
+		if a.RunModule != nil {
+			module = append(module, a)
+		} else {
+			perPkg = append(perPkg, a)
+		}
+	}
+	return perPkg, module
+}
+
 // Run executes the analyzers over every package, applies //lint:ignore
 // suppressions, and returns the surviving findings sorted by position.
 // Malformed or unused suppressions are themselves findings (rule "lint"),
-// so suppressions can never silently rot into blanket disables.
+// so suppressions can never silently rot into blanket disables. A
+// suppression only counts as unused when its rule actually ran.
 func Run(pkgs []*Package, analyzers []*Analyzer) []Finding {
+	perPkg, module := SplitAnalyzers(analyzers)
 	var all []Finding
 	for _, pkg := range pkgs {
-		var raw []Finding
-		for _, a := range analyzers {
-			a.Run(&Pass{Pkg: pkg, analyzer: a, findings: &raw})
-		}
-		sup, bad := collectSuppressions(pkg)
-		all = append(all, bad...)
-		for _, f := range raw {
-			if s := sup.match(f); s != nil {
-				s.used = true
-				continue
-			}
-			all = append(all, f)
-		}
-		all = append(all, sup.unused()...)
+		all = append(all, RunPackage(pkg, perPkg)...)
 	}
+	if len(module) > 0 {
+		all = append(all, RunModuleAnalyzers(pkgs, module)...)
+	}
+	SortFindings(all)
+	return all
+}
+
+// RunPackage executes per-package analyzers over one package, applies the
+// package's suppressions, and reports malformed suppressions plus unused
+// suppressions of the rules that ran. It is the unit the findings cache
+// stores per package; Run is the union of RunPackage over all packages
+// and RunModuleAnalyzers. Results are unsorted.
+func RunPackage(pkg *Package, analyzers []*Analyzer) []Finding {
+	var raw []Finding
+	for _, a := range analyzers {
+		a.Run(&Pass{Pkg: pkg, analyzer: a, findings: &raw})
+	}
+	sup, all := collectSuppressions(pkg)
+	for _, f := range raw {
+		if s := sup.match(f); s != nil {
+			s.used = true
+			continue
+		}
+		all = append(all, f)
+	}
+	return append(all, sup.unused(ruleNames(analyzers))...)
+}
+
+// RunModuleAnalyzers executes whole-module analyzers once over the full
+// package set, applies suppressions from every package, and reports
+// unused suppressions of the module rules that ran. Malformed-suppression
+// findings are left to RunPackage so they are reported exactly once.
+// Results are unsorted.
+func RunModuleAnalyzers(pkgs []*Package, analyzers []*Analyzer) []Finding {
+	var raw []Finding
+	for _, a := range analyzers {
+		a.RunModule(&ModulePass{Pkgs: pkgs, analyzer: a, findings: &raw})
+	}
+	var sups suppressionSet
+	for _, pkg := range pkgs {
+		s, _ := collectSuppressions(pkg)
+		sups = append(sups, s...)
+	}
+	var all []Finding
+	for _, f := range raw {
+		if s := sups.match(f); s != nil {
+			s.used = true
+			continue
+		}
+		all = append(all, f)
+	}
+	return append(all, sups.unused(ruleNames(analyzers))...)
+}
+
+// ruleNames collects the rule IDs of an analyzer set.
+func ruleNames(analyzers []*Analyzer) map[string]bool {
+	names := make(map[string]bool, len(analyzers))
+	for _, a := range analyzers {
+		names[a.Name] = true
+	}
+	return names
+}
+
+// SortFindings orders findings by position then rule, the driver's stable
+// reporting order.
+func SortFindings(all []Finding) {
 	sort.Slice(all, func(i, j int) bool {
 		a, b := all[i], all[j]
 		if a.Pos.Filename != b.Pos.Filename {
@@ -119,14 +243,21 @@ func Run(pkgs []*Package, analyzers []*Analyzer) []Finding {
 		}
 		return a.Rule < b.Rule
 	})
-	return all
 }
 
-// Relativize rewrites finding paths relative to root for stable output.
+// Relativize rewrites finding paths (including dataflow path hops)
+// relative to root for stable output.
 func Relativize(findings []Finding, root string) {
+	rel := func(p string) string {
+		if r, err := filepath.Rel(root, p); err == nil {
+			return r
+		}
+		return p
+	}
 	for i := range findings {
-		if rel, err := filepath.Rel(root, findings[i].Pos.Filename); err == nil {
-			findings[i].Pos.Filename = rel
+		findings[i].Pos.Filename = rel(findings[i].Pos.Filename)
+		for j := range findings[i].Path {
+			findings[i].Path[j].Pos.Filename = rel(findings[i].Path[j].Pos.Filename)
 		}
 	}
 }
@@ -157,10 +288,13 @@ func (s suppressionSet) match(f Finding) *suppression {
 	return nil
 }
 
-func (s suppressionSet) unused() []Finding {
+// unused reports the suppressions that silenced nothing, restricted to
+// the rules that actually ran (a suppression for a rule outside this
+// run's set cannot prove itself useful and is skipped).
+func (s suppressionSet) unused(ran map[string]bool) []Finding {
 	var out []Finding
 	for _, sup := range s {
-		if !sup.used {
+		if !sup.used && ran[sup.rule] {
 			out = append(out, Finding{
 				Pos:  sup.pos,
 				Rule: "lint",

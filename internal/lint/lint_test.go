@@ -25,6 +25,7 @@ var fixtureCases = []struct {
 	{"lockedfield", "testdata/src/lockedfield", "lockedfield"},
 	{"errdrop", "testdata/src/errdrop", "errdrop"},
 	{"floateq", "testdata/src/suppress", "suppress"},
+	{"privflow", "testdata/src/privflow", "privflow"},
 }
 
 func TestAnalyzersOnFixtures(t *testing.T) {
@@ -153,11 +154,98 @@ func TestMalformedSuppressions(t *testing.T) {
 	}
 }
 
+// TestPrivFlowAnnotationErrors covers annotation misuse. The findings
+// land on the directive comments themselves, where an inline want
+// comment would change how the directive parses, so the expected
+// messages are checked directly (mirroring TestMalformedSuppressions).
+func TestPrivFlowAnnotationErrors(t *testing.T) {
+	loader, err := NewLoader(".")
+	if err != nil {
+		t.Fatal(err)
+	}
+	pkg, err := loader.LoadDir("testdata/src/privflowann", "privflowann")
+	if err != nil {
+		t.Fatal(err)
+	}
+	findings := Run([]*Package{pkg}, []*Analyzer{AnalyzerPrivFlow})
+	wantSubstrings := []string{
+		`unknown privacy annotation kind "leak"`,
+		"privacy sink annotation needs a description",
+		"privacy sink annotation cannot apply to a struct field",
+		"conflicting privacy annotations on conflicted",
+		"misplaced privacy annotation",
+		"misplaced privacy annotation",
+	}
+	if len(findings) != len(wantSubstrings) {
+		t.Fatalf("got %d findings, want %d:\n%v", len(findings), len(wantSubstrings), findings)
+	}
+	matched := make([]bool, len(findings))
+	for _, want := range wantSubstrings {
+		hit := false
+		for i, f := range findings {
+			if !matched[i] && strings.Contains(f.Msg, want) {
+				matched[i] = true
+				hit = true
+				break
+			}
+		}
+		if !hit {
+			t.Errorf("no finding contains %q in %v", want, findings)
+		}
+	}
+}
+
+// TestPrivFlowPaths checks that a taint finding carries the full
+// source-to-sink call chain: the SampleCV fixture flow passes through
+// pickRows and gather, so its path must span several hops with file
+// positions, and PathString must render them for the CLI.
+func TestPrivFlowPaths(t *testing.T) {
+	loader, err := NewLoader(".")
+	if err != nil {
+		t.Fatal(err)
+	}
+	pkg, err := loader.LoadDir("testdata/src/privflow", "privflow")
+	if err != nil {
+		t.Fatal(err)
+	}
+	findings := Run([]*Package{pkg}, []*Analyzer{AnalyzerPrivFlow})
+	var hit *Finding
+	for i := range findings {
+		if strings.Contains(findings[i].Msg, "SampleCV") {
+			hit = &findings[i]
+			break
+		}
+	}
+	if hit == nil {
+		t.Fatalf("no SampleCV finding in %v", findings)
+	}
+	if len(hit.Path) < 2 {
+		t.Fatalf("SampleCV finding path has %d hops, want >= 2: %v", len(hit.Path), hit.Path)
+	}
+	for i, h := range hit.Path {
+		if h.Func == "" {
+			t.Errorf("path hop %d has no function name", i)
+		}
+		if h.Pos.Filename == "" || h.Pos.Line == 0 {
+			t.Errorf("path hop %d has no position: %+v", i, h)
+		}
+	}
+	rendered := hit.PathString()
+	if !strings.Contains(rendered, "taint path:") {
+		t.Errorf("PathString() = %q, want a rendered taint path", rendered)
+	}
+	for _, h := range hit.Path {
+		if !strings.Contains(rendered, h.Func) {
+			t.Errorf("PathString() %q is missing hop %q", rendered, h.Func)
+		}
+	}
+}
+
 func TestAnalyzerRegistry(t *testing.T) {
 	seen := map[string]bool{}
 	for _, a := range Analyzers() {
-		if a.Name == "" || a.Doc == "" || a.Run == nil {
-			t.Errorf("analyzer %+v is missing a name, doc, or run function", a)
+		if a.Name == "" || a.Doc == "" || (a.Run == nil) == (a.RunModule == nil) {
+			t.Errorf("analyzer %+v needs a name, a doc, and exactly one of Run or RunModule", a)
 		}
 		if seen[a.Name] {
 			t.Errorf("duplicate analyzer name %q", a.Name)

@@ -113,17 +113,18 @@ func modulePath(gomod string) (string, error) {
 	return "", fmt.Errorf("lint: no module directive in %s", gomod)
 }
 
-// LoadModule loads every package of the module (non-test files only),
-// sorted by import path.
-func (l *Loader) LoadModule() ([]*Package, error) {
+// moduleDirs returns every directory under root holding non-test Go
+// files, skipping hidden, underscore, testdata, and vendor trees — the
+// package set both the loader and the findings cache agree on.
+func moduleDirs(root string) ([]string, error) {
 	var dirs []string
-	err := filepath.WalkDir(l.ModuleRoot, func(path string, d os.DirEntry, err error) error {
+	err := filepath.WalkDir(root, func(path string, d os.DirEntry, err error) error {
 		if err != nil {
 			return err
 		}
 		if d.IsDir() {
 			name := d.Name()
-			if path != l.ModuleRoot && (strings.HasPrefix(name, ".") || strings.HasPrefix(name, "_") ||
+			if path != root && (strings.HasPrefix(name, ".") || strings.HasPrefix(name, "_") ||
 				name == "testdata" || name == "vendor") {
 				return filepath.SkipDir
 			}
@@ -137,6 +138,13 @@ func (l *Loader) LoadModule() ([]*Package, error) {
 		}
 		return nil
 	})
+	return dirs, err
+}
+
+// LoadModule loads every package of the module (non-test files only),
+// sorted by import path.
+func (l *Loader) LoadModule() ([]*Package, error) {
+	dirs, err := moduleDirs(l.ModuleRoot)
 	if err != nil {
 		return nil, err
 	}

@@ -1,0 +1,83 @@
+package lint
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+// TestLoadDirSkipsExternalTestPackage loads a directory whose _test.go
+// file declares an external test package (exttest_test). The loader
+// analyzes non-test files only, so the mismatched package name must not
+// break loading and the test file must not appear in the package.
+func TestLoadDirSkipsExternalTestPackage(t *testing.T) {
+	loader, err := NewLoader(".")
+	if err != nil {
+		t.Fatal(err)
+	}
+	pkg, err := loader.LoadDir("testdata/src/exttest", "exttest")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if pkg.Name != "exttest" {
+		t.Errorf("package name = %q, want %q", pkg.Name, "exttest")
+	}
+	if len(pkg.Files) != 1 {
+		t.Fatalf("loaded %d files, want 1 (the non-test file)", len(pkg.Files))
+	}
+	if name := filepath.Base(loader.Fset.Position(pkg.Files[0].Pos()).Filename); name != "ext.go" {
+		t.Errorf("loaded file %q, want ext.go", name)
+	}
+}
+
+// writeTree lays out a file tree under root from rel-path -> contents.
+func writeTree(t *testing.T, root string, files map[string]string) {
+	t.Helper()
+	for rel, content := range files {
+		path := filepath.Join(root, filepath.FromSlash(rel))
+		if err := os.MkdirAll(filepath.Dir(path), 0o755); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(path, []byte(content), 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+}
+
+// TestLoadModuleSkipsTestOnlyDirs builds a throwaway module in which one
+// directory holds nothing but _test.go files. LoadModule must load the
+// real packages and skip the test-only directory, because a directory
+// without non-test Go files is not a package the linters can check.
+func TestLoadModuleSkipsTestOnlyDirs(t *testing.T) {
+	root := t.TempDir()
+	writeTree(t, root, map[string]string{
+		"go.mod":              "module example.com/m\n\ngo 1.21\n",
+		"a.go":                "package m\n\nimport \"example.com/m/sub\"\n\nvar _ = sub.B\n",
+		"sub/b.go":            "package sub\n\n// B is exported for the root package.\nvar B = 1\n",
+		"onlytest/x_test.go":  "package onlytest\n\nimport \"testing\"\n\nfunc TestX(t *testing.T) {}\n",
+		"onlytest/y_test.go":  "package onlytest_test\n\nimport \"testing\"\n\nfunc TestY(t *testing.T) {}\n",
+		"sub/helper_test.go":  "package sub_test\n\nimport \"testing\"\n\nfunc TestB(t *testing.T) {}\n",
+		"testdata/ignored.go": "package broken!\n",
+	})
+	loader, err := NewLoader(root)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pkgs, err := loader.LoadModule()
+	if err != nil {
+		t.Fatal(err)
+	}
+	var paths []string
+	for _, p := range pkgs {
+		paths = append(paths, p.Path)
+	}
+	want := []string{"example.com/m", "example.com/m/sub"}
+	if len(paths) != len(want) {
+		t.Fatalf("loaded %v, want %v", paths, want)
+	}
+	for i := range want {
+		if paths[i] != want[i] {
+			t.Fatalf("loaded %v, want %v", paths, want)
+		}
+	}
+}

@@ -1,0 +1,455 @@
+package lint
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+	"strings"
+)
+
+// AnalyzerPrivFlow is the interprocedural taint analysis that machine-checks
+// GTV's privacy boundary: raw client rows, matching-row indices (idx_p) and
+// the shared shuffle secret must never reach a server-visible value except
+// through the protocol's sanctioned transformations. The vocabulary is three
+// comment directives on declarations:
+//
+//	//privacy:source <description>    — struct field or function whose values
+//	                                    are private (raw tables, row indices,
+//	                                    shuffle secrets)
+//	//privacy:sink <description>      — function whose results (and writes
+//	                                    through pointer parameters) are
+//	                                    server-visible; on an interface
+//	                                    method it marks every module
+//	                                    implementation as a sink
+//	//privacy:sanitizer <description> — function whose results are safe
+//	                                    regardless of argument taint
+//	                                    (bottom-model forwards, batch
+//	                                    aggregates, shape metadata)
+//
+// The analysis builds per-function dataflow summaries (which inputs and
+// which sources flow to which results) over the whole module, propagates
+// them through a monotone fixpoint including interface dispatch to module
+// implementations, and reports every unsanitized source-to-sink flow with
+// the full function chain (file:line per hop). Taint is reported at its
+// first crossing of the boundary: once a flow leaves a sink function's
+// result it is not re-reported at downstream sinks that merely relay it.
+//
+// Deliberate, paper-sanctioned disclosures (the contributor's per-round
+// idx_p, made safe by training-with-shuffling) carry reasoned
+// //lint:ignore privflow suppressions at the crossing site.
+var AnalyzerPrivFlow = &Analyzer{
+	Name:      "privflow",
+	Doc:       "interprocedural taint analysis of the privacy boundary (//privacy:source -> //privacy:sink)",
+	RunModule: runPrivFlow,
+}
+
+// Known annotation kinds.
+const (
+	annSource    = "source"
+	annSink      = "sink"
+	annSanitizer = "sanitizer"
+)
+
+// pfAnnotation is one parsed //privacy: directive bound to a declaration.
+type pfAnnotation struct {
+	kind string
+	desc string
+	obj  types.Object
+	pos  token.Position
+}
+
+// pfFunc is one module function under analysis.
+type pfFunc struct {
+	pkg  *Package
+	decl *ast.FuncDecl
+	obj  *types.Func
+	// name is the display name used in findings and path hops
+	// ("LocalClient.SampleCV", "condvec.sampleDiscrete").
+	name string
+	// inputObjs holds the receiver (if any) followed by the parameters, in
+	// summary input-bit order; unnamed inputs are nil placeholders.
+	inputObjs []types.Object
+	// sink is set when the function's outputs are server-visible, either by
+	// direct annotation or because it implements an annotated interface
+	// method.
+	sink *pfAnnotation
+	sum  *summary
+}
+
+// pf is the whole-module analysis state.
+type pf struct {
+	pass *ModulePass
+	fset *token.FileSet
+
+	anns     map[types.Object]*pfAnnotation
+	funcs    map[*types.Func]*pfFunc
+	funcList []*pfFunc
+
+	// fieldTaint maps struct fields to the source taint ever stored into
+	// them, giving flow-insensitive taint transfer across methods of one
+	// object (c.lastCV = b in one call, c.lastCV read in a later one).
+	fieldTaint map[*types.Var]taintVal
+
+	namedTypes []*types.Named
+	implCache  map[*types.Func][]*pfFunc
+
+	// changed drives the global fixpoint: set when any summary or field
+	// taint grows during a pass.
+	changed bool
+}
+
+func runPrivFlow(p *ModulePass) {
+	a := &pf{
+		pass:       p,
+		fset:       p.Fset(),
+		anns:       make(map[types.Object]*pfAnnotation),
+		funcs:      make(map[*types.Func]*pfFunc),
+		fieldTaint: make(map[*types.Var]taintVal),
+		implCache:  make(map[*types.Func][]*pfFunc),
+	}
+	a.collectAnnotations()
+	a.collectFuncs()
+	a.collectNamedTypes()
+	a.resolveSinks()
+
+	// Monotone fixpoint over summaries and field taint. The bound is a
+	// safety net; real modules settle within a handful of passes.
+	for iter := 0; iter < 64; iter++ {
+		a.changed = false
+		for _, f := range a.funcList {
+			a.analyzeFunc(f, false)
+		}
+		if !a.changed {
+			break
+		}
+	}
+	// Reporting pass: only sink functions can produce findings.
+	for _, f := range a.funcList {
+		if f.sink != nil {
+			a.analyzeFunc(f, true)
+		}
+	}
+}
+
+// ---- annotation collection ----
+
+// parsePrivacyDirective splits a "//privacy:kind description" comment.
+// ok is false when the comment is not a privacy directive at all.
+func parsePrivacyDirective(text string) (kind, desc string, ok bool) {
+	rest, ok := strings.CutPrefix(text, "//privacy:")
+	if !ok {
+		return "", "", false
+	}
+	kind, desc, _ = strings.Cut(rest, " ")
+	return strings.TrimSpace(kind), strings.TrimSpace(desc), true
+}
+
+// collectAnnotations walks every declaration that may carry a //privacy:
+// directive, binds well-formed ones to their type-checker objects, and
+// reports malformed or misplaced ones as findings.
+func (a *pf) collectAnnotations() {
+	consumed := make(map[token.Pos]bool)
+	for _, pkg := range a.pass.Pkgs {
+		for _, file := range pkg.Files {
+			a.collectFileAnnotations(pkg, file, consumed)
+		}
+	}
+	// Any privacy directive not attached to an annotatable declaration is
+	// dead weight pretending to be protection — flag it.
+	for _, pkg := range a.pass.Pkgs {
+		for _, file := range pkg.Files {
+			for _, cg := range file.Comments {
+				for _, c := range cg.List {
+					if _, _, ok := parsePrivacyDirective(c.Text); ok && !consumed[c.Pos()] {
+						a.pass.Report(c.Pos(), "misplaced privacy annotation: //privacy: directives go in the doc comment of a function, struct field, or interface method", nil)
+					}
+				}
+			}
+		}
+	}
+}
+
+func (a *pf) collectFileAnnotations(pkg *Package, file *ast.File, consumed map[token.Pos]bool) {
+	ast.Inspect(file, func(n ast.Node) bool {
+		switch d := n.(type) {
+		case *ast.FuncDecl:
+			if obj, ok := pkg.Info.Defs[d.Name].(*types.Func); ok {
+				a.bindDirectives(d.Doc, nil, obj, false, consumed)
+			}
+		case *ast.StructType:
+			for _, field := range d.Fields.List {
+				a.bindFieldDirectives(pkg, field, true, consumed)
+			}
+		case *ast.InterfaceType:
+			for _, field := range d.Methods.List {
+				a.bindFieldDirectives(pkg, field, false, consumed)
+			}
+		}
+		return true
+	})
+}
+
+// bindFieldDirectives handles one struct field or interface method line.
+func (a *pf) bindFieldDirectives(pkg *Package, field *ast.Field, isStructField bool, consumed map[token.Pos]bool) {
+	if len(field.Names) == 0 {
+		// Embedded field or embedded interface: directives here have no
+		// single object to bind to; the misplaced sweep reports them.
+		return
+	}
+	obj := pkg.Info.Defs[field.Names[0]]
+	if obj == nil {
+		return
+	}
+	a.bindDirectives(field.Doc, field.Comment, obj, isStructField, consumed)
+}
+
+// bindDirectives parses the directives of one declaration's doc and line
+// comments and records the resulting annotation.
+func (a *pf) bindDirectives(doc, comment *ast.CommentGroup, obj types.Object, isStructField bool, consumed map[token.Pos]bool) {
+	for _, cg := range []*ast.CommentGroup{doc, comment} {
+		if cg == nil {
+			continue
+		}
+		for _, c := range cg.List {
+			kind, desc, ok := parsePrivacyDirective(c.Text)
+			if !ok {
+				continue
+			}
+			consumed[c.Pos()] = true
+			a.bindOne(c.Pos(), kind, desc, obj, isStructField)
+		}
+	}
+}
+
+func (a *pf) bindOne(pos token.Pos, kind, desc string, obj types.Object, isStructField bool) {
+	switch kind {
+	case annSource, annSink, annSanitizer:
+	default:
+		a.pass.Report(pos, fmt.Sprintf("unknown privacy annotation kind %q: want source, sink, or sanitizer", kind), nil)
+		return
+	}
+	if desc == "" {
+		a.pass.Report(pos, fmt.Sprintf("privacy %s annotation needs a description: //privacy:%s <what and why>", kind, kind), nil)
+		return
+	}
+	if isStructField && kind != annSource {
+		a.pass.Report(pos, fmt.Sprintf("privacy %s annotation cannot apply to a struct field; only //privacy:source can", kind), nil)
+		return
+	}
+	if !isStructField {
+		if _, ok := obj.(*types.Func); !ok {
+			a.pass.Report(pos, fmt.Sprintf("privacy %s annotation must attach to a function or interface method", kind), nil)
+			return
+		}
+	}
+	if prev := a.anns[obj]; prev != nil {
+		a.pass.Report(pos, fmt.Sprintf("conflicting privacy annotations on %s (already %s at %s)", obj.Name(), prev.kind, prev.pos), nil)
+		return
+	}
+	a.anns[obj] = &pfAnnotation{kind: kind, desc: desc, obj: obj, pos: a.fset.Position(pos)}
+}
+
+// ---- function registry, named types, sink resolution ----
+
+func (a *pf) collectFuncs() {
+	for _, pkg := range a.pass.Pkgs {
+		for _, file := range pkg.Files {
+			for _, decl := range file.Decls {
+				fd, ok := decl.(*ast.FuncDecl)
+				if !ok || fd.Body == nil {
+					continue
+				}
+				obj, ok := pkg.Info.Defs[fd.Name].(*types.Func)
+				if !ok {
+					continue
+				}
+				f := &pfFunc{
+					pkg:  pkg,
+					decl: fd,
+					obj:  obj,
+					name: funcDisplayName(obj),
+				}
+				f.inputObjs = collectInputs(pkg.Info, fd)
+				sig := obj.Type().(*types.Signature)
+				f.sum = &summary{results: make([]taintVal, sig.Results().Len())}
+				a.funcs[obj] = f
+				a.funcList = append(a.funcList, f)
+			}
+		}
+	}
+}
+
+// collectInputs returns the receiver (if any) then parameters of a
+// declaration, as type-checker objects in input-bit order.
+func collectInputs(info *types.Info, fd *ast.FuncDecl) []types.Object {
+	var out []types.Object
+	addFields := func(fl *ast.FieldList) {
+		if fl == nil {
+			return
+		}
+		for _, field := range fl.List {
+			if len(field.Names) == 0 {
+				out = append(out, nil)
+				continue
+			}
+			for _, name := range field.Names {
+				if name.Name == "_" {
+					out = append(out, nil)
+					continue
+				}
+				out = append(out, info.Defs[name])
+			}
+		}
+	}
+	addFields(fd.Recv)
+	addFields(fd.Type.Params)
+	return out
+}
+
+// funcDisplayName renders "Recv.Method" or "pkg.Func" for findings.
+func funcDisplayName(obj *types.Func) string {
+	sig := obj.Type().(*types.Signature)
+	if recv := sig.Recv(); recv != nil {
+		t := recv.Type()
+		if ptr, ok := t.(*types.Pointer); ok {
+			t = ptr.Elem()
+		}
+		if named, ok := t.(*types.Named); ok {
+			return named.Obj().Name() + "." + obj.Name()
+		}
+		return types.TypeString(t, func(*types.Package) string { return "" }) + "." + obj.Name()
+	}
+	if obj.Pkg() != nil {
+		return obj.Pkg().Name() + "." + obj.Name()
+	}
+	return obj.Name()
+}
+
+func (a *pf) collectNamedTypes() {
+	for _, pkg := range a.pass.Pkgs {
+		scope := pkg.Types.Scope()
+		for _, name := range scope.Names() { // Names() is sorted: deterministic
+			tn, ok := scope.Lookup(name).(*types.TypeName)
+			if !ok || tn.IsAlias() {
+				continue
+			}
+			if named, ok := tn.Type().(*types.Named); ok {
+				a.namedTypes = append(a.namedTypes, named)
+			}
+		}
+	}
+}
+
+// isInterfaceMethod reports whether obj is declared on an interface.
+func isInterfaceMethod(obj *types.Func) bool {
+	sig, ok := obj.Type().(*types.Signature)
+	return ok && sig.Recv() != nil && types.IsInterface(sig.Recv().Type())
+}
+
+// resolveImpls finds the module implementations of an interface method:
+// the concrete methods interface dispatch can reach.
+func (a *pf) resolveImpls(m *types.Func) []*pfFunc {
+	if impls, ok := a.implCache[m]; ok {
+		return impls
+	}
+	var out []*pfFunc
+	sig := m.Type().(*types.Signature)
+	ifc, ok := sig.Recv().Type().Underlying().(*types.Interface)
+	if ok {
+		for _, named := range a.namedTypes {
+			if types.IsInterface(named) {
+				continue
+			}
+			if !types.Implements(named, ifc) && !types.Implements(types.NewPointer(named), ifc) {
+				continue
+			}
+			obj, _, _ := types.LookupFieldOrMethod(types.NewPointer(named), true, m.Pkg(), m.Name())
+			if fn, ok := obj.(*types.Func); ok {
+				if impl := a.funcs[fn]; impl != nil {
+					out = append(out, impl)
+				}
+			}
+		}
+	}
+	a.implCache[m] = out
+	return out
+}
+
+// resolveSinks marks directly annotated functions and every module
+// implementation of an annotated interface method as sinks.
+func (a *pf) resolveSinks() {
+	for _, f := range a.funcList {
+		if ann := a.anns[f.obj]; ann != nil && ann.kind == annSink {
+			f.sink = ann
+		}
+	}
+	// Deterministic sweep over interface-method sinks: use funcList order
+	// independence by iterating annotations through the package walk order
+	// captured in funcList? Interface methods have no body, so walk the
+	// annotation map via namedTypes is not possible — collect sorted.
+	var ifaceSinks []*pfAnnotation
+	for _, pkg := range a.pass.Pkgs {
+		for _, file := range pkg.Files {
+			ast.Inspect(file, func(n ast.Node) bool {
+				it, ok := n.(*ast.InterfaceType)
+				if !ok {
+					return true
+				}
+				for _, field := range it.Methods.List {
+					if len(field.Names) == 0 {
+						continue
+					}
+					obj := pkg.Info.Defs[field.Names[0]]
+					if ann := a.anns[obj]; ann != nil && ann.kind == annSink {
+						ifaceSinks = append(ifaceSinks, ann)
+					}
+				}
+				return true
+			})
+		}
+	}
+	for _, ann := range ifaceSinks {
+		m, ok := ann.obj.(*types.Func)
+		if !ok {
+			continue
+		}
+		for _, impl := range a.resolveImpls(m) {
+			if impl.sink == nil {
+				impl.sink = ann
+			}
+		}
+	}
+}
+
+// analyzeFunc runs the intraprocedural walk over one function until its
+// local state stabilizes, updating the function's summary and the global
+// field taint. With report set, it additionally emits findings at sink
+// violations.
+func (a *pf) analyzeFunc(f *pfFunc, report bool) {
+	in := &interp{
+		a:     a,
+		fn:    f,
+		info:  f.pkg.Info,
+		state: make(map[types.Object]taintVal),
+	}
+	for i, obj := range f.inputObjs {
+		if obj != nil && i < 64 {
+			in.state[obj] = taintVal{inputs: 1 << uint(i)}
+		}
+	}
+	// Local fixpoint: weak updates make the state monotone, so a few
+	// passes reach loop-carried taint; the cap bounds pathological bodies.
+	for pass := 0; pass < 4; pass++ {
+		in.localChanged = false
+		in.walkBody()
+		if !in.localChanged {
+			break
+		}
+	}
+	if report {
+		in.report = true
+		in.reported = make(map[string]bool)
+		in.walkBody()
+	}
+}

@@ -28,8 +28,23 @@ func goodReturned() error {
 	return mayFail()
 }
 
-func goodExplicitDrop() {
+func badExplicitDrop() {
+	_ = mayFail() // want "mayFail returns an error that is silently dropped"
+}
+
+func badVarDrop() {
+	var _ = mayFail() // want "mayFail returns an error that is silently dropped"
+}
+
+func goodAnnotatedDrop() {
+	//lint:ignore errdrop fixture demonstrates an audited deliberate discard
 	_ = mayFail()
+}
+
+func goodPartialKeep() error {
+	// Keeping any result is not a discard; the error is still visible.
+	err := mayFail()
+	return err
 }
 
 func goodFmt() {

@@ -1,0 +1,7 @@
+// Package exttest is a loader fixture: its directory also holds an
+// external (package exttest_test) test file, which the loader must skip
+// rather than trip over the mismatched package name.
+package exttest
+
+// Answer exists so the package has a declaration to type-check.
+func Answer() int { return 42 }

@@ -1,0 +1,96 @@
+// Package privflow exercises the privflow taint analyzer on a
+// self-contained miniature of the GTV client/server boundary: private
+// fields marked //privacy:source, a bottom-model //privacy:sanitizer,
+// and an RPC surface of //privacy:sink functions the server consumes.
+package privflow
+
+// party holds one participant's private state.
+type party struct {
+	//privacy:source raw column values
+	table []float64
+	//privacy:source matching-row indices
+	idx []int
+}
+
+// embed stands in for the bottom-model forward pass: only the learned
+// activation leaves it, never the raw input.
+//
+//privacy:sanitizer bottom-model activation
+func embed(xs []float64) []float64 {
+	out := make([]float64, len(xs))
+	for i, v := range xs {
+		out[i] = v * 0.5
+	}
+	return out
+}
+
+// Service is the RPC surface the server consumes.
+type Service interface {
+	//privacy:sink raw slice the server stores
+	Fetch() []float64
+	//privacy:sink activation returned to the server
+	Forward() []float64
+}
+
+var _ Service = (*party)(nil)
+
+// Fetch is the seeded violation: a sink returning a source directly.
+func (p *party) Fetch() []float64 {
+	return p.table // want `privacy source "raw column values" returned from privacy sink party\.Fetch \(raw slice the server stores\) without a sanitizer`
+}
+
+// Forward is the clean path: the table passes the sanitizer first.
+func (p *party) Forward() []float64 {
+	return embed(p.table)
+}
+
+// message bundles a conditional vector with its matching row indices —
+// the shape a client would send the server per training round.
+type message struct {
+	cv  []float64
+	idx []int
+}
+
+// pickRows selects the matching rows through a helper chain, so the
+// taint reaches the sink only interprocedurally.
+func pickRows(p *party) []int {
+	return gather(p.idx)
+}
+
+// gather copies the indices; copy propagates taint from src to dst.
+func gather(idx []int) []int {
+	out := make([]int, len(idx))
+	copy(out, idx)
+	return out
+}
+
+// SampleCV is the second seeded violation: the unshuffled row indices
+// ride along with the conditional vector in one server-visible message.
+//
+//privacy:sink conditional vector and row indices sent to the server
+func SampleCV(p *party) message {
+	return message{cv: embed(p.table), idx: pickRows(p)} // want `privacy source "matching-row indices" returned from privacy sink privflow\.SampleCV .* without a sanitizer`
+}
+
+// rawView exposes the table without sanitizing; harmless on its own,
+// a leak once a sink forwards it.
+func rawView(p *party) []float64 {
+	return p.table
+}
+
+// FillReply is the third seeded violation: the leak goes out through
+// the server's reply pointer rather than a return value.
+//
+//privacy:sink reply message filled for the server
+func FillReply(p *party, reply *[]float64) {
+	*reply = rawView(p) // want `privacy source "raw column values" written to the reply of privacy sink privflow\.FillReply \(reply message filled for the server\) without a sanitizer`
+}
+
+// Publish models a sanctioned disclosure: the flow is real, so privflow
+// reports it, and the fixture audits it with a reasoned suppression.
+//
+//privacy:sink synthetic columns published to the server
+func Publish(p *party) []float64 {
+	//lint:ignore privflow fixture demonstrates an audited, sanctioned disclosure
+	return p.table
+}

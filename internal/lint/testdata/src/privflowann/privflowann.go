@@ -1,0 +1,41 @@
+// Package privflowann seeds every class of privacy-annotation misuse
+// privflow must reject. Findings land on the directive comments
+// themselves, where an inline want comment would change the directive's
+// description, so TestPrivFlowAnnotationErrors checks them directly.
+package privflowann
+
+// leaky uses an unknown directive kind.
+//
+//privacy:leak this kind does not exist
+func leaky() {}
+
+// undescribed omits the mandatory description.
+//
+//privacy:sink
+func undescribed() {}
+
+// box puts a sink directive on a struct field, where only source is
+// allowed.
+type box struct {
+	//privacy:sink fields cannot be sinks
+	payload []float64
+}
+
+// conflicted carries two directives; the second must be rejected.
+//
+//privacy:source first annotation wins
+//privacy:sink second annotation conflicts
+func conflicted() []float64 { return nil }
+
+// misplaced has a directive floating in a function body instead of a
+// doc comment.
+func misplaced() {
+	//privacy:source directives do not belong here
+	_ = box{}
+}
+
+// konst attaches a directive to a declaration that is neither a
+// function nor a struct field.
+//
+//privacy:sanitizer constants cannot sanitize
+const konst = 1

@@ -197,7 +197,11 @@ var _ Layer = (*Sequential)(nil)
 // NewSequential returns a Sequential over the given layers.
 func NewSequential(layers ...Layer) *Sequential { return &Sequential{Layers: layers} }
 
-// Forward implements Layer.
+// Forward implements Layer. Passing private data through a bottom model
+// is the paper's sanctioned disclosure: only the learned activation, not
+// the raw input, becomes visible downstream.
+//
+//privacy:sanitizer bottom-model forward activation
 func (s *Sequential) Forward(x *ag.Value, train bool) *ag.Value {
 	for _, l := range s.Layers {
 		x = l.Forward(x, train)

@@ -70,8 +70,12 @@ type Setup struct {
 // because all its mutable state is per-instance and the coordinator is
 // immutable; RPCClient meets it because net/rpc clients are safe for
 // concurrent use and its reconnect path is mutex-guarded.
+// Every data-returning Client method is a privacy sink: its results cross
+// to the server, so privflow verifies nothing source-tainted reaches them
+// unsanitized.
 type Client interface {
 	// Info returns schema-shape metadata.
+	//privacy:sink schema metadata visible to the server
 	Info() (ClientInfo, error)
 	// Configure builds the client's bottom models for the assigned widths.
 	Configure(Setup) error
@@ -79,16 +83,20 @@ type Client interface {
 	// from the client's local data (the client acts as contributor p).
 	// synthesis selects raw-frequency category sampling (generation time)
 	// instead of log-frequency sampling (training time).
+	//privacy:sink conditional vectors and idx_p sent to the server
 	SampleCV(batch int, synthesis bool) (*condvec.Batch, error)
 	// SampleCVFixed draws a batch whose every CV selects the given category
 	// of the client's categorical span spanIdx (conditional synthesis).
+	//privacy:sink conditioned CV batch and idx_p sent to the server
 	SampleCVFixed(batch, spanIdx, category int) (*condvec.Batch, error)
 	// ForwardSynthetic routes a generator slice through G_i^b (+output
 	// activations) and D_i^b, returning the intermediate critic logits.
+	//privacy:sink critic logits returned to the server
 	ForwardSynthetic(slice *tensor.Dense, phase Phase) (*tensor.Dense, error)
 	// ForwardReal passes real rows through D_i^b. A nil idx means the full
 	// local table (the paper's privacy-preserving path for clients that did
 	// not contribute the CV; the server row-selects the logits).
+	//privacy:sink real-branch critic logits returned to the server
 	ForwardReal(idx []int) (*tensor.Dense, error)
 	// BackwardDisc applies critic gradients (w.r.t. the logits returned by
 	// the last ForwardSynthetic/ForwardReal) and updates D_i^b.
@@ -97,6 +105,7 @@ type Client interface {
 	// the gradient with respect to the input slice so the server can update
 	// G^t. conditioned marks this client as the round's CV contributor,
 	// which adds the local conditioning cross-entropy.
+	//privacy:sink boundary-slice gradient returned to the server
 	BackwardGen(gradSynth *tensor.Dense, conditioned bool) (*tensor.Dense, error)
 	// EndRound shuffles the local data with the round's shared seed.
 	EndRound(round int) error
@@ -105,6 +114,7 @@ type Client interface {
 	GenerateRows(slice *tensor.Dense) error
 	// Publish decodes and shuffles all buffered synthetic rows (with the
 	// shared publication seed) and returns the client's synthetic columns.
+	//privacy:sink synthetic columns published to the server
 	Publish() (*encoding.Table, error)
 }
 
@@ -112,12 +122,18 @@ type Client interface {
 // training table, its feature encoders, the bottom generator and
 // discriminator, and their optimizer state.
 type LocalClient struct {
+	// table is the client's vertical slice of the real training data; the
+	// server must never observe its values.
+	//privacy:source client raw table
 	table       *encoding.Table
 	transformer *encoding.Transformer
 	sampler     *condvec.Sampler
-	encoded     *tensor.Dense
-	coord       *ShuffleCoordinator
-	rng         *rand.Rand
+	// encoded is the transformed real table (same rows, encoded columns);
+	// leaking it is equivalent to leaking the table.
+	//privacy:source client encoded matrix
+	encoded *tensor.Dense
+	coord   *ShuffleCoordinator
+	rng     *rand.Rand
 
 	setup   Setup
 	gen     *nn.Sequential
@@ -237,6 +253,10 @@ func (c *LocalClient) SampleCV(batch int, synthesis bool) (*condvec.Batch, error
 		return nil, err
 	}
 	c.lastCV = b
+	// The contributor deliberately shares idx_p with the server; §3.1.5's
+	// training-with-shuffling re-permutes rows every round so indices
+	// cannot be joined across rounds to reconstruct data.
+	//lint:ignore privflow idx_p disclosure is sanctioned by training-with-shuffling (§3.1.5)
 	return b, nil
 }
 
@@ -247,6 +267,7 @@ func (c *LocalClient) SampleCVFixed(batch, spanIdx, category int) (*condvec.Batc
 		return nil, err
 	}
 	c.lastCV = b
+	//lint:ignore privflow idx_p disclosure is sanctioned by training-with-shuffling (§3.1.5)
 	return b, nil
 }
 
@@ -400,6 +421,10 @@ func (c *LocalClient) Publish() (*encoding.Table, error) {
 	seed := c.coord.PublicationSeed(c.pubCount)
 	c.pubCount++
 	perm := rand.New(rand.NewSource(seed)).Perm(decoded.Rows())
+	// The secret only orders the published rows (an order-only flow): the
+	// rows themselves are synthetic, and publishing a permutation of them
+	// reveals neither the secret nor any real row (§3.1.7).
+	//lint:ignore privflow the shuffle secret determines row order only, never row values (§3.1.7)
 	return decoded.ShuffleRows(perm), nil
 }
 

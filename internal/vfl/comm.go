@@ -65,7 +65,11 @@ func (a *commAccount) add(f func(*CommStats)) {
 	a.mu.Unlock()
 }
 
-// snapshot returns a consistent copy of the accumulated stats.
+// snapshot returns a consistent copy of the accumulated stats. Byte
+// counters aggregate over whole matrices and rounds; they carry shapes,
+// never values.
+//
+//privacy:sanitizer aggregate communication byte counters
 func (a *commAccount) snapshot() CommStats {
 	a.mu.Lock()
 	defer a.mu.Unlock()

@@ -271,6 +271,7 @@ func (c *RPCClient) redial() {
 	if c.rc != nil {
 		// The connection is presumed broken — the close error carries no
 		// information beyond the call failure that triggered the redial.
+		//lint:ignore errdrop closing a presumed-broken connection, the error adds nothing
 		_ = c.rc.Close()
 		c.rc = nil
 	}

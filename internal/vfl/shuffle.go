@@ -11,6 +11,9 @@ import (
 // server never holds one, so it cannot reproduce the permutations and
 // cannot join conditional vectors with row indices across rounds.
 type ShuffleCoordinator struct {
+	// secret seeds every shuffle permutation; a server holding it could
+	// invert training-with-shuffling and re-join idx_p across rounds.
+	//privacy:source shared shuffle secret
 	secret int64
 }
 
