@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build vet lint lint-json test race ci bench bench-round bench-kernels
+.PHONY: all build vet lint lint-json test race ci bench bench-round bench-kernels bench-comm
 
 all: ci
 
@@ -48,3 +48,11 @@ bench-round:
 bench-kernels:
 	$(GO) test -run xxx -bench . ./internal/tensor ./internal/autograd \
 		| $(GO) run ./cmd/benchjson > BENCH_kernels.json
+
+# Transport benchmarks: gob vs gtvwire-binary round-trip latency and
+# allocs/op at paper-scale payloads, plus the delayed-round latency
+# comparison. Recorded as JSON in BENCH_comm.json.
+bench-comm:
+	{ $(GO) test -run xxx -bench BenchmarkWireRoundTrip -benchtime 50x ./internal/vfl ; \
+	  $(GO) test -run xxx -bench 'BenchmarkGTVTrainingRoundLatency$$' -benchtime 5x . ; } \
+		| $(GO) run ./cmd/benchjson > BENCH_comm.json

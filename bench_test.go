@@ -8,6 +8,7 @@ package main
 import (
 	"fmt"
 	"io"
+	"net"
 	"testing"
 	"time"
 
@@ -188,16 +189,14 @@ func BenchmarkGTVTrainingRound(b *testing.B) {
 // comparison with a simulated 2ms transport delay on every client call —
 // the realistic deployment regime, where round time is dominated by network
 // latency rather than local matrix math. The concurrent driver overlaps the
-// per-client waits, so it wins even on a single core.
+// per-client waits, so it wins even on a single core. The gob and binary
+// variants run the same delayed clients behind real TCP loopback
+// transports, comparing net/rpc+gob against the gtvwire binary protocol
+// under the concurrent driver.
 func BenchmarkGTVTrainingRoundLatency(b *testing.B) {
 	const numClients = 4
-	for _, par := range []int{1, 0} {
-		par := par
-		mode := "concurrent"
-		if par == 1 {
-			mode = "sequential"
-		}
-		b.Run(fmt.Sprintf("clients=%d/delay=2ms/%s", numClients, mode), func(b *testing.B) {
+	run := func(par int, wire string) func(*testing.B) {
+		return func(b *testing.B) {
 			d, err := datasets.Generate("intrusion", datasets.Config{Rows: 300, Seed: 1})
 			if err != nil {
 				b.Fatal(err)
@@ -219,7 +218,36 @@ func BenchmarkGTVTrainingRoundLatency(b *testing.B) {
 				}
 				slow := vfl.NewFaultyTransport(lc)
 				slow.SetDelay(2 * time.Millisecond)
-				clients[i] = slow
+				switch wire {
+				case "local":
+					clients[i] = slow
+				case "gob":
+					lis, err := net.Listen("tcp", "127.0.0.1:0")
+					if err != nil {
+						b.Fatal(err)
+					}
+					b.Cleanup(func() { lis.Close() })
+					go func() { _ = vfl.ServeClient(lis, slow) }()
+					proxy, err := vfl.DialClient("tcp", lis.Addr().String())
+					if err != nil {
+						b.Fatal(err)
+					}
+					b.Cleanup(func() { proxy.Close() })
+					clients[i] = proxy
+				case "binary":
+					lis, err := net.Listen("tcp", "127.0.0.1:0")
+					if err != nil {
+						b.Fatal(err)
+					}
+					b.Cleanup(func() { lis.Close() })
+					go func() { _ = vfl.ServeClientWire(lis, slow) }()
+					proxy, err := vfl.DialWireClient("tcp", lis.Addr().String())
+					if err != nil {
+						b.Fatal(err)
+					}
+					b.Cleanup(func() { proxy.Close() })
+					clients[i] = proxy
+				}
 			}
 			cfg := vfl.DefaultConfig()
 			cfg.Plan = planG20
@@ -236,8 +264,12 @@ func BenchmarkGTVTrainingRoundLatency(b *testing.B) {
 					b.Fatal(err)
 				}
 			}
-		})
+		}
 	}
+	b.Run(fmt.Sprintf("clients=%d/delay=2ms/sequential", numClients), run(1, "local"))
+	b.Run(fmt.Sprintf("clients=%d/delay=2ms/concurrent", numClients), run(0, "local"))
+	b.Run(fmt.Sprintf("clients=%d/delay=2ms/concurrent/gob", numClients), run(0, "gob"))
+	b.Run(fmt.Sprintf("clients=%d/delay=2ms/concurrent/binary", numClients), run(0, "binary"))
 }
 
 // BenchmarkGTVSynthesize measures joint synthesis throughput.

@@ -6,9 +6,10 @@
 # build, full tests (the lint fixture packages, privflow's included, run
 # even under -short), then the race detector over the whole module in
 # short mode (GAN-training tests skip themselves) and in full mode over
-# the concurrency-critical packages (the vfl protocol driver and the
-# tensor/autograd substrate — worker pool, buffer free lists — it fans
-# out over).
+# the concurrency-critical packages (the vfl protocol driver, the gtvwire
+# pipelined transport — demux goroutine, per-request server goroutines,
+# shared frame-buffer pool — and the tensor/autograd substrate — worker
+# pool, buffer free lists — it fans out over).
 set -eux
 
 go vet ./...

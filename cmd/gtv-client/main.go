@@ -40,6 +40,7 @@ func run(args []string) error {
 		numClients = fs.Int("num-clients", 2, "total clients in the federation")
 		secret     = fs.Int64("secret", 0x67747673, "shared shuffle secret (must match every client; never give it to the server)")
 		seed       = fs.Int64("seed", 1, "dataset seed (must match every client)")
+		wire       = fs.String("wire", "gob", "wire protocol to serve: gob (net/rpc) | binary (gtvwire frames, pipelined); must match the server's -wire")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -72,7 +73,13 @@ func run(args []string) error {
 	if err != nil {
 		return fmt.Errorf("listening on %s: %w", *listen, err)
 	}
-	fmt.Printf("gtv-client %d/%d serving %d columns of %s on %s\n",
-		*clientIdx, *numClients, local.Cols(), *dataset, lis.Addr())
-	return vfl.ServeClient(lis, client)
+	fmt.Printf("gtv-client %d/%d serving %d columns of %s on %s (%s wire)\n",
+		*clientIdx, *numClients, local.Cols(), *dataset, lis.Addr(), *wire)
+	switch *wire {
+	case "gob":
+		return vfl.ServeClient(lis, client)
+	case "binary":
+		return vfl.ServeClientWire(lis, client)
+	}
+	return fmt.Errorf("unknown -wire %q (want gob or binary)", *wire)
 }

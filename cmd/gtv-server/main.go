@@ -43,6 +43,8 @@ func run(args []string) error {
 		callTO     = fs.Duration("call-timeout", 30*time.Second, "per-RPC deadline (0 = wait forever)")
 		callTries  = fs.Int("call-retries", 2, "retries per RPC on transient transport errors")
 		callWait   = fs.Duration("call-backoff", 50*time.Millisecond, "initial backoff between RPC retries (doubles per retry)")
+		wire       = fs.String("wire", "gob", "wire protocol to the clients: gob (net/rpc) | binary (gtvwire frames, pipelined); must match the clients' -wire")
+		wireF32    = fs.Bool("wire-f32", false, "send activations/gradients as float32 on the binary wire")
 		faithful   = fs.Bool("faithful-real-pass", false, "use the paper's full-local-pass index privacy mode")
 		synthRows  = fs.Int("synth-rows", 500, "synthetic rows to generate after training")
 		synthOut   = fs.String("synth-out", "synthetic.csv", "output CSV path")
@@ -61,17 +63,35 @@ func run(args []string) error {
 		MaxAttempts: 1 + *callTries,
 		Backoff:     *callWait,
 	}
+	if *wireF32 && *wire != "binary" {
+		return fmt.Errorf("-wire-f32 requires -wire binary, got %q", *wire)
+	}
 	addrs := strings.Split(*clientsArg, ",")
 	clients := make([]vfl.Client, len(addrs))
 	for i, addr := range addrs {
-		proxy, err := vfl.DialClientPolicy("tcp", strings.TrimSpace(addr), policy)
-		if err != nil {
-			return err
+		addr = strings.TrimSpace(addr)
+		switch *wire {
+		case "gob":
+			proxy, err := vfl.DialClientPolicy("tcp", addr, policy)
+			if err != nil {
+				return err
+			}
+			//lint:ignore errdrop teardown of a finished training connection, nothing left to lose
+			defer func() { _ = proxy.Close() }()
+			clients[i] = proxy
+		case "binary":
+			proxy, err := vfl.DialWireClientPolicy("tcp", addr, policy)
+			if err != nil {
+				return err
+			}
+			proxy.SetFloat32(*wireF32)
+			//lint:ignore errdrop teardown of a finished training connection, nothing left to lose
+			defer func() { _ = proxy.Close() }()
+			clients[i] = proxy
+		default:
+			return fmt.Errorf("unknown -wire %q (want gob or binary)", *wire)
 		}
-		//lint:ignore errdrop teardown of a finished training connection, nothing left to lose
-		defer func() { _ = proxy.Close() }()
-		clients[i] = proxy
-		fmt.Printf("connected to client %d at %s\n", i, addr)
+		fmt.Printf("connected to client %d at %s (%s wire)\n", i, addr, *wire)
 	}
 
 	cfg := vfl.Config{
@@ -101,6 +121,9 @@ func run(args []string) error {
 	if err != nil {
 		return err
 	}
+
+	// Estimated payload bytes next to the measured framed bytes.
+	fmt.Printf("communication: %s\n", server.CommStats())
 
 	synth, err := server.Synthesize(*synthRows)
 	if err != nil {

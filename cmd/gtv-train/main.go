@@ -50,6 +50,8 @@ func run(args []string, stdout io.Writer) error {
 		dpNoise     = fs.Float64("dp-noise", 0, "Gaussian DP noise std on exchanged logits (GTV only)")
 		seed        = fs.Int64("seed", 1, "random seed")
 		parallel    = fs.Int("parallel-clients", 0, "max clients driven concurrently per round (0 = all, 1 = sequential; results are identical)")
+		wire        = fs.String("wire", "local", "client transport (GTV only): local (in-process) | gob (net/rpc over TCP loopback) | binary (gtvwire frames over TCP loopback)")
+		wireF32     = fs.Bool("wire-f32", false, "send activations/gradients as float32 on the binary wire (halves boundary traffic, breaks exact cross-transport reproducibility)")
 		faithful    = fs.Bool("faithful-real-pass", false, "use the paper's full-local-pass index privacy mode")
 		synthOut    = fs.String("synth-out", "", "write synthetic data to this CSV file")
 		every       = fs.Int("log-every", 50, "print losses every N rounds")
@@ -115,6 +117,8 @@ func run(args []string, stdout io.Writer) error {
 	opts.DPLogitNoise = *dpNoise
 	opts.Seed = *seed
 	opts.Parallelism = *parallel
+	opts.Transport = *wire
+	opts.WireFloat32 = *wireF32
 	opts.FaithfulRealPass = *faithful
 
 	progress := func(round int, dLoss, gLoss float64) {
@@ -152,13 +156,18 @@ func run(args []string, stdout io.Writer) error {
 		if err != nil {
 			return err
 		}
-		fmt.Fprintf(stdout, "GTV %s with %d clients, P_r=%v\n", plan.Name(), *clients, g.Ratios())
+		//lint:ignore errdrop teardown of finished loopback transports, nothing left to lose
+		defer func() { _ = g.Close() }()
+		fmt.Fprintf(stdout, "GTV %s with %d clients over %q transport, P_r=%v\n", plan.Name(), *clients, *wire, g.Ratios())
 		if err := g.Train(progress); err != nil {
 			return err
 		}
 		if synth, err = g.Synthesize(train.Rows()); err != nil {
 			return err
 		}
+		// Estimate (8 B/element payload model) and, on a network transport,
+		// the measured framed bytes side by side.
+		fmt.Fprintf(stdout, "communication: %s\n", g.CommStats())
 		// The synthetic column order follows the assignment; restore the
 		// original order for evaluation and output.
 		order := make([]int, 0, train.Cols())

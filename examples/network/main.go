@@ -1,8 +1,9 @@
 // Network example: the full GTV protocol over TCP on localhost. Two client
-// processes are simulated by goroutines serving real net/rpc listeners; the
-// server dials them like remote parties and drives Algorithm 1 over the
-// wire. Byte-for-byte, this is the traffic a two-machine deployment
-// (cmd/gtv-server + cmd/gtv-client) exchanges.
+// processes are simulated by goroutines serving real gtvwire listeners
+// (the pipelined binary frame protocol — see DESIGN.md "Wire protocol");
+// the server dials them like remote parties and drives Algorithm 1 over
+// the wire. Byte-for-byte, this is the traffic a two-machine deployment
+// (cmd/gtv-server + cmd/gtv-client, both with -wire binary) exchanges.
 package main
 
 import (
@@ -44,11 +45,11 @@ func main() {
 			log.Fatal(err)
 		}
 		go func() {
-			if err := vfl.ServeClient(lis, local); err != nil {
+			if err := vfl.ServeClientWire(lis, local); err != nil {
 				log.Println("client server:", err)
 			}
 		}()
-		proxy, err := vfl.DialClient("tcp", lis.Addr().String())
+		proxy, err := vfl.DialWireClient("tcp", lis.Addr().String())
 		if err != nil {
 			log.Fatal(err)
 		}
@@ -86,4 +87,6 @@ func main() {
 		log.Fatal(err)
 	}
 	fmt.Printf("synthesized %d rows x %d columns over the network\n", synth.Rows(), synth.Cols())
+	// The 8 B/element payload estimate and the measured framed bytes.
+	fmt.Printf("communication: %s\n", server.CommStats())
 }

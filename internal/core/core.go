@@ -22,6 +22,8 @@ package core
 import (
 	"errors"
 	"fmt"
+	"io"
+	"net"
 
 	"repro/internal/encoding"
 	"repro/internal/gan"
@@ -63,6 +65,24 @@ type Options struct {
 	// vfl.Config.Parallelism). Training results are bit-identical across
 	// settings.
 	Parallelism int
+	// Transport selects how the server reaches the clients: "local" (or
+	// empty) drives them in-process; "gob" and "binary" serve each client
+	// on a TCP loopback listener (net/rpc+gob vs the gtvwire binary frame
+	// protocol, see DESIGN.md "Wire protocol") and drive it through the
+	// corresponding network proxy — byte-for-byte the traffic a
+	// multi-machine deployment exchanges. Training results are
+	// bit-identical across transports (float32 mode aside). Call Close to
+	// tear the loopback listeners down.
+	Transport string
+	// WireFloat32 sends activation and gradient matrices as float32 on
+	// the binary transport, halving boundary traffic at the cost of exact
+	// cross-transport reproducibility. Only valid with Transport
+	// "binary".
+	WireFloat32 bool
+	// CallPolicy hardens the network transports' calls (deadline +
+	// transient-error retry); ignored for the local transport. The zero
+	// value imposes nothing.
+	CallPolicy vfl.CallPolicy
 }
 
 // DefaultOptions returns a laptop-scale configuration with the paper's
@@ -119,10 +139,16 @@ func (o Options) vflConfig() vfl.Config {
 type GTV struct {
 	server  *vfl.Server
 	clients []*vfl.LocalClient
+
+	// Loopback plumbing for the network transports; empty for "local".
+	listeners []net.Listener
+	proxies   []io.Closer
 }
 
 // New builds a GTV system from pre-partitioned client tables (all with the
-// same number of aligned rows).
+// same number of aligned rows). With a network Transport in the options,
+// each client is served on its own TCP loopback listener and the server
+// drives the resulting proxies; call Close when done.
 func New(clientTables []*encoding.Table, opts Options) (*GTV, error) {
 	if len(clientTables) == 0 {
 		return nil, errors.New("core: no client tables")
@@ -138,11 +164,92 @@ func New(clientTables []*encoding.Table, opts Options) (*GTV, error) {
 		clients[i] = c
 		ifaces[i] = c
 	}
+	g := &GTV{clients: clients}
+	if err := g.connectTransport(ifaces, opts); err != nil {
+		return nil, err
+	}
 	server, err := vfl.NewServer(ifaces, opts.vflConfig())
 	if err != nil {
+		_ = g.Close() //lint:ignore errdrop setup already failed, the teardown error adds nothing
 		return nil, fmt.Errorf("core: server setup: %w", err)
 	}
-	return &GTV{server: server, clients: clients}, nil
+	g.server = server
+	return g, nil
+}
+
+// connectTransport replaces each in-process client in ifaces with a
+// network proxy according to opts.Transport, serving the real client on a
+// TCP loopback listener. For the local transport it is a no-op.
+func (g *GTV) connectTransport(ifaces []vfl.Client, opts Options) error {
+	switch opts.Transport {
+	case "", "local":
+		if opts.WireFloat32 {
+			return errors.New("core: WireFloat32 requires the binary transport")
+		}
+		return nil
+	case "gob", "binary":
+	default:
+		return fmt.Errorf("core: unknown transport %q (want local, gob or binary)", opts.Transport)
+	}
+	if opts.WireFloat32 && opts.Transport != "binary" {
+		return errors.New("core: WireFloat32 requires the binary transport")
+	}
+	for i, c := range ifaces {
+		lis, err := net.Listen("tcp", "127.0.0.1:0")
+		if err != nil {
+			_ = g.Close() //lint:ignore errdrop setup already failed, the teardown error adds nothing
+			return fmt.Errorf("core: client %d listener: %w", i, err)
+		}
+		g.listeners = append(g.listeners, lis)
+		serve := c
+		if opts.Transport == "binary" {
+			go func() {
+				//lint:ignore errdrop the serve loop ends when Close shuts the listener
+				_ = vfl.ServeClientWire(lis, serve)
+			}()
+			wc, err := vfl.DialWireClientPolicy("tcp", lis.Addr().String(), opts.CallPolicy)
+			if err != nil {
+				_ = g.Close() //lint:ignore errdrop setup already failed, the teardown error adds nothing
+				return fmt.Errorf("core: dialing client %d: %w", i, err)
+			}
+			wc.SetFloat32(opts.WireFloat32)
+			ifaces[i] = wc
+			g.proxies = append(g.proxies, wc)
+			continue
+		}
+		go func() {
+			//lint:ignore errdrop the serve loop ends when Close shuts the listener
+			_ = vfl.ServeClient(lis, serve)
+		}()
+		rc, err := vfl.DialClientPolicy("tcp", lis.Addr().String(), opts.CallPolicy)
+		if err != nil {
+			_ = g.Close() //lint:ignore errdrop setup already failed, the teardown error adds nothing
+			return fmt.Errorf("core: dialing client %d: %w", i, err)
+		}
+		ifaces[i] = rc
+		g.proxies = append(g.proxies, rc)
+	}
+	return nil
+}
+
+// Close tears down the loopback transport (proxies first, then the
+// listeners their serve loops accept on). It is a no-op for the local
+// transport and safe to call more than once.
+func (g *GTV) Close() error {
+	var first error
+	for _, p := range g.proxies {
+		if err := p.Close(); err != nil && first == nil {
+			first = err
+		}
+	}
+	g.proxies = nil
+	for _, lis := range g.listeners {
+		if err := lis.Close(); err != nil && first == nil {
+			first = err
+		}
+	}
+	g.listeners = nil
+	return first
 }
 
 // NewFromAssignment vertically splits a single logical table across

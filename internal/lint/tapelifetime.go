@@ -172,6 +172,9 @@ func classifyAcquisition(info *types.Info, id *ast.Ident, rhs ast.Expr) *acquisi
 		if isPkgFunc(info, v, "internal/tensor", "NewPooled") {
 			return &acquisition{obj: obj, pos: id.Pos(), what: "tensor.NewPooled buffer"}
 		}
+		if isPkgFunc(info, v, "internal/tensor", "NewPooledUninit") {
+			return &acquisition{obj: obj, pos: id.Pos(), what: "tensor.NewPooledUninit buffer"}
+		}
 		if isPkgFunc(info, v, "internal/autograd", "NewTape") {
 			return &acquisition{obj: obj, pos: id.Pos(), what: "autograd tape", tape: true}
 		}

@@ -57,6 +57,15 @@ func newPooledNoZero(rows, cols int) *Dense {
 	return getDense(rows, cols, false)
 }
 
+// NewPooledUninit is NewPooled without the zero fill: the contents are
+// unspecified (possibly a previous occupant's data), so the caller must
+// overwrite every element before the matrix escapes. The wire decoder uses
+// it to land received payloads in recycled buffers without paying a clear
+// that the decode loop immediately overwrites.
+func NewPooledUninit(rows, cols int) *Dense {
+	return getDense(rows, cols, false)
+}
+
 func getDense(rows, cols int, zero bool) *Dense {
 	if rows < 0 || cols < 0 {
 		panic(fmt.Sprintf("tensor: negative shape %dx%d", rows, cols))

@@ -24,9 +24,17 @@ type CommStats struct {
 	CVBytes int64
 	// Rounds is the number of completed training rounds.
 	Rounds int
+	// WireBytes is the measured transport traffic: exact framed bytes in
+	// both directions, headers and metadata included, summed over every
+	// client whose transport counts its connection (see WireByteCounter).
+	// Zero for in-process clients. Unlike the estimate fields above it is
+	// a measurement, so it is excluded from Total; the two agree within
+	// framing overhead (a test on a loopback run pins this).
+	WireBytes int64
 }
 
-// Total returns all payload bytes.
+// Total returns all estimated payload bytes (the 8-byte-per-element
+// model; WireBytes, the measurement, is deliberately not part of it).
 func (c CommStats) Total() int64 {
 	return c.GenSlicesSent + c.DiscLogitsReceived + c.GradsSent + c.SliceGradsReceived + c.CVBytes
 }
@@ -39,10 +47,20 @@ func (c CommStats) PerRound() float64 {
 	return float64(c.Total()) / float64(c.Rounds)
 }
 
-// String renders the stats compactly.
+// String renders the stats compactly: the estimated payload totals first,
+// then the measured wire traffic when a counting transport supplied one.
 func (c CommStats) String() string {
-	return fmt.Sprintf("comm{total=%dB rounds=%d gen_slices=%dB disc_logits=%dB grads=%dB slice_grads=%dB cv=%dB}",
-		c.Total(), c.Rounds, c.GenSlicesSent, c.DiscLogitsReceived, c.GradsSent, c.SliceGradsReceived, c.CVBytes)
+	return fmt.Sprintf("comm{total=%dB wire=%dB rounds=%d gen_slices=%dB disc_logits=%dB grads=%dB slice_grads=%dB cv=%dB}",
+		c.Total(), c.WireBytes, c.Rounds, c.GenSlicesSent, c.DiscLogitsReceived, c.GradsSent, c.SliceGradsReceived, c.CVBytes)
+}
+
+// WireByteCounter is implemented by transports that measure their actual
+// connection traffic (framed bytes in both directions, headers included).
+// Server.CommStats sums it across clients into CommStats.WireBytes, next
+// to the element-count estimate, so the model can be cross-checked against
+// the wire.
+type WireByteCounter interface {
+	WireBytes() int64
 }
 
 const bytesPerElement = 8

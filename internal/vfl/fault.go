@@ -213,3 +213,13 @@ func (f *FaultyTransport) Publish() (*encoding.Table, error) {
 	}
 	return f.Inner.Publish()
 }
+
+// WireBytes forwards the inner transport's connection-byte counter (zero
+// when the inner client does not measure one), so fault-injection stacks
+// keep exact CommStats.WireBytes accounting.
+func (f *FaultyTransport) WireBytes() int64 {
+	if wc, ok := f.Inner.(WireByteCounter); ok {
+		return wc.WireBytes()
+	}
+	return 0
+}

@@ -230,3 +230,13 @@ func (c *policyClient) GenerateRows(slice *tensor.Dense) error {
 func (c *policyClient) Publish() (*encoding.Table, error) {
 	return callWithPolicy(c.policy, c.what("Publish"), nil, c.inner.Publish)
 }
+
+// WireBytes forwards the inner transport's connection-byte counter (zero
+// when the inner client does not measure one), so policy wrappers keep
+// exact CommStats.WireBytes accounting.
+func (c *policyClient) WireBytes() int64 {
+	if wc, ok := c.inner.(WireByteCounter); ok {
+		return wc.WireBytes()
+	}
+	return 0
+}

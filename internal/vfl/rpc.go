@@ -6,6 +6,7 @@ import (
 	"net"
 	"net/rpc"
 	"sync"
+	"sync/atomic"
 
 	"repro/internal/condvec"
 	"repro/internal/encoding"
@@ -227,8 +228,33 @@ type RPCClient struct {
 	network, addr string
 	policy        CallPolicy
 
+	// sent/recv count exact connection bytes (the full gob stream,
+	// framing included) across redials; see WireBytes.
+	sent atomic.Int64
+	recv atomic.Int64
+
 	mu sync.Mutex
 	rc *rpc.Client // guarded by mu
+}
+
+// countingConn counts the bytes crossing a connection in each direction.
+// It wraps the gob transport so RPCClient can report measured traffic
+// comparable to WireClient's framed-byte counters.
+type countingConn struct {
+	net.Conn
+	sent, recv *atomic.Int64
+}
+
+func (c countingConn) Read(p []byte) (int, error) {
+	n, err := c.Conn.Read(p)
+	c.recv.Add(int64(n))
+	return n, err
+}
+
+func (c countingConn) Write(p []byte) (int, error) {
+	n, err := c.Conn.Write(p)
+	c.sent.Add(int64(n))
+	return n, err
 }
 
 var _ Client = (*RPCClient)(nil)
@@ -255,14 +281,18 @@ func (c *RPCClient) conn() (*rpc.Client, error) {
 	c.mu.Lock()
 	defer c.mu.Unlock()
 	if c.rc == nil {
-		rc, err := rpc.Dial(c.network, c.addr)
+		conn, err := net.Dial(c.network, c.addr)
 		if err != nil {
 			return nil, err
 		}
-		c.rc = rc
+		c.rc = rpc.NewClient(countingConn{Conn: conn, sent: &c.sent, recv: &c.recv})
 	}
 	return c.rc, nil
 }
+
+// WireBytes returns the exact connection bytes exchanged with this client
+// in both directions (the whole gob stream, framing included).
+func (c *RPCClient) WireBytes() int64 { return c.sent.Load() + c.recv.Load() }
 
 // redial drops the (presumed broken) connection so the next attempt dials
 // fresh — a restarted client process can rejoin mid-training.

@@ -239,8 +239,19 @@ func (s *Server) Ratios() []float64 { return s.ratios }
 
 // CommStats returns a consistent snapshot of the accumulated
 // server<->client payload accounting. It is safe to call from any
-// goroutine, including while a round is in flight.
-func (s *Server) CommStats() CommStats { return s.comm.snapshot() }
+// goroutine, including while a round is in flight. Clients whose
+// transport measures its connection (WireByteCounter: WireClient,
+// RPCClient, and wrappers that forward it) additionally contribute exact
+// framed bytes to the WireBytes field.
+func (s *Server) CommStats() CommStats {
+	stats := s.comm.snapshot()
+	for _, c := range s.clients {
+		if wc, ok := c.(WireByteCounter); ok {
+			stats.WireBytes += wc.WireBytes()
+		}
+	}
+	return stats
+}
 
 // SliceWidths exposes the generator boundary split (for tests/inspection).
 func (s *Server) SliceWidths() []int { return s.sliceWidths }
@@ -512,6 +523,12 @@ func (s *Server) genStep() (float64, error) {
 	}
 	// Continue backpropagation into G^t with the clients' input gradients.
 	boundaryGrad := tensor.ConcatCols(sliceGrads...)
+	// BackwardGen hands the server sole ownership of each slice gradient
+	// (LocalClient returns a pooled clone; the wire transports decode into
+	// pooled buffers); ConcatCols copied them, so recycle them here.
+	for _, sg := range sliceGrads {
+		sg.Release()
+	}
 	proxy := ag.SumAll(ag.Mul(gtOut, ag.Const(boundaryGrad)))
 	params := s.gTop.Params()
 	pgrads := ag.Grad(proxy, params...)

@@ -1,0 +1,105 @@
+package vfl
+
+import (
+	"fmt"
+	"net"
+	"testing"
+
+	"repro/internal/condvec"
+	"repro/internal/encoding"
+	"repro/internal/tensor"
+)
+
+// echoClient is a protocol stub whose BackwardGen returns a matrix the
+// size of its input's boundary gradient, isolating transport cost (encode,
+// frame, TCP round-trip, decode) from GAN math. BackwardGen is the
+// representative call: one matrix each way per round trip, no state
+// retained between calls on either transport.
+type echoClient struct{ out *tensor.Dense }
+
+func (c *echoClient) Info() (ClientInfo, error) { return ClientInfo{}, nil }
+func (c *echoClient) Configure(Setup) error     { return nil }
+func (c *echoClient) SampleCV(int, bool) (*condvec.Batch, error) {
+	return &condvec.Batch{}, nil
+}
+func (c *echoClient) SampleCVFixed(int, int, int) (*condvec.Batch, error) {
+	return &condvec.Batch{}, nil
+}
+func (c *echoClient) ForwardSynthetic(*tensor.Dense, Phase) (*tensor.Dense, error) {
+	return c.out.Clone(), nil
+}
+func (c *echoClient) ForwardReal([]int) (*tensor.Dense, error)        { return c.out.Clone(), nil }
+func (c *echoClient) BackwardDisc(*tensor.Dense, *tensor.Dense) error { return nil }
+func (c *echoClient) BackwardGen(*tensor.Dense, bool) (*tensor.Dense, error) {
+	// Clone is pooled; the wire server releases it after encoding, so the
+	// reply buffer recycles across iterations like a real client's would.
+	return c.out.Clone(), nil
+}
+func (c *echoClient) EndRound(int) error               { return nil }
+func (c *echoClient) GenerateRows(*tensor.Dense) error { return nil }
+func (c *echoClient) Publish() (*encoding.Table, error) {
+	return nil, fmt.Errorf("echo client has no table")
+}
+
+// BenchmarkWireRoundTrip measures one full protocol call (matrix out,
+// matrix back) over TCP loopback at the paper's batch-500 scale across
+// boundary widths, comparing net/rpc+gob against the gtvwire binary codec
+// (f64 and the opt-in f32 payload mode). Latency and allocs/op are the
+// wire subsystem's acceptance numbers; see BENCH_comm.json.
+func BenchmarkWireRoundTrip(b *testing.B) {
+	const batch = 500
+	for _, width := range []int{64, 256, 768} {
+		payload := tensor.New(batch, width)
+		for i, data := 0, payload.Data(); i < len(data); i++ {
+			data[i] = float64(i%97) * 0.125
+		}
+		echo := &echoClient{out: tensor.New(batch, width)}
+
+		serve := func(b *testing.B, binary bool) Client {
+			b.Helper()
+			lis, err := net.Listen("tcp", "127.0.0.1:0")
+			if err != nil {
+				b.Fatal(err)
+			}
+			b.Cleanup(func() { lis.Close() })
+			if binary {
+				go func() { _ = ServeClientWire(lis, echo) }()
+				proxy, err := DialWireClient("tcp", lis.Addr().String())
+				if err != nil {
+					b.Fatal(err)
+				}
+				b.Cleanup(func() { proxy.Close() })
+				return proxy
+			}
+			go func() { _ = ServeClient(lis, echo) }()
+			proxy, err := DialClient("tcp", lis.Addr().String())
+			if err != nil {
+				b.Fatal(err)
+			}
+			b.Cleanup(func() { proxy.Close() })
+			return proxy
+		}
+
+		run := func(proxy Client) func(*testing.B) {
+			return func(b *testing.B) {
+				b.ReportAllocs()
+				b.SetBytes(2 * 8 * int64(batch) * int64(width))
+				for i := 0; i < b.N; i++ {
+					out, err := proxy.BackwardGen(payload, false)
+					if err != nil {
+						b.Fatal(err)
+					}
+					out.Release()
+				}
+			}
+		}
+
+		b.Run(fmt.Sprintf("batch=%d/width=%d/gob", batch, width), run(serve(b, false)))
+		b.Run(fmt.Sprintf("batch=%d/width=%d/binary", batch, width), run(serve(b, true)))
+		b.Run(fmt.Sprintf("batch=%d/width=%d/binary-f32", batch, width), func(b *testing.B) {
+			proxy := serve(b, true).(*WireClient)
+			proxy.SetFloat32(true)
+			run(proxy)(b)
+		})
+	}
+}

@@ -1,0 +1,912 @@
+package vfl
+
+import (
+	"bytes"
+	"errors"
+	"fmt"
+	"math"
+	"net"
+	"os"
+	"path/filepath"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"repro/internal/condvec"
+	"repro/internal/encoding"
+	"repro/internal/tensor"
+)
+
+// --- frame layer ---
+
+func TestWireHeaderRoundTrip(t *testing.T) {
+	h := wireHeader{
+		payloadLen: 12345,
+		version:    wireVersion,
+		kind:       wireKindResponse,
+		method:     wireMethodBackwardGen,
+		flags:      wireFlagF32,
+		seq:        1<<40 + 7,
+	}
+	var buf [wireHeaderLen]byte
+	h.put(buf[:])
+	got, err := parseWireHeader(buf[:])
+	if err != nil {
+		t.Fatalf("parseWireHeader: %v", err)
+	}
+	if got != h {
+		t.Fatalf("header round trip %+v -> %+v", h, got)
+	}
+}
+
+func TestWireHeaderRejectsGarbage(t *testing.T) {
+	mk := func(mutate func(*wireHeader)) []byte {
+		h := wireHeader{payloadLen: 8, version: wireVersion, kind: wireKindRequest, method: wireMethodInfo}
+		mutate(&h)
+		var buf [wireHeaderLen]byte
+		h.put(buf[:])
+		return buf[:]
+	}
+	cases := map[string][]byte{
+		"bad version":      mk(func(h *wireHeader) { h.version = 99 }),
+		"bad kind":         mk(func(h *wireHeader) { h.kind = 0 }),
+		"oversize payload": mk(func(h *wireHeader) { h.payloadLen = wireMaxPayload + 1 }),
+	}
+	for name, buf := range cases {
+		if _, err := parseWireHeader(buf); err == nil {
+			t.Errorf("%s: parseWireHeader accepted a bad header", name)
+		}
+	}
+}
+
+// --- golden fixtures ---
+
+// goldenWireFrames builds the pinned fixture frames: a byte-level contract
+// between independently-built server and client binaries. Regenerate with
+//
+//	GTV_UPDATE_WIRE_FIXTURES=1 go test ./internal/vfl -run TestWireGoldenFrames
+//
+// and treat any diff in testdata/wire as an incompatible format change that
+// must bump wireVersion.
+func goldenWireFrames() map[string][]byte {
+	frame := func(kind, method, flags byte, seq uint64, payload []byte) []byte {
+		h := wireHeader{
+			payloadLen: uint32(len(payload)),
+			version:    wireVersion,
+			kind:       kind,
+			method:     method,
+			flags:      flags,
+			seq:        seq,
+		}
+		out := make([]byte, wireHeaderLen+len(payload))
+		h.put(out)
+		copy(out[wireHeaderLen:], payload)
+		return out
+	}
+	fixtures := make(map[string][]byte)
+
+	// ForwardSynthetic request: a 2x3 float64 slice plus the phase.
+	enc := newWireEnc()
+	enc.matrix(tensor.FromRows([][]float64{{1, -2.5, 3.25}, {4, 5.5, -6.75}}), false)
+	enc.i64(int64(PhaseDiscriminator))
+	fixtures["forward_synthetic_req.bin"] = frame(wireKindRequest, wireMethodForwardSynthetic, 0, 7, enc.buf)
+	enc.release()
+
+	// The same call in float32 payload mode (flags bit 0, elemSize 4).
+	enc = newWireEnc()
+	enc.matrix(tensor.FromRows([][]float64{{1, -2.5, 3.25}, {4, 5.5, -6.75}}), true)
+	enc.i64(int64(PhaseDiscriminator))
+	fixtures["forward_synthetic_req_f32.bin"] = frame(wireKindRequest, wireMethodForwardSynthetic, wireFlagF32, 7, enc.buf)
+	enc.release()
+
+	// Info response.
+	enc = newWireEnc()
+	enc.clientInfo(ClientInfo{Features: 3, EncodedWidth: 17, CVWidth: 5, Rows: 800})
+	fixtures["info_resp.bin"] = frame(wireKindResponse, wireMethodInfo, 0, 9, enc.buf)
+	enc.release()
+
+	// SampleCV response: CV matrix, row indices, choices.
+	enc = newWireEnc()
+	enc.cvBatch(&condvec.Batch{
+		CV:      tensor.FromRows([][]float64{{0, 1}, {1, 0}}),
+		Rows:    []int{4, 9},
+		Choices: []condvec.Choice{{Span: 1, Category: 2}, {Span: 0, Category: 3}},
+	}, false)
+	fixtures["sample_cv_resp.bin"] = frame(wireKindResponse, wireMethodSampleCV, 0, 11, enc.buf)
+	enc.release()
+
+	// An application error response.
+	enc = newWireEnc()
+	enc.str("vfl: client not configured")
+	fixtures["error_resp.bin"] = frame(wireKindError, wireMethodPublish, 0, 3, enc.buf)
+	enc.release()
+
+	return fixtures
+}
+
+func TestWireGoldenFrames(t *testing.T) {
+	dir := filepath.Join("testdata", "wire")
+	fixtures := goldenWireFrames()
+	if os.Getenv("GTV_UPDATE_WIRE_FIXTURES") != "" {
+		if err := os.MkdirAll(dir, 0o755); err != nil {
+			t.Fatalf("mkdir %s: %v", dir, err)
+		}
+		for name, frame := range fixtures {
+			if err := os.WriteFile(filepath.Join(dir, name), frame, 0o644); err != nil {
+				t.Fatalf("writing fixture %s: %v", name, err)
+			}
+		}
+	}
+	for name, want := range fixtures {
+		got, err := os.ReadFile(filepath.Join(dir, name))
+		if err != nil {
+			t.Fatalf("reading fixture %s (regenerate with GTV_UPDATE_WIRE_FIXTURES=1): %v", name, err)
+		}
+		if !bytes.Equal(got, want) {
+			t.Errorf("fixture %s: encoder output diverged from the pinned bytes — this is a wire format break; bump wireVersion", name)
+		}
+	}
+}
+
+// TestWireGoldenFramesDecode decodes the pinned fixture bytes back into
+// structures, holding the decoder to the same contract as the encoder.
+func TestWireGoldenFramesDecode(t *testing.T) {
+	read := func(name string) (wireHeader, *wireDec) {
+		t.Helper()
+		raw, err := os.ReadFile(filepath.Join("testdata", "wire", name))
+		if err != nil {
+			t.Fatalf("reading fixture %s: %v", name, err)
+		}
+		h, payload, err := readWireFrame(bytes.NewReader(raw))
+		if err != nil {
+			t.Fatalf("readWireFrame(%s): %v", name, err)
+		}
+		return h, newWireDec(payload)
+	}
+
+	h, dec := read("forward_synthetic_req.bin")
+	if h.method != wireMethodForwardSynthetic || h.seq != 7 || h.flags != 0 {
+		t.Fatalf("forward_synthetic_req header = %+v", h)
+	}
+	m := dec.matrix()
+	phase := Phase(dec.i64())
+	if err := dec.finish(); err != nil {
+		t.Fatalf("decode: %v", err)
+	}
+	want := tensor.FromRows([][]float64{{1, -2.5, 3.25}, {4, 5.5, -6.75}})
+	if !m.Equal(want) || phase != PhaseDiscriminator {
+		t.Fatalf("decoded %v phase %d", m, phase)
+	}
+	m.Release()
+
+	h, dec = read("forward_synthetic_req_f32.bin")
+	if h.flags&wireFlagF32 == 0 {
+		t.Fatalf("f32 fixture lost its flag: %+v", h)
+	}
+	m = dec.matrix()
+	_ = dec.i64()
+	if err := dec.finish(); err != nil {
+		t.Fatalf("decode f32: %v", err)
+	}
+	// The fixture values are exactly representable in float32.
+	if !m.Equal(want) {
+		t.Fatalf("f32 decoded %v", m)
+	}
+	m.Release()
+
+	_, dec = read("info_resp.bin")
+	info := dec.clientInfo()
+	if err := dec.finish(); err != nil {
+		t.Fatalf("decode info: %v", err)
+	}
+	if info != (ClientInfo{Features: 3, EncodedWidth: 17, CVWidth: 5, Rows: 800}) {
+		t.Fatalf("decoded info %+v", info)
+	}
+
+	_, dec = read("sample_cv_resp.bin")
+	b := dec.cvBatch()
+	if err := dec.finish(); err != nil {
+		t.Fatalf("decode cv batch: %v", err)
+	}
+	if len(b.Rows) != 2 || b.Rows[0] != 4 || b.Rows[1] != 9 ||
+		len(b.Choices) != 2 || b.Choices[0] != (condvec.Choice{Span: 1, Category: 2}) {
+		t.Fatalf("decoded batch %+v", b)
+	}
+	b.CV.Release()
+
+	h, dec = read("error_resp.bin")
+	if h.kind != wireKindError {
+		t.Fatalf("error fixture kind %d", h.kind)
+	}
+	if msg := dec.str(); msg != "vfl: client not configured" {
+		t.Fatalf("decoded error message %q", msg)
+	}
+	if err := dec.finish(); err != nil {
+		t.Fatalf("decode error frame: %v", err)
+	}
+}
+
+// --- codec round trips ---
+
+// encodeDecode pushes one payload through a real frame write/read cycle.
+func encodeDecode(t *testing.T, encode func(*wireEnc)) *wireDec {
+	t.Helper()
+	enc := newWireEnc()
+	encode(enc)
+	h := wireHeader{payloadLen: uint32(len(enc.buf)), version: wireVersion, kind: wireKindResponse, method: wireMethodInfo}
+	var buf bytes.Buffer
+	var hdr [wireHeaderLen]byte
+	h.put(hdr[:])
+	buf.Write(hdr[:])
+	buf.Write(enc.buf)
+	enc.release()
+	_, payload, err := readWireFrame(&buf)
+	if err != nil {
+		t.Fatalf("readWireFrame: %v", err)
+	}
+	return newWireDec(payload)
+}
+
+func TestWireMatrixCodecRoundTrip(t *testing.T) {
+	shapes := []struct{ rows, cols int }{
+		{0, 0}, {0, 5}, {5, 0}, {1, 1}, {3, 4}, {17, 31},
+	}
+	for _, sh := range shapes {
+		name := fmt.Sprintf("%dx%d", sh.rows, sh.cols)
+		m := tensor.New(sh.rows, sh.cols)
+		data := m.Data()
+		for i := range data {
+			data[i] = float64(i)*1.25 - 7
+		}
+		dec := encodeDecode(t, func(e *wireEnc) { e.matrix(m, false) })
+		got := dec.matrix()
+		if err := dec.finish(); err != nil {
+			t.Fatalf("%s: decode: %v", name, err)
+		}
+		if got.Rows() != sh.rows || got.Cols() != sh.cols {
+			t.Fatalf("%s: decoded shape %dx%d", name, got.Rows(), got.Cols())
+		}
+		if !got.Equal(m) {
+			t.Fatalf("%s: round trip changed values", name)
+		}
+		got.Release()
+	}
+}
+
+func TestWireMatrixCodecNil(t *testing.T) {
+	dec := encodeDecode(t, func(e *wireEnc) { e.matrix(nil, false) })
+	if got := dec.matrix(); got != nil {
+		t.Fatalf("nil matrix decoded as %v", got)
+	}
+	if err := dec.finish(); err != nil {
+		t.Fatalf("decode nil matrix: %v", err)
+	}
+}
+
+// TestWireMatrixCodecBitExact round-trips every float64 bit pattern worth
+// worrying about — negative zero, infinities, NaN, denormals — comparing
+// raw bits because NaN != NaN.
+func TestWireMatrixCodecBitExact(t *testing.T) {
+	vals := []float64{0, math.Copysign(0, -1), 1, -1, math.Inf(1), math.Inf(-1),
+		math.NaN(), math.SmallestNonzeroFloat64, math.MaxFloat64, 1e-310}
+	m := tensor.New(2, 5)
+	copy(m.Data(), vals)
+	dec := encodeDecode(t, func(e *wireEnc) { e.matrix(m, false) })
+	got := dec.matrix()
+	if err := dec.finish(); err != nil {
+		t.Fatalf("decode: %v", err)
+	}
+	for i, v := range got.Data() {
+		if math.Float64bits(v) != math.Float64bits(vals[i]) {
+			t.Fatalf("element %d: bits %x -> %x", i, math.Float64bits(vals[i]), math.Float64bits(v))
+		}
+	}
+	got.Release()
+}
+
+func TestWireMatrixCodecFloat32(t *testing.T) {
+	m := tensor.New(4, 3)
+	data := m.Data()
+	for i := range data {
+		data[i] = math.Sin(float64(i) * 1.7)
+	}
+	dec := encodeDecode(t, func(e *wireEnc) { e.matrix(m, true) })
+	got := dec.matrix()
+	if err := dec.finish(); err != nil {
+		t.Fatalf("decode: %v", err)
+	}
+	for i, v := range got.Data() {
+		// f32 mode must round each element through float32 exactly once.
+		if v != float64(float32(data[i])) {
+			t.Fatalf("element %d: %v -> %v, want float32 rounding", i, data[i], v)
+		}
+	}
+	got.Release()
+}
+
+func TestWireCVBatchCodecRoundTrip(t *testing.T) {
+	in := &condvec.Batch{
+		CV:      tensor.FromRows([][]float64{{1, 0, 0}, {0, 0, 1}}),
+		Rows:    []int{12, 99},
+		Choices: []condvec.Choice{{Span: 0, Category: 1}, {Span: 2, Category: 0}},
+	}
+	dec := encodeDecode(t, func(e *wireEnc) { e.cvBatch(in, false) })
+	got := dec.cvBatch()
+	if err := dec.finish(); err != nil {
+		t.Fatalf("decode: %v", err)
+	}
+	if !got.CV.Equal(in.CV) {
+		t.Fatal("CV matrix changed")
+	}
+	if len(got.Rows) != 2 || got.Rows[0] != 12 || got.Rows[1] != 99 {
+		t.Fatalf("rows %v", got.Rows)
+	}
+	if len(got.Choices) != 2 || got.Choices[1] != in.Choices[1] {
+		t.Fatalf("choices %v", got.Choices)
+	}
+	got.CV.Release()
+}
+
+func TestWireTableCodecRoundTrip(t *testing.T) {
+	specs := []encoding.ColumnSpec{
+		{Name: "segment", Kind: encoding.KindCategorical, Categories: []string{"a", "b", "c"}},
+		{Name: "spend", Kind: encoding.KindContinuous, SpecialValues: []float64{-1, 0}},
+	}
+	data := tensor.FromRows([][]float64{{0, 1.5}, {2, -1}})
+	tbl, err := encoding.NewTable(specs, data)
+	if err != nil {
+		t.Fatalf("NewTable: %v", err)
+	}
+	dec := encodeDecode(t, func(e *wireEnc) { e.table(tbl, false) })
+	gotSpecs := dec.specs()
+	gotData := dec.matrix()
+	if err := dec.finish(); err != nil {
+		t.Fatalf("decode: %v", err)
+	}
+	if len(gotSpecs) != 2 || gotSpecs[0].Name != "segment" ||
+		len(gotSpecs[0].Categories) != 3 || gotSpecs[0].Categories[2] != "c" ||
+		gotSpecs[1].Kind != encoding.KindContinuous || len(gotSpecs[1].SpecialValues) != 2 {
+		t.Fatalf("specs round trip %+v", gotSpecs)
+	}
+	if !gotData.Equal(data) {
+		t.Fatal("table data changed")
+	}
+	gotData.Release()
+}
+
+func TestWireSetupCodecRoundTrip(t *testing.T) {
+	in := Setup{
+		Plan:          Plan{DiscServer: 2, DiscClient: 1, GenServer: 0, GenClient: 2},
+		SliceWidth:    64,
+		GenBlockWidth: 128,
+		DiscWidth:     256,
+		LR:            5e-4,
+		Seed:          42,
+	}
+	dec := encodeDecode(t, func(e *wireEnc) { e.setup(in) })
+	got := dec.setup()
+	if err := dec.finish(); err != nil {
+		t.Fatalf("decode: %v", err)
+	}
+	if got != in {
+		t.Fatalf("setup round trip %+v -> %+v", in, got)
+	}
+}
+
+// TestWireDecRejectsTruncation verifies the decoder's sticky error turns
+// every truncation into a descriptive failure instead of a panic, at every
+// possible cut point of a realistic payload.
+func TestWireDecRejectsTruncation(t *testing.T) {
+	enc := newWireEnc()
+	enc.matrix(tensor.FromRows([][]float64{{1, 2}, {3, 4}}), false)
+	enc.ints([]int{3, 1, 4})
+	enc.str("hello")
+	full := append([]byte(nil), enc.buf...)
+	enc.release()
+
+	for cut := 0; cut < len(full); cut++ {
+		dec := newWireDec(full[:cut])
+		m := dec.matrix()
+		dec.ints()
+		dec.str()
+		if err := dec.finish(); err == nil {
+			t.Fatalf("truncation at %d/%d bytes decoded without error", cut, len(full))
+		}
+		if m != nil {
+			m.Release()
+		}
+	}
+	// The full payload must still decode cleanly.
+	dec := newWireDec(full)
+	m := dec.matrix()
+	dec.ints()
+	dec.str()
+	if err := dec.finish(); err != nil {
+		t.Fatalf("full payload: %v", err)
+	}
+	m.Release()
+}
+
+func TestWireDecRejectsTrailingBytes(t *testing.T) {
+	enc := newWireEnc()
+	enc.i64(5)
+	enc.u8(0xFF) // junk the decoder never consumes
+	dec := newWireDec(enc.buf)
+	_ = dec.i64()
+	if err := dec.finish(); err == nil || !strings.Contains(err.Error(), "trailing") {
+		t.Fatalf("want trailing-bytes error, got %v", err)
+	}
+	enc.release()
+}
+
+// FuzzWireFrameDecode feeds arbitrary bytes through the frame reader and
+// every payload decoder. The contract: malformed input may fail, but must
+// never panic or over-allocate past the payload bound.
+func FuzzWireFrameDecode(f *testing.F) {
+	for _, frame := range goldenWireFrames() {
+		f.Add(frame)
+	}
+	f.Add([]byte{})
+	f.Add(bytes.Repeat([]byte{0xFF}, 64))
+	f.Fuzz(func(t *testing.T, raw []byte) {
+		h, payload, err := readWireFrame(bytes.NewReader(raw))
+		if err != nil {
+			return
+		}
+		defer putWireBuf(payload)
+		_ = wireMethodName(h.method)
+		// Walk the payload with every decoder shape the protocol uses; each
+		// gets a fresh decoder since they consume different field layouts.
+		for _, decode := range []func(*wireDec){
+			func(d *wireDec) {
+				if m := d.matrix(); m != nil {
+					m.Release()
+				}
+			},
+			func(d *wireDec) {
+				b := d.cvBatch()
+				if b.CV != nil {
+					b.CV.Release()
+				}
+			},
+			func(d *wireDec) { _ = d.specs() },
+			func(d *wireDec) { _ = d.setup() },
+			func(d *wireDec) { _ = d.clientInfo() },
+			func(d *wireDec) { _ = d.str() },
+			func(d *wireDec) { _ = d.ints() },
+		} {
+			d := newWireDec(payload)
+			decode(d)
+			_ = d.finish()
+		}
+	})
+}
+
+// --- transport behavior over real TCP ---
+
+// serveWire starts a gtvwire server for c and returns a connected proxy.
+func serveWire(t *testing.T, c Client) *WireClient {
+	t.Helper()
+	addr := serveWireListener(t, c)
+	proxy, err := DialWireClient("tcp", addr)
+	if err != nil {
+		t.Fatalf("dial wire: %v", err)
+	}
+	t.Cleanup(func() { proxy.Close() })
+	return proxy
+}
+
+func serveWireListener(t *testing.T, c Client) string {
+	t.Helper()
+	lis, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatalf("listen: %v", err)
+	}
+	t.Cleanup(func() { lis.Close() })
+	go func() {
+		// Listener close ends the serve loop; connection errors surface on
+		// the client side, so they are safe to drop here.
+		_ = ServeClientWire(lis, c)
+	}()
+	return lis.Addr().String()
+}
+
+func TestWireEndToEndTraining(t *testing.T) {
+	if testing.Short() {
+		t.Skip("networked GAN training in -short mode")
+	}
+	ta, tb := twoClientTables(t, 200, 21)
+	coord := NewShuffleCoordinator(77)
+	la, err := NewLocalClient(ta, coord, 1)
+	if err != nil {
+		t.Fatalf("NewLocalClient: %v", err)
+	}
+	lb, err := NewLocalClient(tb, coord, 2)
+	if err != nil {
+		t.Fatalf("NewLocalClient: %v", err)
+	}
+	pa := serveWire(t, la)
+	pb := serveWire(t, lb)
+
+	cfg := DefaultConfig()
+	cfg.Plan = Plan{DiscServer: 2, GenClient: 2}
+	cfg.Rounds = 3
+	cfg.DiscSteps = 2
+	cfg.BatchSize = 32
+	cfg.NoiseDim = 16
+	cfg.BlockDim = 32
+	srv, err := NewServer([]Client{pa, pb}, cfg)
+	if err != nil {
+		t.Fatalf("NewServer over wire: %v", err)
+	}
+	if err := srv.Train(nil); err != nil {
+		t.Fatalf("Train over wire: %v", err)
+	}
+	synth, err := srv.Synthesize(50)
+	if err != nil {
+		t.Fatalf("Synthesize over wire: %v", err)
+	}
+	if synth.Rows() != 50 || synth.Cols() != 3 {
+		t.Fatalf("synthetic shape %dx%d", synth.Rows(), synth.Cols())
+	}
+	if synth.Data.HasNaN() {
+		t.Fatal("synthetic data has NaN")
+	}
+}
+
+// TestGobBinaryEquivalence trains two identically-seeded systems over TCP
+// loopback — one on the net/rpc+gob transport, one on gtvwire — and
+// verifies the server's top-model parameters end up byte-identical. The
+// binary wire (f32 mode excluded by default) must be invisible to the
+// learning process.
+func TestGobBinaryEquivalence(t *testing.T) {
+	if testing.Short() {
+		t.Skip("networked GAN training in -short mode")
+	}
+	build := func(binary bool) *Server {
+		ta, tb := twoClientTables(t, 120, 51)
+		coord := NewShuffleCoordinator(66)
+		la, err := NewLocalClient(ta, coord, 1)
+		if err != nil {
+			t.Fatalf("NewLocalClient: %v", err)
+		}
+		lb, err := NewLocalClient(tb, coord, 2)
+		if err != nil {
+			t.Fatalf("NewLocalClient: %v", err)
+		}
+		var clients []Client
+		if binary {
+			clients = []Client{serveWire(t, la), serveWire(t, lb)}
+		} else {
+			clients = []Client{serveLocal(t, la), serveLocal(t, lb)}
+		}
+		cfg := DefaultConfig()
+		cfg.Plan = Plan{DiscServer: 2, GenClient: 2}
+		cfg.Rounds = 2
+		cfg.DiscSteps = 2
+		cfg.BatchSize = 32
+		cfg.NoiseDim = 16
+		cfg.BlockDim = 32
+		srv, err := NewServer(clients, cfg)
+		if err != nil {
+			t.Fatalf("NewServer: %v", err)
+		}
+		if err := srv.Train(nil); err != nil {
+			t.Fatalf("Train: %v", err)
+		}
+		return srv
+	}
+	gob := build(false)
+	bin := build(true)
+	gp := gob.gTop.Params()
+	bp := bin.gTop.Params()
+	for k := range gp {
+		if !gp[k].Data().Equal(bp[k].Data()) {
+			t.Fatalf("top generator param %d diverges between gob and binary transports", k)
+		}
+	}
+	gd := gob.dTop.Params()
+	bd := bin.dTop.Params()
+	for k := range gd {
+		if !gd[k].Data().Equal(bd[k].Data()) {
+			t.Fatalf("top discriminator param %d diverges between gob and binary transports", k)
+		}
+	}
+}
+
+// TestWireFloat32Training opts a full loopback run into the f32 payload
+// encoding and verifies training still converges to finite parameters —
+// the lossy mode changes precision, never protocol correctness.
+func TestWireFloat32Training(t *testing.T) {
+	if testing.Short() {
+		t.Skip("networked GAN training in -short mode")
+	}
+	ta, tb := twoClientTables(t, 120, 61)
+	coord := NewShuffleCoordinator(99)
+	la, err := NewLocalClient(ta, coord, 1)
+	if err != nil {
+		t.Fatalf("NewLocalClient: %v", err)
+	}
+	lb, err := NewLocalClient(tb, coord, 2)
+	if err != nil {
+		t.Fatalf("NewLocalClient: %v", err)
+	}
+	pa := serveWire(t, la)
+	pb := serveWire(t, lb)
+	pa.SetFloat32(true)
+	pb.SetFloat32(true)
+
+	cfg := DefaultConfig()
+	cfg.Plan = Plan{DiscServer: 2, GenClient: 2}
+	cfg.Rounds = 2
+	cfg.DiscSteps = 1
+	cfg.BatchSize = 16
+	cfg.NoiseDim = 8
+	cfg.BlockDim = 16
+	srv, err := NewServer([]Client{pa, pb}, cfg)
+	if err != nil {
+		t.Fatalf("NewServer: %v", err)
+	}
+	if err := srv.Train(nil); err != nil {
+		t.Fatalf("Train with f32 payloads: %v", err)
+	}
+	synth, err := srv.Synthesize(20)
+	if err != nil {
+		t.Fatalf("Synthesize with f32 payloads: %v", err)
+	}
+	if synth.Data.HasNaN() {
+		t.Fatal("f32 payload mode produced NaN")
+	}
+}
+
+func TestWireErrorPropagation(t *testing.T) {
+	ta, _ := twoClientTables(t, 60, 41)
+	coord := NewShuffleCoordinator(55)
+	la, err := NewLocalClient(ta, coord, 1)
+	if err != nil {
+		t.Fatalf("NewLocalClient: %v", err)
+	}
+	proxy := serveWire(t, la)
+	// Forward before configure must fail across the wire with the remote
+	// error message, and the connection must survive for later calls.
+	if _, err := proxy.ForwardSynthetic(tensor.New(2, 4), PhaseDiscriminator); err == nil {
+		t.Fatal("expected remote error")
+	}
+	if _, err := proxy.Publish(); err == nil {
+		t.Fatal("expected remote error")
+	}
+	if _, err := proxy.Info(); err != nil {
+		t.Fatalf("connection should survive application errors: %v", err)
+	}
+}
+
+// TestWirePipelining issues many concurrent calls on ONE WireClient against
+// a delay-injected client and verifies they overlap on the single
+// connection: total wall-clock stays near one delay, not the sum. This is
+// the property net/rpc's per-call serialization could not provide, and the
+// race detector runs this test in CI (see ci.sh).
+func TestWirePipelining(t *testing.T) {
+	ta, _ := twoClientTables(t, 60, 43)
+	coord := NewShuffleCoordinator(31)
+	la, err := NewLocalClient(ta, coord, 1)
+	if err != nil {
+		t.Fatalf("NewLocalClient: %v", err)
+	}
+	const delay = 150 * time.Millisecond
+	slow := NewFaultyTransport(la)
+	slow.SetDelay(delay)
+	proxy := serveWire(t, slow)
+
+	const calls = 8
+	var wg sync.WaitGroup
+	errs := make([]error, calls)
+	start := time.Now()
+	for i := 0; i < calls; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			_, errs[i] = proxy.Info()
+		}(i)
+	}
+	wg.Wait()
+	elapsed := time.Since(start)
+	for i, err := range errs {
+		if err != nil {
+			t.Fatalf("pipelined call %d: %v", i, err)
+		}
+	}
+	// Serialized calls would take >= calls*delay = 1.2s. Pipelined calls
+	// share the delay window; half the serial time is a loose bound that
+	// still proves overlap on a loaded CI machine.
+	if elapsed >= calls*delay/2 {
+		t.Fatalf("%d concurrent calls took %v — the wire is serializing, not pipelining", calls, elapsed)
+	}
+}
+
+// serveWireKillable serves a client over gtvwire and returns a function
+// severing every live connection while keeping the listener up — the
+// "client process restarted" scenario redial must recover from.
+func serveWireKillable(t *testing.T, c Client) (addr string, killConns func()) {
+	t.Helper()
+	lis, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatalf("listen: %v", err)
+	}
+	t.Cleanup(func() { lis.Close() })
+	var (
+		mu    sync.Mutex
+		conns []net.Conn
+	)
+	go func() {
+		for {
+			conn, err := lis.Accept()
+			if err != nil {
+				return
+			}
+			mu.Lock()
+			conns = append(conns, conn)
+			mu.Unlock()
+			go serveWireConn(conn, c)
+		}
+	}()
+	killConns = func() {
+		mu.Lock()
+		for _, cn := range conns {
+			cn.Close()
+		}
+		conns = nil
+		mu.Unlock()
+	}
+	return lis.Addr().String(), killConns
+}
+
+// TestWireRedialAfterDisconnect severs the connection mid-session and
+// verifies the retry policy transparently redials: the next call succeeds
+// on a fresh connection without the caller seeing the fault.
+func TestWireRedialAfterDisconnect(t *testing.T) {
+	ta, _ := twoClientTables(t, 60, 47)
+	coord := NewShuffleCoordinator(21)
+	la, err := NewLocalClient(ta, coord, 1)
+	if err != nil {
+		t.Fatalf("NewLocalClient: %v", err)
+	}
+	addr, killConns := serveWireKillable(t, la)
+	policy := CallPolicy{Timeout: 5 * time.Second, MaxAttempts: 3, Backoff: 10 * time.Millisecond}
+	proxy, err := DialWireClientPolicy("tcp", addr, policy)
+	if err != nil {
+		t.Fatalf("dial: %v", err)
+	}
+	t.Cleanup(func() { proxy.Close() })
+
+	if _, err := proxy.Info(); err != nil {
+		t.Fatalf("Info before disconnect: %v", err)
+	}
+	killConns()
+	if _, err := proxy.Info(); err != nil {
+		t.Fatalf("Info after disconnect should succeed via redial: %v", err)
+	}
+}
+
+// TestWireSlowClientTripsDeadline mirrors the RPC transport's deadline
+// test on the binary wire: a short per-call deadline converts a slow reply
+// into ErrCallTimeout naming the client.
+func TestWireSlowClientTripsDeadline(t *testing.T) {
+	ta, _ := twoClientTables(t, 60, 43)
+	coord := NewShuffleCoordinator(31)
+	la, err := NewLocalClient(ta, coord, 1)
+	if err != nil {
+		t.Fatalf("NewLocalClient: %v", err)
+	}
+	slow := NewFaultyTransport(la)
+	slow.SetDelay(2 * time.Second)
+	addr := serveWireListener(t, slow)
+	proxy, err := DialWireClientPolicy("tcp", addr, CallPolicy{Timeout: 100 * time.Millisecond})
+	if err != nil {
+		t.Fatalf("dial: %v", err)
+	}
+	t.Cleanup(func() { proxy.Close() })
+
+	start := time.Now()
+	_, err = proxy.Info()
+	elapsed := time.Since(start)
+	if !errors.Is(err, ErrCallTimeout) {
+		t.Fatalf("want ErrCallTimeout from slow client, got: %v", err)
+	}
+	if !strings.Contains(err.Error(), addr) {
+		t.Fatalf("timeout should name the slow client %s: %v", addr, err)
+	}
+	if elapsed >= 2*time.Second {
+		t.Fatalf("deadline did not cut the 2s slow call short: took %v", elapsed)
+	}
+}
+
+// TestWireBytesMatchesEstimate trains over loopback gtvwire and checks the
+// measured framed bytes against the 8 B/element payload model: the
+// measurement must exceed the estimate (headers, matrix metadata, CV row
+// indices) but stay within the same order — the model is supposed to be an
+// accurate first-order predictor of real traffic.
+func TestWireBytesMatchesEstimate(t *testing.T) {
+	if testing.Short() {
+		t.Skip("networked GAN training in -short mode")
+	}
+	ta, tb := twoClientTables(t, 120, 71)
+	coord := NewShuffleCoordinator(17)
+	la, err := NewLocalClient(ta, coord, 1)
+	if err != nil {
+		t.Fatalf("NewLocalClient: %v", err)
+	}
+	lb, err := NewLocalClient(tb, coord, 2)
+	if err != nil {
+		t.Fatalf("NewLocalClient: %v", err)
+	}
+	pa := serveWire(t, la)
+	pb := serveWire(t, lb)
+
+	cfg := DefaultConfig()
+	cfg.Plan = Plan{DiscServer: 2, GenClient: 2}
+	cfg.Rounds = 3
+	cfg.DiscSteps = 2
+	cfg.BatchSize = 32
+	cfg.NoiseDim = 16
+	cfg.BlockDim = 32
+	srv, err := NewServer([]Client{pa, pb}, cfg)
+	if err != nil {
+		t.Fatalf("NewServer: %v", err)
+	}
+	if err := srv.Train(nil); err != nil {
+		t.Fatalf("Train: %v", err)
+	}
+	stats := srv.CommStats()
+	est := stats.Total()
+	got := stats.WireBytes
+	if est <= 0 || got <= 0 {
+		t.Fatalf("stats did not accumulate: estimate %d, wire %d", est, got)
+	}
+	if got <= est {
+		t.Fatalf("measured wire bytes %d should exceed the payload estimate %d (framing overhead)", got, est)
+	}
+	// Framing overhead: 32 B of headers per call, ~11 B metadata per
+	// matrix, plus CV row indices and choices the estimate does not model.
+	// At paper-scale batches that is a few percent; at this test's tiny
+	// batches it stays well under 2x.
+	if got > 2*est {
+		t.Fatalf("measured wire bytes %d more than doubles the estimate %d — framing overhead out of control", got, est)
+	}
+	if err := pa.Close(); err != nil {
+		t.Fatalf("close: %v", err)
+	}
+	// WireBytes must survive Close: it reports lifetime traffic.
+	if pa.WireBytes() == 0 {
+		t.Fatal("WireBytes lost after Close")
+	}
+	// And a CommStats snapshot String must carry both figures.
+	s := stats.String()
+	if !strings.Contains(s, "wire=") || !strings.Contains(s, "total=") {
+		t.Fatalf("CommStats.String missing estimate or measurement: %s", s)
+	}
+}
+
+// TestWireFaultyTransportComposition stacks a WireClient under the fault
+// injector's wrapper the way tests stack RPCClient, confirming the
+// WireBytes passthrough and transient-fault retry compose.
+func TestWireFaultyTransportComposition(t *testing.T) {
+	ta, _ := twoClientTables(t, 60, 83)
+	coord := NewShuffleCoordinator(13)
+	la, err := NewLocalClient(ta, coord, 1)
+	if err != nil {
+		t.Fatalf("NewLocalClient: %v", err)
+	}
+	inner := serveWire(t, la)
+	faulty := NewFaultyTransport(inner)
+	if _, err := faulty.Info(); err != nil {
+		t.Fatalf("Info through fault injector: %v", err)
+	}
+	var counter WireByteCounter = faulty
+	if counter.WireBytes() == 0 {
+		t.Fatal("FaultyTransport should forward the inner transport's WireBytes")
+	}
+	if counter.WireBytes() != inner.WireBytes() {
+		t.Fatalf("WireBytes passthrough mismatch: %d vs %d", counter.WireBytes(), inner.WireBytes())
+	}
+}

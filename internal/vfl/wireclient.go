@@ -1,0 +1,387 @@
+package vfl
+
+import (
+	"bufio"
+	"errors"
+	"fmt"
+	"net"
+	"sync"
+	"sync/atomic"
+
+	"repro/internal/condvec"
+	"repro/internal/encoding"
+	"repro/internal/tensor"
+)
+
+// WireClient is the server-side proxy for a remote client process speaking
+// the gtvwire binary protocol (see wire.go). Unlike RPCClient, whose
+// net/rpc connection serializes calls, a WireClient pipelines: concurrent
+// calls each get a sequence number, all frames share one persistent
+// connection, and a demux goroutine routes each response to the caller
+// waiting on its sequence number — so the fan-out in Server overlaps
+// network round-trips to a single client as well as across clients.
+//
+// Every call observes the client's CallPolicy exactly like RPCClient:
+// per-call deadlines, transient-error retry with backoff, and a redial
+// before each retry so a restarted client process can rejoin mid-training.
+type WireClient struct {
+	network, addr string
+	policy        CallPolicy
+
+	// f32 selects the float32 element encoding for activation and
+	// gradient matrices (see SetFloat32). It must be set before the first
+	// call and never changed mid-training.
+	f32 bool
+
+	// sent/recv count exact framed bytes (headers included) across the
+	// connection's whole lifetime, surviving redials.
+	sent atomic.Int64
+	recv atomic.Int64
+
+	mu   sync.Mutex
+	sess *wireSession // guarded by mu
+}
+
+var _ Client = (*WireClient)(nil)
+
+// DialWireClient connects to a remote GTV client over the binary wire with
+// the zero CallPolicy (no deadline, no retry).
+func DialWireClient(network, addr string) (*WireClient, error) {
+	return DialWireClientPolicy(network, addr, CallPolicy{})
+}
+
+// DialWireClientPolicy connects to a remote GTV client over the binary
+// wire and applies the policy to every subsequent call.
+func DialWireClientPolicy(network, addr string, p CallPolicy) (*WireClient, error) {
+	c := &WireClient{network: network, addr: addr, policy: p}
+	if _, err := c.session(); err != nil {
+		return nil, fmt.Errorf("vfl: dialing wire client %s: %w", addr, err)
+	}
+	return c, nil
+}
+
+// SetFloat32 switches activation and gradient matrices (ForwardSynthetic,
+// ForwardReal, BackwardDisc, BackwardGen, GenerateRows) to the lossy
+// float32 element encoding, halving boundary traffic. Setup, conditional
+// vectors and published tables always travel as float64. Must be called
+// before training starts; the mode is per-call-site, not negotiated, so
+// both transports of a round must agree (the server sets it from one
+// flag).
+func (c *WireClient) SetFloat32(on bool) { c.f32 = on }
+
+// WireBytes returns the exact framed bytes exchanged with this client in
+// both directions, headers included.
+func (c *WireClient) WireBytes() int64 { return c.sent.Load() + c.recv.Load() }
+
+// session returns the live session, dialing if necessary.
+func (c *WireClient) session() (*wireSession, error) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if c.sess == nil {
+		conn, err := net.Dial(c.network, c.addr)
+		if err != nil {
+			return nil, err
+		}
+		c.sess = newWireSession(conn, &c.sent, &c.recv)
+	}
+	return c.sess, nil
+}
+
+// redial drops the (presumed broken) session so the next attempt dials
+// fresh. Calls in flight on the old session fail transiently and retry
+// onto the new one.
+func (c *WireClient) redial() {
+	c.mu.Lock()
+	if c.sess != nil {
+		c.sess.fail(fmt.Errorf("vfl: wire session reset: %w", net.ErrClosed))
+		c.sess = nil
+	}
+	c.mu.Unlock()
+}
+
+// Close shuts the connection down; in-flight calls fail.
+func (c *WireClient) Close() error {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if c.sess == nil {
+		return nil
+	}
+	err := c.sess.conn.Close()
+	c.sess.fail(fmt.Errorf("vfl: wire client closed: %w", net.ErrClosed))
+	c.sess = nil
+	return err
+}
+
+// wireResult is one demuxed response frame.
+type wireResult struct {
+	hdr     wireHeader
+	payload []byte // pooled; the receiver must putWireBuf after decoding
+	err     error
+}
+
+// wireSession is one live connection: a write half serializing frame
+// writes, and a read-loop goroutine demultiplexing response frames to the
+// callers registered in pending.
+type wireSession struct {
+	conn       net.Conn
+	r          *bufio.Reader // owned by the readLoop goroutine
+	sent, recv *atomic.Int64
+
+	wmu sync.Mutex
+	w   *bufio.Writer // guarded by wmu
+
+	mu      sync.Mutex
+	nextSeq uint64                     // guarded by mu
+	pending map[uint64]chan wireResult // guarded by mu
+	closed  error                      // guarded by mu; non-nil once the session is dead
+}
+
+func newWireSession(conn net.Conn, sent, recv *atomic.Int64) *wireSession {
+	s := &wireSession{
+		conn:    conn,
+		r:       bufio.NewReaderSize(conn, 1<<16),
+		w:       bufio.NewWriterSize(conn, 1<<16),
+		sent:    sent,
+		recv:    recv,
+		pending: make(map[uint64]chan wireResult),
+	}
+	go s.readLoop()
+	return s
+}
+
+// fail marks the session dead exactly once: the connection closes, and
+// every pending caller receives err. Later roundTrip attempts fail fast
+// with the same error.
+func (s *wireSession) fail(err error) {
+	s.mu.Lock()
+	if s.closed != nil {
+		s.mu.Unlock()
+		return
+	}
+	s.closed = err
+	pending := s.pending
+	s.pending = nil
+	s.mu.Unlock()
+	// The session is already being torn down for err; the close error
+	// carries no further information.
+	//lint:ignore errdrop closing a dead session's connection, the error adds nothing
+	_ = s.conn.Close()
+	for _, ch := range pending {
+		ch <- wireResult{err: err}
+	}
+}
+
+// readLoop demultiplexes response frames to waiting callers until the
+// connection dies. Frames whose caller abandoned the wait (per-call
+// deadline fired) are dropped.
+func (s *wireSession) readLoop() {
+	for {
+		h, payload, err := readWireFrame(s.r)
+		if err != nil {
+			s.fail(fmt.Errorf("vfl: wire connection lost: %w", err))
+			return
+		}
+		s.recv.Add(wireHeaderLen + int64(h.payloadLen))
+		s.mu.Lock()
+		ch, ok := s.pending[h.seq]
+		delete(s.pending, h.seq)
+		s.mu.Unlock()
+		if !ok {
+			putWireBuf(payload)
+			continue
+		}
+		ch <- wireResult{hdr: h, payload: payload}
+	}
+}
+
+// writeFrame writes one frame and flushes. Concurrent pipelined calls
+// interleave whole frames, never partial ones.
+func (s *wireSession) writeFrame(h wireHeader, payload []byte) error {
+	var hdr [wireHeaderLen]byte
+	h.put(hdr[:])
+	s.wmu.Lock()
+	defer s.wmu.Unlock()
+	if _, err := s.w.Write(hdr[:]); err != nil {
+		return err
+	}
+	if _, err := s.w.Write(payload); err != nil {
+		return err
+	}
+	if err := s.w.Flush(); err != nil {
+		return err
+	}
+	s.sent.Add(int64(wireHeaderLen + len(payload)))
+	return nil
+}
+
+// roundTrip sends one request frame and blocks until its response frame
+// (matched by sequence number) arrives or the session dies. The returned
+// payload is pooled; the caller must putWireBuf it after decoding.
+func (s *wireSession) roundTrip(method, flags byte, payload []byte) (wireHeader, []byte, error) {
+	if len(payload) > wireMaxPayload {
+		return wireHeader{}, nil, fmt.Errorf("gtvwire: request payload %d exceeds limit %d", len(payload), wireMaxPayload)
+	}
+	ch := make(chan wireResult, 1)
+	s.mu.Lock()
+	if s.closed != nil {
+		err := s.closed
+		s.mu.Unlock()
+		return wireHeader{}, nil, err
+	}
+	seq := s.nextSeq
+	s.nextSeq++
+	s.pending[seq] = ch
+	s.mu.Unlock()
+
+	h := wireHeader{
+		payloadLen: uint32(len(payload)),
+		version:    wireVersion,
+		kind:       wireKindRequest,
+		method:     method,
+		flags:      flags,
+		seq:        seq,
+	}
+	if err := s.writeFrame(h, payload); err != nil {
+		// fail drains pending (including this call's channel) unless the
+		// readLoop delivered the response first — either way ch is filled.
+		s.fail(fmt.Errorf("vfl: wire write failed: %w", err))
+	}
+	r := <-ch
+	return r.hdr, r.payload, r.err
+}
+
+// wireCall runs one protocol call over the wire under the client's policy.
+// encode appends the request payload; decode reads the response payload.
+// Each attempt builds its own request and owns its own response, so an
+// abandoned timed-out attempt can never race with a retry.
+func wireCall[R any](c *WireClient, method byte, f32 bool, encode func(*wireEnc), decode func(*wireDec) R) (R, error) {
+	what := fmt.Sprintf("%s to client %s", wireMethodName(method), c.addr)
+	return callWithPolicy(c.policy, what, c.redial, func() (R, error) {
+		var zero R
+		s, err := c.session()
+		if err != nil {
+			return zero, err
+		}
+		enc := newWireEnc()
+		if encode != nil {
+			encode(enc)
+		}
+		var flags byte
+		if f32 {
+			flags |= wireFlagF32
+		}
+		hdr, payload, err := s.roundTrip(method, flags, enc.buf)
+		enc.release()
+		if err != nil {
+			return zero, err
+		}
+		defer putWireBuf(payload)
+		dec := newWireDec(payload)
+		if hdr.kind == wireKindError {
+			// Application-level error from the remote client: the call
+			// reached it, so this is deliberately not transient.
+			msg := dec.str()
+			if derr := dec.finish(); derr != nil {
+				return zero, derr
+			}
+			return zero, errors.New(msg)
+		}
+		var out R
+		if decode != nil {
+			out = decode(dec)
+		}
+		if derr := dec.finish(); derr != nil {
+			return zero, derr
+		}
+		return out, nil
+	})
+}
+
+// Info implements Client.
+func (c *WireClient) Info() (ClientInfo, error) {
+	return wireCall(c, wireMethodInfo, false, nil, func(d *wireDec) ClientInfo { return d.clientInfo() })
+}
+
+// Configure implements Client.
+func (c *WireClient) Configure(s Setup) error {
+	_, err := wireCall[struct{}](c, wireMethodConfigure, false, func(e *wireEnc) { e.setup(s) }, nil)
+	return err
+}
+
+// SampleCV implements Client.
+func (c *WireClient) SampleCV(batch int, synthesis bool) (*condvec.Batch, error) {
+	return wireCall(c, wireMethodSampleCV, false, func(e *wireEnc) {
+		e.i64(int64(batch))
+		e.bool(synthesis)
+	}, func(d *wireDec) *condvec.Batch { return d.cvBatch() })
+}
+
+// SampleCVFixed implements Client.
+func (c *WireClient) SampleCVFixed(batch, spanIdx, category int) (*condvec.Batch, error) {
+	return wireCall(c, wireMethodSampleCVFixed, false, func(e *wireEnc) {
+		e.i64(int64(batch))
+		e.i64(int64(spanIdx))
+		e.i64(int64(category))
+	}, func(d *wireDec) *condvec.Batch { return d.cvBatch() })
+}
+
+// ForwardSynthetic implements Client.
+func (c *WireClient) ForwardSynthetic(slice *tensor.Dense, phase Phase) (*tensor.Dense, error) {
+	return wireCall(c, wireMethodForwardSynthetic, c.f32, func(e *wireEnc) {
+		e.matrix(slice, c.f32)
+		e.i64(int64(phase))
+	}, func(d *wireDec) *tensor.Dense { return d.matrix() })
+}
+
+// ForwardReal implements Client.
+func (c *WireClient) ForwardReal(idx []int) (*tensor.Dense, error) {
+	return wireCall(c, wireMethodForwardReal, c.f32, func(e *wireEnc) {
+		e.bool(idx == nil)
+		e.ints(idx)
+	}, func(d *wireDec) *tensor.Dense { return d.matrix() })
+}
+
+// BackwardDisc implements Client.
+func (c *WireClient) BackwardDisc(gradSynth, gradReal *tensor.Dense) error {
+	_, err := wireCall[struct{}](c, wireMethodBackwardDisc, c.f32, func(e *wireEnc) {
+		e.matrix(gradSynth, c.f32)
+		e.matrix(gradReal, c.f32)
+	}, nil)
+	return err
+}
+
+// BackwardGen implements Client.
+func (c *WireClient) BackwardGen(gradSynth *tensor.Dense, conditioned bool) (*tensor.Dense, error) {
+	return wireCall(c, wireMethodBackwardGen, c.f32, func(e *wireEnc) {
+		e.matrix(gradSynth, c.f32)
+		e.bool(conditioned)
+	}, func(d *wireDec) *tensor.Dense { return d.matrix() })
+}
+
+// EndRound implements Client.
+func (c *WireClient) EndRound(round int) error {
+	_, err := wireCall[struct{}](c, wireMethodEndRound, false, func(e *wireEnc) { e.i64(int64(round)) }, nil)
+	return err
+}
+
+// GenerateRows implements Client.
+func (c *WireClient) GenerateRows(slice *tensor.Dense) error {
+	_, err := wireCall[struct{}](c, wireMethodGenerateRows, c.f32, func(e *wireEnc) { e.matrix(slice, c.f32) }, nil)
+	return err
+}
+
+// Publish implements Client.
+func (c *WireClient) Publish() (*encoding.Table, error) {
+	reply, err := wireCall(c, wireMethodPublish, false, nil, func(d *wireDec) *encoding.Table {
+		specs := d.specs()
+		data := d.matrix()
+		return &encoding.Table{Specs: specs, Data: data}
+	})
+	if err != nil {
+		return nil, err
+	}
+	if reply.Data == nil {
+		return nil, errors.New("gtvwire: Publish response carries no table data")
+	}
+	return encoding.NewTable(reply.Specs, reply.Data)
+}

@@ -1,0 +1,386 @@
+package vfl
+
+// Payload primitives for the gtvwire frame protocol (see wire.go for the
+// frame layout). Encoders append to a pooled byte buffer; decoders walk a
+// received payload with a sticky error, so call sites read as straight-line
+// field lists and malformed frames surface as one descriptive error instead
+// of a panic (FuzzWireFrameDecode holds the codec to that).
+
+import (
+	"encoding/binary"
+	"fmt"
+	"math"
+
+	"repro/internal/condvec"
+	"repro/internal/encoding"
+	"repro/internal/tensor"
+)
+
+// Matrix element encodings. The elemSize byte stored per matrix is
+// authoritative on decode, so a float32 sender and a float64 reader always
+// agree on the byte layout.
+const (
+	wireElemF64 = 8
+	wireElemF32 = 4
+)
+
+// wireEnc accumulates one frame payload.
+type wireEnc struct{ buf []byte }
+
+func newWireEnc() *wireEnc { return &wireEnc{buf: getWireBuf(0)} }
+
+// release hands the payload buffer back to the frame-buffer free list.
+func (e *wireEnc) release() {
+	putWireBuf(e.buf)
+	e.buf = nil
+}
+
+func (e *wireEnc) u8(v byte) { e.buf = append(e.buf, v) }
+
+func (e *wireEnc) u32(v uint32) {
+	e.buf = binary.LittleEndian.AppendUint32(e.buf, v)
+}
+
+func (e *wireEnc) i64(v int64) {
+	e.buf = binary.LittleEndian.AppendUint64(e.buf, uint64(v))
+}
+
+func (e *wireEnc) f64(v float64) {
+	e.buf = binary.LittleEndian.AppendUint64(e.buf, math.Float64bits(v))
+}
+
+func (e *wireEnc) bool(v bool) {
+	if v {
+		e.u8(1)
+	} else {
+		e.u8(0)
+	}
+}
+
+func (e *wireEnc) str(s string) {
+	e.u32(uint32(len(s)))
+	e.buf = append(e.buf, s...)
+}
+
+func (e *wireEnc) ints(v []int) {
+	e.u32(uint32(len(v)))
+	for _, x := range v {
+		e.i64(int64(x))
+	}
+}
+
+// matrix appends m's shape and elements, reading directly from the
+// tensor's backing storage — the float64 data is transformed to
+// little-endian bytes in a single pass with no intermediate copy of the
+// matrix. f32 selects the lossy float32 element encoding.
+func (e *wireEnc) matrix(m *tensor.Dense, f32 bool) {
+	if m == nil {
+		e.u8(0)
+		return
+	}
+	e.u8(1)
+	e.u32(uint32(m.Rows()))
+	e.u32(uint32(m.Cols()))
+	data := m.Data()
+	if f32 {
+		e.u8(wireElemF32)
+		e.buf = growWireBuf(e.buf, 4*len(data))
+		for _, v := range data {
+			e.buf = binary.LittleEndian.AppendUint32(e.buf, math.Float32bits(float32(v)))
+		}
+		return
+	}
+	e.u8(wireElemF64)
+	e.buf = growWireBuf(e.buf, 8*len(data))
+	for _, v := range data {
+		e.buf = binary.LittleEndian.AppendUint64(e.buf, math.Float64bits(v))
+	}
+}
+
+func (e *wireEnc) choices(cs []condvec.Choice) {
+	e.u32(uint32(len(cs)))
+	for _, c := range cs {
+		e.i64(int64(c.Span))
+		e.i64(int64(c.Category))
+	}
+}
+
+func (e *wireEnc) specs(ss []encoding.ColumnSpec) {
+	e.u32(uint32(len(ss)))
+	for i := range ss {
+		s := &ss[i]
+		e.str(s.Name)
+		e.u8(byte(s.Kind))
+		e.u32(uint32(len(s.Categories)))
+		for _, c := range s.Categories {
+			e.str(c)
+		}
+		e.u32(uint32(len(s.SpecialValues)))
+		for _, v := range s.SpecialValues {
+			e.f64(v)
+		}
+	}
+}
+
+func (e *wireEnc) cvBatch(b *condvec.Batch, f32 bool) {
+	e.matrix(b.CV, f32)
+	e.ints(b.Rows)
+	e.choices(b.Choices)
+}
+
+func (e *wireEnc) table(t *encoding.Table, f32 bool) {
+	e.specs(t.Specs)
+	e.matrix(t.Data, f32)
+}
+
+func (e *wireEnc) setup(s Setup) {
+	e.i64(int64(s.Plan.DiscServer))
+	e.i64(int64(s.Plan.DiscClient))
+	e.i64(int64(s.Plan.GenServer))
+	e.i64(int64(s.Plan.GenClient))
+	e.i64(int64(s.SliceWidth))
+	e.i64(int64(s.GenBlockWidth))
+	e.i64(int64(s.DiscWidth))
+	e.f64(s.LR)
+	e.i64(s.Seed)
+}
+
+func (e *wireEnc) clientInfo(i ClientInfo) {
+	e.i64(int64(i.Features))
+	e.i64(int64(i.EncodedWidth))
+	e.i64(int64(i.CVWidth))
+	e.i64(int64(i.Rows))
+}
+
+// growWireBuf ensures room for n more bytes so the element-append loops
+// never re-grow mid-matrix.
+func growWireBuf(b []byte, n int) []byte {
+	if cap(b)-len(b) >= n {
+		return b
+	}
+	nb := make([]byte, len(b), len(b)+n)
+	copy(nb, b)
+	return nb
+}
+
+// wireDec walks one received frame payload. The first decode error sticks;
+// every subsequent read returns zero values, so callers check err once at
+// the end.
+type wireDec struct {
+	buf []byte
+	off int
+	err error
+}
+
+func newWireDec(payload []byte) *wireDec { return &wireDec{buf: payload} }
+
+func (d *wireDec) fail(format string, args ...any) {
+	if d.err == nil {
+		d.err = fmt.Errorf("gtvwire: "+format, args...)
+	}
+}
+
+// take returns the next n payload bytes, or nil after marking the decoder
+// failed when fewer remain.
+func (d *wireDec) take(n int) []byte {
+	if d.err != nil {
+		return nil
+	}
+	if n < 0 || len(d.buf)-d.off < n {
+		d.fail("truncated payload: need %d bytes at offset %d of %d", n, d.off, len(d.buf))
+		return nil
+	}
+	b := d.buf[d.off : d.off+n]
+	d.off += n
+	return b
+}
+
+// finish reports the sticky error, also flagging unconsumed trailing bytes
+// (a symptom of a codec mismatch between peers).
+func (d *wireDec) finish() error {
+	if d.err == nil && d.off != len(d.buf) {
+		d.fail("%d trailing payload bytes", len(d.buf)-d.off)
+	}
+	return d.err
+}
+
+func (d *wireDec) u8() byte {
+	b := d.take(1)
+	if b == nil {
+		return 0
+	}
+	return b[0]
+}
+
+func (d *wireDec) u32() uint32 {
+	b := d.take(4)
+	if b == nil {
+		return 0
+	}
+	return binary.LittleEndian.Uint32(b)
+}
+
+func (d *wireDec) i64() int64 {
+	b := d.take(8)
+	if b == nil {
+		return 0
+	}
+	return int64(binary.LittleEndian.Uint64(b))
+}
+
+func (d *wireDec) f64() float64 {
+	b := d.take(8)
+	if b == nil {
+		return 0
+	}
+	return math.Float64frombits(binary.LittleEndian.Uint64(b))
+}
+
+func (d *wireDec) bool() bool { return d.u8() != 0 }
+
+func (d *wireDec) str() string {
+	n := d.u32()
+	b := d.take(int(n))
+	if b == nil {
+		return ""
+	}
+	return string(b)
+}
+
+func (d *wireDec) ints() []int {
+	n := int(d.u32())
+	if d.take(0) == nil || n > (len(d.buf)-d.off)/8 {
+		d.fail("int slice length %d exceeds payload", n)
+		return nil
+	}
+	out := make([]int, n)
+	for i := range out {
+		out[i] = int(d.i64())
+	}
+	return out
+}
+
+// matrix decodes a matrix into a buffer drawn from the tensor free list
+// (tensor.NewPooledUninit — every element is overwritten below), so the
+// receive path allocates nothing when a same-shape buffer was Released by
+// an earlier step. Ownership passes to the caller; see the release rules
+// in wireclient.go / wireserver.go for who hands it back.
+func (d *wireDec) matrix() *tensor.Dense {
+	tag := d.u8()
+	if d.err != nil || tag == 0 {
+		return nil
+	}
+	rows := int(d.u32())
+	cols := int(d.u32())
+	elem := int(d.u8())
+	if d.err != nil {
+		return nil
+	}
+	if elem != wireElemF64 && elem != wireElemF32 {
+		d.fail("invalid matrix element size %d", elem)
+		return nil
+	}
+	// Bounding rows by remaining/(cols*elem) both rejects shapes larger
+	// than the payload and keeps rows*cols*elem from overflowing below.
+	if cols != 0 && rows > (len(d.buf)-d.off)/(cols*elem) {
+		d.fail("matrix shape %dx%d exceeds payload", rows, cols)
+		return nil
+	}
+	n := rows * cols
+	raw := d.take(n * elem)
+	if raw == nil {
+		return nil
+	}
+	out := tensor.NewPooledUninit(rows, cols)
+	data := out.Data()
+	if elem == wireElemF32 {
+		for i := range data {
+			data[i] = float64(math.Float32frombits(binary.LittleEndian.Uint32(raw[4*i:])))
+		}
+		return out
+	}
+	for i := range data {
+		data[i] = math.Float64frombits(binary.LittleEndian.Uint64(raw[8*i:]))
+	}
+	return out
+}
+
+func (d *wireDec) choices() []condvec.Choice {
+	n := int(d.u32())
+	if d.take(0) == nil || n > (len(d.buf)-d.off)/16 {
+		d.fail("choice slice length %d exceeds payload", n)
+		return nil
+	}
+	out := make([]condvec.Choice, n)
+	for i := range out {
+		out[i].Span = int(d.i64())
+		out[i].Category = int(d.i64())
+	}
+	return out
+}
+
+func (d *wireDec) specs() []encoding.ColumnSpec {
+	n := int(d.u32())
+	if d.take(0) == nil || n > len(d.buf)-d.off {
+		d.fail("spec slice length %d exceeds payload", n)
+		return nil
+	}
+	out := make([]encoding.ColumnSpec, n)
+	for i := range out {
+		s := &out[i]
+		s.Name = d.str()
+		s.Kind = encoding.ColumnKind(d.u8())
+		ncat := int(d.u32())
+		if d.take(0) == nil || ncat > len(d.buf)-d.off {
+			d.fail("category count %d exceeds payload", ncat)
+			return nil
+		}
+		if ncat > 0 {
+			s.Categories = make([]string, ncat)
+			for j := range s.Categories {
+				s.Categories[j] = d.str()
+			}
+		}
+		nsp := int(d.u32())
+		if d.take(0) == nil || nsp > (len(d.buf)-d.off)/8 {
+			d.fail("special value count %d exceeds payload", nsp)
+			return nil
+		}
+		if nsp > 0 {
+			s.SpecialValues = make([]float64, nsp)
+			for j := range s.SpecialValues {
+				s.SpecialValues[j] = d.f64()
+			}
+		}
+	}
+	return out
+}
+
+func (d *wireDec) cvBatch() *condvec.Batch {
+	return &condvec.Batch{CV: d.matrix(), Rows: d.ints(), Choices: d.choices()}
+}
+
+func (d *wireDec) setup() Setup {
+	return Setup{
+		Plan: Plan{
+			DiscServer: int(d.i64()),
+			DiscClient: int(d.i64()),
+			GenServer:  int(d.i64()),
+			GenClient:  int(d.i64()),
+		},
+		SliceWidth:    int(d.i64()),
+		GenBlockWidth: int(d.i64()),
+		DiscWidth:     int(d.i64()),
+		LR:            d.f64(),
+		Seed:          d.i64(),
+	}
+}
+
+func (d *wireDec) clientInfo() ClientInfo {
+	return ClientInfo{
+		Features:     int(d.i64()),
+		EncodedWidth: int(d.i64()),
+		CVWidth:      int(d.i64()),
+		Rows:         int(d.i64()),
+	}
+}

@@ -1,0 +1,316 @@
+package vfl
+
+import (
+	"bufio"
+	"errors"
+	"fmt"
+	"net"
+	"sync"
+
+	"repro/internal/tensor"
+)
+
+// ServeClientWire serves a client over the gtvwire binary protocol until
+// the listener is closed. It is the binary-wire counterpart of ServeClient
+// and shares its concurrency contract with net/rpc: every request frame is
+// served in its own goroutine, so a pipelining peer overlaps calls, while
+// a server that serializes its calls (as vfl.Server does per client) sees
+// strictly ordered execution.
+func ServeClientWire(lis net.Listener, c Client) error {
+	for {
+		conn, err := lis.Accept()
+		if err != nil {
+			if errors.Is(err, net.ErrClosed) {
+				return nil
+			}
+			return fmt.Errorf("vfl: accepting wire connection: %w", err)
+		}
+		go serveWireConn(conn, c)
+	}
+}
+
+// wireConnWriter serializes response-frame writes from the per-request
+// goroutines onto one connection.
+type wireConnWriter struct {
+	mu sync.Mutex
+	w  *bufio.Writer // guarded by mu
+}
+
+// writeFrame writes one whole response frame and flushes it toward the
+// server. This is the single point where protocol payloads leave the
+// client process, which makes it the transport's privacy boundary: every
+// value reaching it has already crossed a Client interface sink.
+//
+//privacy:sink encoded response frames leaving the client process
+func (cw *wireConnWriter) writeFrame(h wireHeader, payload []byte) error {
+	var hdr [wireHeaderLen]byte
+	h.put(hdr[:])
+	cw.mu.Lock()
+	defer cw.mu.Unlock()
+	if _, err := cw.w.Write(hdr[:]); err != nil {
+		return err
+	}
+	if _, err := cw.w.Write(payload); err != nil {
+		return err
+	}
+	return cw.w.Flush()
+}
+
+// wireSliceTracker retains the ForwardSynthetic input slices the client's
+// autograd graph holds onto between a forward and its backward. Graph
+// leaves are shielded from the client's tape release, so once the backward
+// for a phase completes nothing references the decoded slice buffers and
+// the tracker hands them back to the tensor free list.
+type wireSliceTracker struct {
+	mu     sync.Mutex
+	slices []*tensor.Dense // guarded by mu
+}
+
+func (t *wireSliceTracker) retain(m *tensor.Dense) {
+	t.mu.Lock()
+	t.slices = append(t.slices, m)
+	t.mu.Unlock()
+}
+
+// releaseAll recycles every retained slice. Called after a successful
+// BackwardDisc/BackwardGen, when the graphs retaining the slices are gone.
+func (t *wireSliceTracker) releaseAll() {
+	t.mu.Lock()
+	slices := t.slices
+	t.slices = nil
+	t.mu.Unlock()
+	for _, m := range slices {
+		m.Release()
+	}
+}
+
+// serveWireConn reads request frames off one connection and dispatches
+// each in its own goroutine.
+func serveWireConn(conn net.Conn, c Client) {
+	r := bufio.NewReaderSize(conn, 1<<16)
+	cw := &wireConnWriter{w: bufio.NewWriterSize(conn, 1<<16)}
+	slices := &wireSliceTracker{}
+	for {
+		h, payload, err := readWireFrame(r)
+		if err != nil {
+			// EOF is the peer hanging up; anything else is a dead or
+			// malformed connection. Either way the conn is finished and the
+			// close error adds nothing.
+			//lint:ignore errdrop closing a finished connection, the error adds nothing
+			_ = conn.Close()
+			return
+		}
+		if h.kind != wireKindRequest {
+			//lint:ignore errdrop protocol violation already ends the connection
+			_ = conn.Close()
+			return
+		}
+		go serveWireRequest(c, cw, slices, h, payload)
+	}
+}
+
+// serveWireRequest decodes one request, runs the protocol step, and writes
+// the response (or error) frame.
+func serveWireRequest(c Client, cw *wireConnWriter, slices *wireSliceTracker, h wireHeader, payload []byte) {
+	dec := newWireDec(payload)
+	enc := newWireEnc()
+	err := dispatchWireMethod(c, slices, h.method, h.flags&wireFlagF32 != 0, dec, enc)
+	putWireBuf(payload)
+	kind := byte(wireKindResponse)
+	if err != nil {
+		enc.buf = enc.buf[:0]
+		enc.str(err.Error())
+		kind = wireKindError
+	}
+	rh := wireHeader{
+		payloadLen: uint32(len(enc.buf)),
+		version:    wireVersion,
+		kind:       kind,
+		method:     h.method,
+		flags:      h.flags,
+		seq:        h.seq,
+	}
+	// A failed response write means the connection is dead; the read loop
+	// observes that on its next read and tears the connection down.
+	//lint:ignore errdrop the read loop handles the dead connection
+	_ = cw.writeFrame(rh, enc.buf)
+	enc.release()
+}
+
+// dispatchWireMethod decodes the method's arguments, invokes the protocol
+// step, and encodes the reply. Argument decoding is fully validated
+// (dec.finish) before the client runs, so a malformed frame never
+// half-executes a stateful step.
+//
+// Decoded argument matrices land in pooled buffers; ownership is resolved
+// per method: gradients and synthesis slices are consumed within the call
+// (graph leaves are shielded from the client's tape) and released here,
+// while ForwardSynthetic slices stay live inside the client's retained
+// graph until the phase's backward and are parked in the tracker instead.
+func dispatchWireMethod(c Client, slices *wireSliceTracker, method byte, f32 bool, dec *wireDec, enc *wireEnc) error {
+	switch method {
+	case wireMethodInfo:
+		if err := dec.finish(); err != nil {
+			return err
+		}
+		info, err := c.Info()
+		if err != nil {
+			return err
+		}
+		enc.clientInfo(info)
+		return nil
+
+	case wireMethodConfigure:
+		s := dec.setup()
+		if err := dec.finish(); err != nil {
+			return err
+		}
+		return c.Configure(s)
+
+	case wireMethodSampleCV:
+		batch := int(dec.i64())
+		synthesis := dec.bool()
+		if err := dec.finish(); err != nil {
+			return err
+		}
+		b, err := c.SampleCV(batch, synthesis)
+		if err != nil {
+			return err
+		}
+		enc.cvBatch(b, false)
+		return nil
+
+	case wireMethodSampleCVFixed:
+		batch := int(dec.i64())
+		span := int(dec.i64())
+		category := int(dec.i64())
+		if err := dec.finish(); err != nil {
+			return err
+		}
+		b, err := c.SampleCVFixed(batch, span, category)
+		if err != nil {
+			return err
+		}
+		enc.cvBatch(b, false)
+		return nil
+
+	case wireMethodForwardSynthetic:
+		slice := dec.matrix()
+		phase := Phase(dec.i64())
+		if err := requireWireMatrix(dec, "slice", slice); err != nil {
+			slice.Release()
+			return err
+		}
+		out, err := c.ForwardSynthetic(slice, phase)
+		if err != nil {
+			slice.Release()
+			return err
+		}
+		// The client's graph holds the slice until the phase's backward.
+		slices.retain(slice)
+		enc.matrix(out, f32)
+		return nil
+
+	case wireMethodForwardReal:
+		all := dec.bool()
+		idx := dec.ints()
+		if err := dec.finish(); err != nil {
+			return err
+		}
+		if all {
+			idx = nil
+		} else if idx == nil {
+			idx = []int{}
+		}
+		out, err := c.ForwardReal(idx)
+		if err != nil {
+			return err
+		}
+		enc.matrix(out, f32)
+		return nil
+
+	case wireMethodBackwardDisc:
+		gradSynth := dec.matrix()
+		gradReal := dec.matrix()
+		if err := requireWireMatrix(dec, "gradients", gradSynth, gradReal); err != nil {
+			gradSynth.Release()
+			gradReal.Release()
+			return err
+		}
+		err := c.BackwardDisc(gradSynth, gradReal)
+		// The gradients entered the client's graph as leaves (shielded from
+		// its tape release) and nothing references them after the call.
+		gradSynth.Release()
+		gradReal.Release()
+		if err != nil {
+			return err
+		}
+		slices.releaseAll()
+		return nil
+
+	case wireMethodBackwardGen:
+		gradSynth := dec.matrix()
+		conditioned := dec.bool()
+		if err := requireWireMatrix(dec, "gradient", gradSynth); err != nil {
+			gradSynth.Release()
+			return err
+		}
+		out, err := c.BackwardGen(gradSynth, conditioned)
+		gradSynth.Release()
+		if err != nil {
+			return err
+		}
+		slices.releaseAll()
+		enc.matrix(out, f32)
+		// The slice gradient is a fresh copy owned by the caller; it is
+		// fully encoded now.
+		out.Release()
+		return nil
+
+	case wireMethodEndRound:
+		round := int(dec.i64())
+		if err := dec.finish(); err != nil {
+			return err
+		}
+		return c.EndRound(round)
+
+	case wireMethodGenerateRows:
+		slice := dec.matrix()
+		if err := requireWireMatrix(dec, "slice", slice); err != nil {
+			slice.Release()
+			return err
+		}
+		err := c.GenerateRows(slice)
+		// Synthesis forwards run outside any retained graph; the slice is
+		// dead as soon as the call returns.
+		slice.Release()
+		return err
+
+	case wireMethodPublish:
+		if err := dec.finish(); err != nil {
+			return err
+		}
+		t, err := c.Publish()
+		if err != nil {
+			return err
+		}
+		enc.table(t, false)
+		return nil
+	}
+	return fmt.Errorf("gtvwire: unknown method id %d", method)
+}
+
+// requireWireMatrix finishes argument decoding and rejects absent (nil)
+// matrices for methods whose arguments are mandatory, so a malformed frame
+// fails with a protocol error instead of a panic inside the client.
+func requireWireMatrix(dec *wireDec, what string, ms ...*tensor.Dense) error {
+	if err := dec.finish(); err != nil {
+		return err
+	}
+	for _, m := range ms {
+		if m == nil {
+			return fmt.Errorf("gtvwire: missing required %s matrix", what)
+		}
+	}
+	return nil
+}
