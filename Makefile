@@ -1,6 +1,10 @@
 GO ?= go
 
-.PHONY: all build vet lint lint-json test race ci bench bench-round bench-kernels bench-comm
+.PHONY: all build vet lint lint-json test race fuzz ci bench bench-round bench-kernels bench-comm
+
+# Per-fuzzer budget for the `fuzz` target; override with
+# `make fuzz FUZZTIME=1m` for longer local hunts.
+FUZZTIME ?= 5s
 
 all: ci
 
@@ -32,7 +36,15 @@ race:
 	$(GO) test -race -short ./...
 	$(GO) test -race ./internal/vfl/... ./internal/tensor/... ./internal/autograd/...
 
-ci: vet lint build test race
+# Short-budget runs of every fuzzer in the module: the gtvsnap checkpoint
+# decoder, the gtvwire frame decoder, and the blocked-matmul kernel. Each
+# guards a byte-level or numeric contract that unit tests only sample.
+fuzz:
+	$(GO) test -run '^$$' -fuzz FuzzSnapshotDecode -fuzztime $(FUZZTIME) ./internal/snap
+	$(GO) test -run '^$$' -fuzz FuzzWireFrameDecode -fuzztime $(FUZZTIME) ./internal/vfl
+	$(GO) test -run '^$$' -fuzz FuzzMatMulAgainstNaive -fuzztime $(FUZZTIME) ./internal/tensor
+
+ci: vet lint build test race fuzz
 
 bench:
 	$(GO) test -run xxx -bench . -benchtime 1x .

@@ -9,7 +9,9 @@
 # the concurrency-critical packages (the vfl protocol driver, the gtvwire
 # pipelined transport — demux goroutine, per-request server goroutines,
 # shared frame-buffer pool — and the tensor/autograd substrate — worker
-# pool, buffer free lists — it fans out over).
+# pool, buffer free lists — it fans out over). Last, a short-budget pass
+# over every fuzzer in the module (snapshot decoder, wire frame decoder,
+# matmul kernel) so decoder defenses regress loudly, not silently.
 set -eux
 
 go vet ./...
@@ -18,3 +20,4 @@ go build ./...
 go test ./...
 go test -race -short ./...
 go test -race ./internal/vfl/... ./internal/tensor/... ./internal/autograd/...
+make fuzz

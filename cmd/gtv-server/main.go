@@ -49,6 +49,9 @@ func run(args []string) error {
 		synthRows  = fs.Int("synth-rows", 500, "synthetic rows to generate after training")
 		synthOut   = fs.String("synth-out", "synthetic.csv", "output CSV path")
 		every      = fs.Int("log-every", 25, "print losses every N rounds")
+		ckptDir    = fs.String("checkpoint-dir", "", "write atomic gtvsnap checkpoints (server + client blobs) into this directory")
+		ckptEvery  = fs.Int("checkpoint-every", 1, "rounds between checkpoints when -checkpoint-dir is set")
+		resume     = fs.Bool("resume", false, "restore the newest checkpoint in -checkpoint-dir before training")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -112,14 +115,44 @@ func run(args []string) error {
 	if err != nil {
 		return err
 	}
+	if *ckptDir != "" {
+		if err := os.MkdirAll(*ckptDir, 0o755); err != nil {
+			return fmt.Errorf("checkpoint dir: %w", err)
+		}
+		if *resume {
+			r, ok, err := server.RestoreLatestCheckpoint(*ckptDir)
+			if err != nil {
+				return err
+			}
+			if ok {
+				fmt.Printf("resumed from checkpoint at round %d\n", r)
+			}
+		}
+	}
+	interval := *ckptEvery
+	if interval <= 0 {
+		interval = 1
+	}
+	var ckptErr error
 	fmt.Printf("training %s for %d rounds, P_r=%v\n", plan.Name(), *rounds, server.Ratios())
 	err = server.Train(func(round int, dLoss, gLoss float64) {
 		if *every > 0 && (round+1)%*every == 0 {
 			fmt.Printf("round %4d  critic %.4f  generator %.4f\n", round+1, dLoss, gLoss)
 		}
+		if *ckptDir != "" && ckptErr == nil && (round+1)%interval == 0 {
+			_, ckptErr = server.SaveCheckpoint(*ckptDir)
+		}
 	})
 	if err != nil {
 		return err
+	}
+	if ckptErr != nil {
+		return fmt.Errorf("checkpointing: %w", ckptErr)
+	}
+	if *ckptDir != "" && server.Rounds()%interval != 0 {
+		if _, err := server.SaveCheckpoint(*ckptDir); err != nil {
+			return fmt.Errorf("final checkpoint: %w", err)
+		}
 	}
 
 	// Estimated payload bytes next to the measured framed bytes.

@@ -57,6 +57,9 @@ func run(args []string, stdout io.Writer) error {
 		every       = fs.Int("log-every", 50, "print losses every N rounds")
 		cpuProfile  = fs.String("cpuprofile", "", "write a CPU profile of the run to this file")
 		memProfile  = fs.String("memprofile", "", "write a heap profile (taken after training) to this file")
+		ckptDir     = fs.String("checkpoint-dir", "", "write atomic gtvsnap checkpoints into this directory")
+		ckptEvery   = fs.Int("checkpoint-every", 1, "rounds between checkpoints when -checkpoint-dir is set")
+		resume      = fs.Bool("resume", false, "restore the newest checkpoint in -checkpoint-dir before training")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -120,6 +123,9 @@ func run(args []string, stdout io.Writer) error {
 	opts.Transport = *wire
 	opts.WireFloat32 = *wireF32
 	opts.FaithfulRealPass = *faithful
+	opts.CheckpointDir = *ckptDir
+	opts.CheckpointEvery = *ckptEvery
+	opts.Resume = *resume
 
 	progress := func(round int, dLoss, gLoss float64) {
 		if *every > 0 && (round+1)%*every == 0 {
@@ -136,7 +142,26 @@ func run(args []string, stdout io.Writer) error {
 		if err != nil {
 			return err
 		}
-		if err := c.Train(progress); err != nil {
+		trainCB, finish := progress, func() error { return nil }
+		if *ckptDir != "" {
+			if err := os.MkdirAll(*ckptDir, 0o755); err != nil {
+				return fmt.Errorf("checkpoint dir: %w", err)
+			}
+			if *resume {
+				r, ok, err := c.RestoreLatestCheckpoint(*ckptDir)
+				if err != nil {
+					return err
+				}
+				if ok {
+					fmt.Fprintf(stdout, "resumed centralized training at round %d\n", r)
+				}
+			}
+			trainCB, finish = withCheckpoints(c, *ckptDir, *ckptEvery, progress)
+		}
+		if err := c.Train(trainCB); err != nil {
+			return err
+		}
+		if err := finish(); err != nil {
 			return err
 		}
 		if synth, err = c.Synthesize(train.Rows()); err != nil {
@@ -159,6 +184,9 @@ func run(args []string, stdout io.Writer) error {
 		//lint:ignore errdrop teardown of finished loopback transports, nothing left to lose
 		defer func() { _ = g.Close() }()
 		fmt.Fprintf(stdout, "GTV %s with %d clients over %q transport, P_r=%v\n", plan.Name(), *clients, *wire, g.Ratios())
+		if *resume && g.Rounds() > 0 {
+			fmt.Fprintf(stdout, "resumed federated training at round %d\n", g.Rounds())
+		}
 		if err := g.Train(progress); err != nil {
 			return err
 		}
@@ -216,4 +244,35 @@ func run(args []string, stdout io.Writer) error {
 		fmt.Fprintf(stdout, "synthetic data written to %s\n", *synthOut)
 	}
 	return nil
+}
+
+// withCheckpoints wraps the centralized trainer's progress callback so a
+// checkpoint lands every `every` rounds; the returned finish func reports
+// the first failed write and covers the final round when it falls off the
+// interval.
+func withCheckpoints(c *core.Centralized, dir string, every int, progress func(int, float64, float64)) (func(int, float64, float64), func() error) {
+	if every <= 0 {
+		every = 1
+	}
+	var ckptErr error
+	cb := func(round int, dLoss, gLoss float64) {
+		if progress != nil {
+			progress(round, dLoss, gLoss)
+		}
+		if ckptErr == nil && (round+1)%every == 0 {
+			_, ckptErr = c.SaveCheckpoint(dir)
+		}
+	}
+	finish := func() error {
+		if ckptErr != nil {
+			return fmt.Errorf("checkpointing: %w", ckptErr)
+		}
+		if c.Round()%every != 0 {
+			if _, err := c.SaveCheckpoint(dir); err != nil {
+				return fmt.Errorf("final checkpoint: %w", err)
+			}
+		}
+		return nil
+	}
+	return cb, finish
 }

@@ -24,6 +24,7 @@ import (
 	"fmt"
 	"io"
 	"net"
+	"os"
 
 	"repro/internal/encoding"
 	"repro/internal/gan"
@@ -83,6 +84,17 @@ type Options struct {
 	// transient-error retry); ignored for the local transport. The zero
 	// value imposes nothing.
 	CallPolicy vfl.CallPolicy
+	// CheckpointDir, when set, makes Train write an atomic gtvsnap
+	// checkpoint of the whole federation (server state plus every client's
+	// bottom-model blob) into this directory every CheckpointEvery rounds
+	// and after the final round. See DESIGN.md "Checkpoint format".
+	CheckpointDir string
+	// CheckpointEvery is the round interval between checkpoints; 0 means
+	// every round.
+	CheckpointEvery int
+	// Resume makes New restore the newest checkpoint in CheckpointDir (if
+	// any) before training, continuing the original run byte-identically.
+	Resume bool
 }
 
 // DefaultOptions returns a laptop-scale configuration with the paper's
@@ -140,6 +152,9 @@ type GTV struct {
 	server  *vfl.Server
 	clients []*vfl.LocalClient
 
+	ckptDir   string
+	ckptEvery int
+
 	// Loopback plumbing for the network transports; empty for "local".
 	listeners []net.Listener
 	proxies   []io.Closer
@@ -174,6 +189,23 @@ func New(clientTables []*encoding.Table, opts Options) (*GTV, error) {
 		return nil, fmt.Errorf("core: server setup: %w", err)
 	}
 	g.server = server
+	g.ckptDir = opts.CheckpointDir
+	g.ckptEvery = opts.CheckpointEvery
+	if opts.CheckpointDir != "" {
+		if err := os.MkdirAll(opts.CheckpointDir, 0o755); err != nil {
+			_ = g.Close() //lint:ignore errdrop setup already failed, the teardown error adds nothing
+			return nil, fmt.Errorf("core: checkpoint dir: %w", err)
+		}
+		if opts.Resume {
+			// A successful restore sets the server's round counter, which
+			// makes Train continue from the checkpoint instead of round
+			// zero; an empty directory trains from scratch.
+			if _, _, err := server.RestoreLatestCheckpoint(opts.CheckpointDir); err != nil {
+				_ = g.Close() //lint:ignore errdrop setup already failed, the teardown error adds nothing
+				return nil, fmt.Errorf("core: resume: %w", err)
+			}
+		}
+	}
 	return g, nil
 }
 
@@ -288,10 +320,49 @@ func EvenAssignment(numCols, numClients int) ([]int, error) {
 }
 
 // Train runs the full training loop. The optional progress callback
-// receives (round, criticLoss, generatorLoss).
+// receives (round, criticLoss, generatorLoss). With CheckpointDir set, a
+// checkpoint is written every CheckpointEvery rounds and after the final
+// round; a checkpoint failure stops training at the next round boundary.
 func (g *GTV) Train(progress func(round int, dLoss, gLoss float64)) error {
-	return g.server.Train(progress)
+	if g.ckptDir == "" {
+		return g.server.Train(progress)
+	}
+	every := g.ckptEvery
+	if every <= 0 {
+		every = 1
+	}
+	var ckptErr error
+	err := g.server.Train(func(round int, dLoss, gLoss float64) {
+		if progress != nil {
+			progress(round, dLoss, gLoss)
+		}
+		if ckptErr == nil && (round+1)%every == 0 {
+			_, ckptErr = g.server.SaveCheckpoint(g.ckptDir)
+		}
+	})
+	if err != nil {
+		return err
+	}
+	if ckptErr != nil {
+		return fmt.Errorf("core: checkpointing: %w", ckptErr)
+	}
+	if g.server.Rounds()%every != 0 {
+		if _, err := g.server.SaveCheckpoint(g.ckptDir); err != nil {
+			return fmt.Errorf("core: final checkpoint: %w", err)
+		}
+	}
+	return nil
 }
+
+// Checkpoint writes a federation checkpoint into dir immediately and
+// returns its path.
+func (g *GTV) Checkpoint(dir string) (string, error) {
+	return g.server.SaveCheckpoint(dir)
+}
+
+// Rounds returns the number of completed training rounds — non-zero right
+// after New when Options.Resume restored a checkpoint.
+func (g *GTV) Rounds() int { return g.server.Rounds() }
 
 // TrainRound runs a single round (for callers driving their own loop).
 func (g *GTV) TrainRound() (dLoss, gLoss float64, err error) {

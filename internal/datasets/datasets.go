@@ -343,8 +343,18 @@ func (d *Dataset) TrainTestSplit(rng *rand.Rand, testFrac float64) (train, test 
 		c := int(d.Table.Data.At(i, d.Target))
 		byClass[c] = append(byClass[c], i)
 	}
+	// Consume the caller's RNG in sorted-class order: ranging over the map
+	// here would hand each class a different permutation depending on the
+	// iteration order of the moment, making the split — and everything
+	// trained on it — irreproducible across processes.
+	classes := make([]int, 0, len(byClass))
+	for c := range byClass {
+		classes = append(classes, c)
+	}
+	sort.Ints(classes)
 	var trainIdx, testIdx []int
-	for _, rowsOf := range byClass {
+	for _, c := range classes {
+		rowsOf := byClass[c]
 		perm := rng.Perm(len(rowsOf))
 		nTest := int(math.Round(testFrac * float64(len(rowsOf))))
 		if nTest < 1 {

@@ -2,13 +2,13 @@ package gan
 
 import (
 	"fmt"
-	"math/rand"
 
 	ag "repro/internal/autograd"
 	"repro/internal/condvec"
 	"repro/internal/encoding"
 	"repro/internal/gmm"
 	"repro/internal/nn"
+	"repro/internal/rng"
 	"repro/internal/tensor"
 )
 
@@ -88,7 +88,7 @@ func (c *Config) validate() error {
 // GAN with CTGAN/CTAB-GAN feature engineering and WGAN-GP training.
 type Centralized struct {
 	cfg         Config
-	rng         *rand.Rand
+	rng         *rng.Rand
 	transformer *encoding.Transformer
 	sampler     *condvec.Sampler
 	encoded     *tensor.Dense
@@ -98,6 +98,10 @@ type Centralized struct {
 	disc    *nn.Sequential
 	genOpt  *nn.Adam
 	discOpt *nn.Adam
+
+	// round counts completed training rounds; checkpoints persist it so a
+	// resumed Train picks up exactly where the interrupted run stopped.
+	round int
 }
 
 // NewCentralized fits the feature encoders on the table and builds the GAN.
@@ -105,8 +109,10 @@ func NewCentralized(table *encoding.Table, cfg Config) (*Centralized, error) {
 	if err := cfg.validate(); err != nil {
 		return nil, err
 	}
-	rng := rand.New(rand.NewSource(cfg.Seed))
-	tr, err := encoding.FitTransformer(rng, table, gmm.DefaultConfig())
+	// The capturable generator (internal/rng) is what makes checkpoints
+	// possible: its state words are serialized and reinstated on resume.
+	prng := rng.New(cfg.Seed)
+	tr, err := encoding.FitTransformer(prng.Rand, table, gmm.DefaultConfig())
 	if err != nil {
 		return nil, fmt.Errorf("gan: fitting transformer: %w", err)
 	}
@@ -114,7 +120,7 @@ func NewCentralized(table *encoding.Table, cfg Config) (*Centralized, error) {
 	if err != nil {
 		return nil, fmt.Errorf("gan: building CV sampler: %w", err)
 	}
-	enc, err := tr.Transform(rng, table)
+	enc, err := tr.Transform(prng.Rand, table)
 	if err != nil {
 		return nil, fmt.Errorf("gan: encoding table: %w", err)
 	}
@@ -122,13 +128,13 @@ func NewCentralized(table *encoding.Table, cfg Config) (*Centralized, error) {
 	cvW := sampler.Width()
 	c := &Centralized{
 		cfg:         cfg,
-		rng:         rng,
+		rng:         prng,
 		transformer: tr,
 		sampler:     sampler,
 		encoded:     enc,
 		specs:       table.Specs,
-		gen:         NewGenerator(rng, cfg.NoiseDim+cvW, cfg.BlockDim, cfg.GenBlocks, dataW),
-		disc:        NewDiscriminator(rng, (dataW+cvW)*cfg.Pac, cfg.BlockDim, cfg.DiscBlocks),
+		gen:         NewGenerator(prng.Rand, cfg.NoiseDim+cvW, cfg.BlockDim, cfg.GenBlocks, dataW),
+		disc:        NewDiscriminator(prng.Rand, (dataW+cvW)*cfg.Pac, cfg.BlockDim, cfg.DiscBlocks),
 		genOpt:      nn.NewAdam(cfg.LR),
 		discOpt:     nn.NewAdam(cfg.LR),
 	}
@@ -138,10 +144,16 @@ func NewCentralized(table *encoding.Table, cfg Config) (*Centralized, error) {
 // Transformer exposes the fitted feature encoder (for inspection/tests).
 func (c *Centralized) Transformer() *encoding.Transformer { return c.transformer }
 
-// Train runs the full WGAN-GP loop. The optional progress callback receives
-// (round, criticLoss, genLoss) once per round.
+// Round returns the number of completed training rounds.
+func (c *Centralized) Round() int { return c.round }
+
+// Train runs the full WGAN-GP loop, continuing from the current round
+// counter (0 on a fresh trainer, k after restoring a round-k checkpoint).
+// The optional progress callback receives (round, criticLoss, genLoss)
+// once per round.
 func (c *Centralized) Train(progress func(round int, dLoss, gLoss float64)) error {
-	for round := 0; round < c.cfg.Rounds; round++ {
+	for c.round < c.cfg.Rounds {
+		round := c.round
 		var dLoss float64
 		for step := 0; step < c.cfg.DiscSteps; step++ {
 			l, err := c.trainDiscStep()
@@ -154,6 +166,7 @@ func (c *Centralized) Train(progress func(round int, dLoss, gLoss float64)) erro
 		if err != nil {
 			return fmt.Errorf("gan: round %d generator step: %w", round, err)
 		}
+		c.round++
 		if progress != nil {
 			progress(round, dLoss, gLoss)
 		}
@@ -164,14 +177,14 @@ func (c *Centralized) Train(progress func(round int, dLoss, gLoss float64)) erro
 // generate runs the generator on a fresh batch, returning the activated
 // output, the raw output and the CV batch used.
 func (c *Centralized) generate(batch int, hard bool) (*ag.Value, *ag.Value, *condvec.Batch, error) {
-	cvb, err := c.sampler.Sample(c.rng, batch)
+	cvb, err := c.sampler.Sample(c.rng.Rand, batch)
 	if err != nil {
 		return nil, nil, nil, err
 	}
-	noise := SampleNoise(c.rng, batch, c.cfg.NoiseDim)
+	noise := SampleNoise(c.rng.Rand, batch, c.cfg.NoiseDim)
 	in := ag.Const(tensor.ConcatCols(noise, cvb.CV))
 	raw := c.gen.Forward(in, true)
-	activated := ActivateOutput(raw, c.transformer.Spans(), c.rng, hard)
+	activated := ActivateOutput(raw, c.transformer.Spans(), c.rng.Rand, hard)
 	return activated, raw, cvb, nil
 }
 
@@ -191,7 +204,7 @@ func (c *Centralized) trainDiscStep() (float64, error) {
 	realScores := c.disc.Forward(realIn, true)
 
 	loss := CriticLoss(fakeScores, realScores)
-	gp := GradientPenalty(c.rng, realIn.Data(), fakeIn.Data(), func(x *ag.Value) *ag.Value {
+	gp := GradientPenalty(c.rng.Rand, realIn.Data(), fakeIn.Data(), func(x *ag.Value) *ag.Value {
 		return c.disc.Forward(x, true)
 	})
 	total := ag.Add(loss, gp)
@@ -243,14 +256,14 @@ func (c *Centralized) Synthesize(n int) (*encoding.Table, error) {
 		if n-done < batch {
 			batch = n - done
 		}
-		cvb, err := c.sampler.SampleSynthesis(c.rng, batch)
+		cvb, err := c.sampler.SampleSynthesis(c.rng.Rand, batch)
 		if err != nil {
 			return nil, err
 		}
-		noise := SampleNoise(c.rng, batch, c.cfg.NoiseDim)
+		noise := SampleNoise(c.rng.Rand, batch, c.cfg.NoiseDim)
 		in := ag.Const(tensor.ConcatCols(noise, cvb.CV))
 		raw := c.gen.Forward(in, false)
-		act := ActivateOutput(raw, c.transformer.Spans(), c.rng, true)
+		act := ActivateOutput(raw, c.transformer.Spans(), c.rng.Rand, true)
 		for i := 0; i < batch; i++ {
 			copy(out.RawRow(done+i), act.Data().RawRow(i))
 		}
@@ -277,14 +290,14 @@ func (c *Centralized) SynthesizeCondition(n int, column, categoryLabel string) (
 		if n-done < batch {
 			batch = n - done
 		}
-		cvb, err := c.sampler.SampleFixed(c.rng, batch, spanIdx, category)
+		cvb, err := c.sampler.SampleFixed(c.rng.Rand, batch, spanIdx, category)
 		if err != nil {
 			return nil, err
 		}
-		noise := SampleNoise(c.rng, batch, c.cfg.NoiseDim)
+		noise := SampleNoise(c.rng.Rand, batch, c.cfg.NoiseDim)
 		in := ag.Const(tensor.ConcatCols(noise, cvb.CV))
 		raw := c.gen.Forward(in, false)
-		act := ActivateOutput(raw, c.transformer.Spans(), c.rng, true)
+		act := ActivateOutput(raw, c.transformer.Spans(), c.rng.Rand, true)
 		for i := 0; i < batch; i++ {
 			copy(out.RawRow(done+i), act.Data().RawRow(i))
 		}

@@ -1,0 +1,261 @@
+package gan
+
+// Checkpoint/restore for the centralized trainer. A snapshot captures the
+// complete training trajectory state — round counter, RNG stream, both
+// networks' weights and both Adam optimizers — so that restoring it into a
+// freshly built same-config trainer continues training byte-identically
+// (TestResumeReplayByteIdentical holds it to that). The feature encoders,
+// CV sampler and encoded table are deliberately NOT captured: they are
+// deterministic functions of (table, seed) replayed by NewCentralized, so
+// the snapshot stays model-sized instead of dataset-sized.
+
+import (
+	"fmt"
+	"os"
+
+	"repro/internal/nn"
+	"repro/internal/rng"
+	"repro/internal/snap"
+)
+
+// Section ids within a KindCentralized snapshot. The numbering is part of
+// the format; append only, and bump snap.Version on any payload change.
+const (
+	secCMeta    = 1
+	secCRNG     = 2
+	secCGen     = 3
+	secCDisc    = 4
+	secCGenOpt  = 5
+	secCDiscOpt = 6
+)
+
+// centralizedState names everything a centralized checkpoint captures.
+// Fields reference the live trainer; encode/decode below serialize every
+// one of them, and the snapstate lint rule fails the build if a field is
+// added here without being wired through both.
+//
+//snap:state
+type centralizedState struct {
+	// cfg is fingerprinted (Rounds excepted, so a resumed run may extend
+	// training) and verified on restore: resuming under different
+	// hyper-parameters would silently diverge from the original run.
+	cfg Config
+	// dataWidth and cvWidth pin the fitted encoder layout the weights
+	// assume.
+	dataWidth int
+	cvWidth   int
+	round     int
+	rng       *rng.Rand
+	gen       *nn.Sequential
+	disc      *nn.Sequential
+	genOpt    nn.AdamState
+	discOpt   nn.AdamState
+}
+
+// encodeConfigFingerprint writes the trajectory-relevant hyper-parameters.
+// Rounds is excluded: extending training on resume is legitimate and does
+// not change the trajectory up to the checkpoint.
+func encodeConfigFingerprint(e *snap.Enc, cfg Config) {
+	e.I64(int64(cfg.DiscSteps))
+	e.I64(int64(cfg.BatchSize))
+	e.I64(int64(cfg.NoiseDim))
+	e.I64(int64(cfg.BlockDim))
+	e.I64(int64(cfg.GenBlocks))
+	e.I64(int64(cfg.DiscBlocks))
+	e.F64(cfg.LR)
+	e.I64(int64(cfg.Pac))
+	e.I64(cfg.Seed)
+}
+
+// checkConfigFingerprint verifies a fingerprint written by
+// encodeConfigFingerprint against the live configuration.
+func checkConfigFingerprint(d *snap.Dec, cfg Config) error {
+	type field struct {
+		name      string
+		have, got float64
+	}
+	fields := []field{
+		{"disc-steps", float64(cfg.DiscSteps), float64(d.I64())},
+		{"batch", float64(cfg.BatchSize), float64(d.I64())},
+		{"noise-dim", float64(cfg.NoiseDim), float64(d.I64())},
+		{"block-dim", float64(cfg.BlockDim), float64(d.I64())},
+		{"gen-blocks", float64(cfg.GenBlocks), float64(d.I64())},
+		{"disc-blocks", float64(cfg.DiscBlocks), float64(d.I64())},
+		{"lr", cfg.LR, d.F64()},
+		{"pac", float64(cfg.Pac), float64(d.I64())},
+		{"seed", float64(cfg.Seed), float64(d.I64())},
+	}
+	if err := d.Err(); err != nil {
+		return err
+	}
+	for _, f := range fields {
+		// Exact comparison is the point: any drift in a trajectory-relevant
+		// hyper-parameter invalidates the checkpoint.
+		//lint:ignore floateq fingerprint fields must match bit-exactly; approximate equality would mask a config mismatch
+		if f.have != f.got {
+			return fmt.Errorf("gtvsnap: checkpoint %s %v does not match configured %v", f.name, f.got, f.have)
+		}
+	}
+	return nil
+}
+
+// encode serializes the state into a finished snapshot image.
+func (st *centralizedState) encode(b *snap.Builder) []byte {
+	b.Section(secCMeta, func(e *snap.Enc) {
+		e.I64(int64(st.round))
+		e.I64(int64(st.dataWidth))
+		e.I64(int64(st.cvWidth))
+		encodeConfigFingerprint(e, st.cfg)
+	})
+	b.Section(secCRNG, func(e *snap.Enc) {
+		s := st.rng.State()
+		e.U64s(s[:])
+	})
+	b.Section(secCGen, func(e *snap.Enc) { nn.EncodeParams(e, st.gen) })
+	b.Section(secCDisc, func(e *snap.Enc) { nn.EncodeParams(e, st.disc) })
+	b.Section(secCGenOpt, func(e *snap.Enc) { nn.EncodeAdamState(e, st.genOpt) })
+	b.Section(secCDiscOpt, func(e *snap.Enc) { nn.EncodeAdamState(e, st.discOpt) })
+	return b.Bytes()
+}
+
+// decode restores the state from a parsed snapshot, writing weights and
+// RNG state into the live objects the fields reference. On error the
+// trainer state is unspecified; rebuild before retrying.
+func (st *centralizedState) decode(s *snap.Snapshot) error {
+	if s.Kind != snap.KindCentralized {
+		return fmt.Errorf("gtvsnap: snapshot kind %d is not a centralized checkpoint", s.Kind)
+	}
+	d, err := s.Need(secCMeta, "meta")
+	if err != nil {
+		return err
+	}
+	st.round = int(d.I64())
+	dataW := int(d.I64())
+	cvW := int(d.I64())
+	if err := checkConfigFingerprint(d, st.cfg); err != nil {
+		return err
+	}
+	if err := d.Finish(); err != nil {
+		return err
+	}
+	if dataW != st.dataWidth || cvW != st.cvWidth {
+		return fmt.Errorf("gtvsnap: checkpoint encoder widths %d/%d do not match fitted %d/%d", dataW, cvW, st.dataWidth, st.cvWidth)
+	}
+
+	if d, err = s.Need(secCRNG, "rng"); err != nil {
+		return err
+	}
+	words := d.U64s()
+	if err := d.Finish(); err != nil {
+		return err
+	}
+	var rs rng.State
+	if len(words) != len(rs) {
+		return fmt.Errorf("gtvsnap: rng section holds %d state words, want %d", len(words), len(rs))
+	}
+	copy(rs[:], words)
+	st.rng.SetState(rs)
+
+	if d, err = s.Need(secCGen, "generator"); err != nil {
+		return err
+	}
+	if err := nn.RestoreParams(d, st.gen); err != nil {
+		return err
+	}
+	if err := d.Finish(); err != nil {
+		return err
+	}
+	if d, err = s.Need(secCDisc, "discriminator"); err != nil {
+		return err
+	}
+	if err := nn.RestoreParams(d, st.disc); err != nil {
+		return err
+	}
+	if err := d.Finish(); err != nil {
+		return err
+	}
+
+	if d, err = s.Need(secCGenOpt, "generator optimizer"); err != nil {
+		return err
+	}
+	st.genOpt = nn.DecodeAdamState(d)
+	if err := d.Finish(); err != nil {
+		return err
+	}
+	if d, err = s.Need(secCDiscOpt, "discriminator optimizer"); err != nil {
+		return err
+	}
+	st.discOpt = nn.DecodeAdamState(d)
+	return d.Finish()
+}
+
+// snapState gathers the live trainer into a state view.
+func (c *Centralized) snapState() *centralizedState {
+	return &centralizedState{
+		cfg:       c.cfg,
+		dataWidth: c.transformer.Width(),
+		cvWidth:   c.sampler.Width(),
+		round:     c.round,
+		rng:       c.rng,
+		gen:       c.gen,
+		disc:      c.disc,
+	}
+}
+
+// Snapshot serializes the trainer's complete trajectory state.
+func (c *Centralized) Snapshot() []byte {
+	st := c.snapState()
+	st.genOpt = c.genOpt.StateFor(c.gen.Params())
+	st.discOpt = c.discOpt.StateFor(c.disc.Params())
+	return st.encode(snap.NewBuilder(snap.KindCentralized))
+}
+
+// Restore reinstates a snapshot taken by Snapshot into a trainer built by
+// NewCentralized on the same table with the same configuration. On error
+// the trainer state is unspecified; rebuild before retrying.
+func (c *Centralized) Restore(data []byte) error {
+	s, err := snap.Decode(data)
+	if err != nil {
+		return err
+	}
+	st := c.snapState()
+	if err := st.decode(s); err != nil {
+		return err
+	}
+	if err := c.genOpt.Restore(c.gen.Params(), st.genOpt); err != nil {
+		return err
+	}
+	if err := c.discOpt.Restore(c.disc.Params(), st.discOpt); err != nil {
+		return err
+	}
+	c.round = st.round
+	return nil
+}
+
+// SaveCheckpoint atomically writes the current state into dir, named by
+// the completed round count, and returns the file path.
+func (c *Centralized) SaveCheckpoint(dir string) (string, error) {
+	path := snap.CheckpointPath(dir, c.round)
+	if err := snap.WriteFileAtomic(path, c.Snapshot()); err != nil {
+		return "", err
+	}
+	return path, nil
+}
+
+// RestoreLatestCheckpoint finds the newest checkpoint in dir and restores
+// it. ok is false when dir holds no checkpoint (the caller trains from
+// scratch).
+func (c *Centralized) RestoreLatestCheckpoint(dir string) (rounds int, ok bool, err error) {
+	path, _, ok, err := snap.LatestCheckpoint(dir)
+	if err != nil || !ok {
+		return 0, ok, err
+	}
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return 0, true, err
+	}
+	if err := c.Restore(data); err != nil {
+		return 0, true, fmt.Errorf("gan: restoring %s: %w", path, err)
+	}
+	return c.round, true, nil
+}

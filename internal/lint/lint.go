@@ -127,6 +127,7 @@ func Analyzers() []*Analyzer {
 		AnalyzerLockedField,
 		AnalyzerErrDrop,
 		AnalyzerPrivFlow,
+		AnalyzerSnapState,
 	}
 }
 

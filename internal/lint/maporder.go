@@ -10,12 +10,15 @@ import (
 // while (a) appending to a slice declared outside the loop, or (b)
 // accumulating into an order-sensitive value declared outside the loop —
 // float sums (addition is not associative), string concatenation, or any
-// self-referential update like `total = ag.Add(total, x)`. Go randomizes
-// map iteration order per run, so such loops make same-seed training
-// runs diverge. Integer and boolean accumulations are exact and
+// self-referential update like `total = ag.Add(total, x)` — or (c) drawing
+// from a pseudo-random stream, which pairs each key with a different slice
+// of the stream depending on the iteration order of the moment. Go
+// randomizes map iteration order per run, so such loops make same-seed
+// training runs diverge. Integer and boolean accumulations are exact and
 // order-independent, so they are exempt; appends followed by an explicit
 // sort of the same slice later in the function are recognized as the
-// collect-then-sort idiom and exempt too.
+// collect-then-sort idiom and exempt too, as are RNG constructors (an
+// independently seeded stream is order-safe).
 var AnalyzerMapOrder = &Analyzer{
 	Name: "maporder",
 	Doc:  "flag order-sensitive accumulation inside range-over-map loops",
@@ -47,6 +50,12 @@ func isMapType(t types.Type) bool {
 func checkMapRangeBody(p *Pass, rs *ast.RangeStmt, funcBody *ast.BlockStmt) {
 	info := p.Pkg.Info
 	ast.Inspect(rs.Body, func(n ast.Node) bool {
+		if call, ok := n.(*ast.CallExpr); ok {
+			if fn, ok := calleeObject(info, call).(*types.Func); ok && isRNGDraw(fn) {
+				p.Reportf(call.Pos(), "%s draws from the RNG inside range over a map: the stream is consumed in nondeterministic order; iterate sorted keys instead", fn.Name())
+			}
+			return true
+		}
 		st, ok := n.(*ast.AssignStmt)
 		if !ok {
 			return true
@@ -89,6 +98,30 @@ func checkMapRangeBody(p *Pass, rs *ast.RangeStmt, funcBody *ast.BlockStmt) {
 		}
 		return true
 	})
+}
+
+// isRNGDraw reports whether fn consumes a pseudo-random stream: any
+// function or method from math/rand (or this module's capturable wrapper)
+// except constructors, which seed an independent stream and are
+// order-safe. Drawing inside a map range hands each key a different slice
+// of the stream depending on the iteration order of the moment — the
+// split-assignment bug class, where every value drawn is individually
+// deterministic but their pairing with keys is not.
+func isRNGDraw(fn *types.Func) bool {
+	pkg := fn.Pkg()
+	if pkg == nil {
+		return false
+	}
+	switch pkg.Path() {
+	case "math/rand", "math/rand/v2", "repro/internal/rng":
+	default:
+		return false
+	}
+	switch fn.Name() {
+	case "New", "NewSource", "NewZipf", "NewPCG", "NewChaCha8", "Seed":
+		return false
+	}
+	return true
 }
 
 // declaredOutside reports whether obj's declaration precedes the range

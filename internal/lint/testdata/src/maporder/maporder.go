@@ -2,7 +2,10 @@
 // range-over-map loops.
 package maporder
 
-import "sort"
+import (
+	"math/rand"
+	"sort"
+)
 
 func badAppend(m map[string]int) []string {
 	var keys []string
@@ -57,6 +60,34 @@ func goodLoopLocal(m map[string][]float64) int {
 		}
 	}
 	return rows
+}
+
+func badRNGDraw(rng *rand.Rand, m map[int][]int) []int {
+	var picks []int
+	for _, rows := range m {
+		p := rng.Intn(len(rows)) // want "Intn draws from the RNG inside range over a map"
+		picks = append(picks, rows[p])
+	}
+	sort.Ints(picks)
+	return picks
+}
+
+func badRNGPackageLevel(m map[string]int) float64 {
+	var last float64
+	for range m {
+		last = rand.Float64() // want "Float64 draws from the RNG inside range over a map"
+	}
+	return last
+}
+
+func goodRNGConstruction(m map[string]int64) int {
+	n := 0
+	for _, seed := range m {
+		if rand.New(rand.NewSource(seed)) != nil { // seeding an independent stream is order-safe
+			n++
+		}
+	}
+	return n
 }
 
 func goodSliceRange(xs []float64) float64 {

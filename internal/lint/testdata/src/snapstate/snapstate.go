@@ -1,0 +1,74 @@
+// Package snapstate exercises the checkpoint-exhaustiveness rule: every
+// field of a //snap:state struct must be wired through both encode and
+// decode context, or carry a reasoned //snap:skip.
+package snapstate
+
+import "repro/internal/snap"
+
+// good is fully wired: two serialized fields and one reasoned skip.
+//
+//snap:state
+type good struct {
+	a int
+	b float64
+	// cache is rebuilt from a on restore.
+	//snap:skip derived from a
+	cache []int
+}
+
+func (g *good) encode(b *snap.Builder) []byte {
+	b.Section(1, func(e *snap.Enc) {
+		e.I64(int64(g.a))
+		e.F64(g.b)
+	})
+	return b.Bytes()
+}
+
+func (g *good) decode(s *snap.Snapshot) error {
+	d, err := s.Need(1, "meta")
+	if err != nil {
+		return err
+	}
+	g.a = int(d.I64())
+	g.b = d.F64()
+	return d.Finish()
+}
+
+// bad demonstrates every way a field can fall off the snapshot.
+//
+//snap:state
+type bad struct {
+	a         int
+	forgotten int     // want "field forgotten of snap:state struct bad is never serialized"
+	encOnly   float64 // want "field encOnly of snap:state struct bad is encoded but never decoded"
+	decOnly   float64 // want "field decOnly of snap:state struct bad is decoded but never encoded"
+}
+
+func encodeBad(e *snap.Enc, v *bad) {
+	e.I64(int64(v.a))
+	e.F64(v.encOnly)
+}
+
+// decodeBad rebuilds the struct through a composite literal: literal keys
+// count as decode-context field writes just like selector assignments.
+func decodeBad(d *snap.Dec) bad {
+	return bad{
+		a:       int(d.I64()),
+		decOnly: d.F64(),
+	}
+}
+
+// plain has no //snap:state marker, so nothing here is checked.
+type plain struct {
+	unserialized int
+}
+
+// touch keeps the fixture type-checking without unused-symbol noise.
+func touch(g *good, d *snap.Dec) (bad, plain) {
+	b := snap.NewBuilder(snap.KindCentralized)
+	_ = g.encode(b)
+	return decodeBad(d), plain{unserialized: 0}
+}
+
+var _ = touch
+var _ = encodeBad

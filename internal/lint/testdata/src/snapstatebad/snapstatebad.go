@@ -1,0 +1,19 @@
+// Package snapstatebad holds the //snap:skip form a want comment cannot
+// annotate inline: trailing text after the directive would parse as the
+// skip reason, so the expectation lives in TestSnapStateSkipNeedsReason.
+package snapstatebad
+
+import "repro/internal/snap"
+
+//snap:state
+type state struct {
+	a int
+	//snap:skip
+	b int
+}
+
+func enc(e *snap.Enc, s *state) { e.I64(int64(s.a)) }
+func dec(d *snap.Dec, s *state) { s.a = int(d.I64()) }
+
+var _ = enc
+var _ = dec

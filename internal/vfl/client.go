@@ -11,6 +11,7 @@ import (
 	"repro/internal/gan"
 	"repro/internal/gmm"
 	"repro/internal/nn"
+	"repro/internal/rng"
 	"repro/internal/tensor"
 )
 
@@ -116,6 +117,16 @@ type Client interface {
 	// shared publication seed) and returns the client's synthetic columns.
 	//privacy:sink synthetic columns published to the server
 	Publish() (*encoding.Table, error)
+	// Snapshot serializes the client's bottom-model trajectory state (a
+	// KindClient gtvsnap image) for the server's checkpoint. The blob
+	// carries weights, optimizer moments and RNG state only — never the
+	// table, encoded matrix or CV sampler, which stay client-side and are
+	// rebuilt deterministically on restore.
+	//privacy:sink bottom-model checkpoint blob stored by the server
+	Snapshot() ([]byte, error)
+	// Restore reinstates a Snapshot blob into a freshly constructed,
+	// already Configure'd client over the same data and seed.
+	Restore(state []byte) error
 }
 
 // LocalClient is the in-process GTV client: it owns a vertical slice of the
@@ -133,7 +144,11 @@ type LocalClient struct {
 	//privacy:source client encoded matrix
 	encoded *tensor.Dense
 	coord   *ShuffleCoordinator
-	rng     *rand.Rand
+	rng     *rng.Rand
+	// modelRng seeds Configure's weight initialization and keeps feeding
+	// the bottom discriminator's dropout masks during training; snapshots
+	// capture its stream position alongside rng's.
+	modelRng *rng.Rand
 
 	setup   Setup
 	gen     *nn.Sequential
@@ -151,6 +166,11 @@ type LocalClient struct {
 
 	synthBuf []*tensor.Dense
 	pubCount int
+	// shuffles counts applied end-of-round shuffles. Together with the
+	// round-derived seeds it fully determines the current row order, which
+	// is how a checkpoint can capture "shuffle state" without ever
+	// serializing rows: restore replays the permutations locally.
+	shuffles int
 }
 
 var _ Client = (*LocalClient)(nil)
@@ -165,8 +185,8 @@ func NewLocalClient(table *encoding.Table, coord *ShuffleCoordinator, seed int64
 	if coord == nil {
 		return nil, errors.New("vfl: client requires a shuffle coordinator")
 	}
-	rng := rand.New(rand.NewSource(seed))
-	tr, err := encoding.FitTransformer(rng, table, gmm.DefaultConfig())
+	prng := rng.New(seed)
+	tr, err := encoding.FitTransformer(prng.Rand, table, gmm.DefaultConfig())
 	if err != nil {
 		return nil, fmt.Errorf("vfl: fitting client transformer: %w", err)
 	}
@@ -174,7 +194,7 @@ func NewLocalClient(table *encoding.Table, coord *ShuffleCoordinator, seed int64
 	if err != nil {
 		return nil, fmt.Errorf("vfl: building client CV sampler: %w", err)
 	}
-	enc, err := tr.Transform(rng, table)
+	enc, err := tr.Transform(prng.Rand, table)
 	if err != nil {
 		return nil, fmt.Errorf("vfl: encoding client table: %w", err)
 	}
@@ -184,7 +204,7 @@ func NewLocalClient(table *encoding.Table, coord *ShuffleCoordinator, seed int64
 		sampler:     sampler,
 		encoded:     enc,
 		coord:       coord,
-		rng:         rng,
+		rng:         prng,
 	}, nil
 }
 
@@ -210,7 +230,11 @@ func (c *LocalClient) Configure(s Setup) error {
 		return fmt.Errorf("vfl: invalid learning rate %v", s.LR)
 	}
 	c.setup = s
-	initRng := rand.New(rand.NewSource(s.Seed))
+	// The layers retain this generator: dropout masks inside the bottom
+	// discriminator keep drawing from it every round, so it lives on the
+	// client (capturable) instead of being a constructor-local throwaway.
+	c.modelRng = rng.New(s.Seed)
+	initRng := c.modelRng.Rand
 
 	// Bottom generator: n2 residual blocks then the mandatory output FC.
 	c.gen = gan.NewGenerator(initRng, s.SliceWidth, s.GenBlockWidth, s.Plan.GenClient, c.transformer.Width())
@@ -245,9 +269,9 @@ func (c *LocalClient) SampleCV(batch int, synthesis bool) (*condvec.Batch, error
 		err error
 	)
 	if synthesis {
-		b, err = c.sampler.SampleSynthesis(c.rng, batch)
+		b, err = c.sampler.SampleSynthesis(c.rng.Rand, batch)
 	} else {
-		b, err = c.sampler.Sample(c.rng, batch)
+		b, err = c.sampler.Sample(c.rng.Rand, batch)
 	}
 	if err != nil {
 		return nil, err
@@ -262,7 +286,7 @@ func (c *LocalClient) SampleCV(batch int, synthesis bool) (*condvec.Batch, error
 
 // SampleCVFixed implements Client.
 func (c *LocalClient) SampleCVFixed(batch, spanIdx, category int) (*condvec.Batch, error) {
-	b, err := c.sampler.SampleFixed(c.rng, batch, spanIdx, category)
+	b, err := c.sampler.SampleFixed(c.rng.Rand, batch, spanIdx, category)
 	if err != nil {
 		return nil, err
 	}
@@ -291,7 +315,7 @@ func (c *LocalClient) ForwardSynthetic(slice *tensor.Dense, phase Phase) (*tenso
 		// activated output is retained so BackwardDisc can recycle the
 		// generator forward graph along with the critic's.
 		raw := c.gen.Forward(ag.Const(slice), true)
-		activated := gan.ActivateOutput(raw, c.transformer.Spans(), c.rng, false)
+		activated := gan.ActivateOutput(raw, c.transformer.Spans(), c.rng.Rand, false)
 		c.lastSliceVar = nil
 		c.lastRawGen = nil
 		c.lastDiscGen = activated
@@ -301,7 +325,7 @@ func (c *LocalClient) ForwardSynthetic(slice *tensor.Dense, phase Phase) (*tenso
 		// slice so the gradient can flow back to the server's G^t.
 		c.lastSliceVar = ag.Var(slice)
 		c.lastRawGen = c.gen.Forward(c.lastSliceVar, true)
-		activated := gan.ActivateOutput(c.lastRawGen, c.transformer.Spans(), c.rng, false)
+		activated := gan.ActivateOutput(c.lastRawGen, c.transformer.Spans(), c.rng.Rand, false)
 		c.lastSynthOut = c.disc.Forward(activated, true)
 	default:
 		return nil, fmt.Errorf("vfl: invalid phase %d", phase)
@@ -391,6 +415,7 @@ func (c *LocalClient) EndRound(round int) error {
 	if err := c.sampler.Reindex(perm); err != nil {
 		return fmt.Errorf("vfl: reindexing CV sampler: %w", err)
 	}
+	c.shuffles++
 	return nil
 }
 
@@ -400,7 +425,7 @@ func (c *LocalClient) GenerateRows(slice *tensor.Dense) error {
 		return err
 	}
 	raw := c.gen.Forward(ag.Const(slice), false)
-	activated := gan.ActivateOutput(raw, c.transformer.Spans(), c.rng, true)
+	activated := gan.ActivateOutput(raw, c.transformer.Spans(), c.rng.Rand, true)
 	c.synthBuf = append(c.synthBuf, activated.Data())
 	return nil
 }

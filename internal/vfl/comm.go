@@ -83,6 +83,15 @@ func (a *commAccount) add(f func(*CommStats)) {
 	a.mu.Unlock()
 }
 
+// restore overwrites the accumulated stats with a checkpointed copy, so a
+// resumed run's communication accounting continues where the original
+// left off instead of restarting from zero.
+func (a *commAccount) restore(st CommStats) {
+	a.mu.Lock()
+	a.stats = st
+	a.mu.Unlock()
+}
+
 // snapshot returns a consistent copy of the accumulated stats. Byte
 // counters aggregate over whole matrices and rounds; they carry shapes,
 // never values.

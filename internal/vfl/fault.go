@@ -214,6 +214,22 @@ func (f *FaultyTransport) Publish() (*encoding.Table, error) {
 	return f.Inner.Publish()
 }
 
+// Snapshot implements Client.
+func (f *FaultyTransport) Snapshot() ([]byte, error) {
+	if err := f.before("Snapshot"); err != nil {
+		return nil, err
+	}
+	return f.Inner.Snapshot()
+}
+
+// Restore implements Client.
+func (f *FaultyTransport) Restore(state []byte) error {
+	if err := f.before("Restore"); err != nil {
+		return err
+	}
+	return f.Inner.Restore(state)
+}
+
 // WireBytes forwards the inner transport's connection-byte counter (zero
 // when the inner client does not measure one), so fault-injection stacks
 // keep exact CommStats.WireBytes accounting.

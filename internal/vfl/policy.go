@@ -231,6 +231,17 @@ func (c *policyClient) Publish() (*encoding.Table, error) {
 	return callWithPolicy(c.policy, c.what("Publish"), nil, c.inner.Publish)
 }
 
+func (c *policyClient) Snapshot() ([]byte, error) {
+	return callWithPolicy(c.policy, c.what("Snapshot"), nil, c.inner.Snapshot)
+}
+
+func (c *policyClient) Restore(state []byte) error {
+	_, err := callWithPolicy(c.policy, c.what("Restore"), nil, func() (struct{}, error) {
+		return struct{}{}, c.inner.Restore(state)
+	})
+	return err
+}
+
 // WireBytes forwards the inner transport's connection-byte counter (zero
 // when the inner client does not measure one), so policy wrappers keep
 // exact CommStats.WireBytes accounting.

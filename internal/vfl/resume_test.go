@@ -1,0 +1,210 @@
+package vfl
+
+import (
+	"bytes"
+	"net"
+	"testing"
+
+	"repro/internal/encoding"
+)
+
+// trainRounds drives a system for its configured number of rounds.
+func trainRounds(t *testing.T, s *Server, label string) {
+	t.Helper()
+	if err := s.Train(nil); err != nil {
+		t.Fatalf("Train(%s): %v", label, err)
+	}
+}
+
+// synthCSVBytes renders a synthesis run to CSV bytes for exact comparison.
+// Synthesis consumes the server and client RNG streams and reads the
+// BatchNorm running statistics, none of which a weight comparison covers.
+func synthCSVBytes(t *testing.T, s *Server, label string, n int) []byte {
+	t.Helper()
+	tbl, err := s.Synthesize(n)
+	if err != nil {
+		t.Fatalf("Synthesize(%s): %v", label, err)
+	}
+	var buf bytes.Buffer
+	if err := encoding.WriteCSV(&buf, tbl); err != nil {
+		t.Fatalf("WriteCSV(%s): %v", label, err)
+	}
+	return buf.Bytes()
+}
+
+// assertSystemsEqual compares every model of two federations exactly:
+// the server's top models and each client's bottom models.
+func assertSystemsEqual(t *testing.T, a, b *Server, ca, cb []*LocalClient) {
+	t.Helper()
+	assertParamsEqual(t, "gTop", a.gTop, b.gTop)
+	assertParamsEqual(t, "dTop", a.dTop, b.dTop)
+	assertParamsEqual(t, "dS", a.dS, b.dS)
+	for i := range ca {
+		assertParamsEqual(t, "client gen", ca[i].gen, cb[i].gen)
+		assertParamsEqual(t, "client disc", ca[i].disc, cb[i].disc)
+	}
+}
+
+// TestResumeReplayByteIdentical kills federated training at round k,
+// checkpoints the whole federation (server state plus per-client blobs
+// fetched over the Client interface), restores it into a freshly built
+// same-seed federation, trains to completion, and requires the final
+// weights of every party and the CommStats accounting to equal an
+// uninterrupted same-seed run exactly. This is the strongest statement the
+// snapshot format can make: nothing the trajectory depends on — RNG
+// streams, Adam moments, shuffle progress, round counters — escaped it.
+func TestResumeReplayByteIdentical(t *testing.T) {
+	const fullRounds, cutAt = 4, 2
+
+	srvFull, clientsFull := newThreeClientSystem(t, 0, func(c *Config) { c.Rounds = fullRounds })
+	trainRounds(t, srvFull, "full")
+	wantStats := srvFull.CommStats()
+
+	// Interrupted run: train to the cut point and checkpoint to disk.
+	dir := t.TempDir()
+	srvA, _ := newThreeClientSystem(t, 0, func(c *Config) { c.Rounds = cutAt })
+	trainRounds(t, srvA, "interrupted")
+	if _, err := srvA.SaveCheckpoint(dir); err != nil {
+		t.Fatalf("SaveCheckpoint: %v", err)
+	}
+
+	// Fresh same-seed federation, restored from disk, trained to the end.
+	srvB, clientsB := newThreeClientSystem(t, 0, func(c *Config) { c.Rounds = fullRounds })
+	rounds, ok, err := srvB.RestoreLatestCheckpoint(dir)
+	if err != nil {
+		t.Fatalf("RestoreLatestCheckpoint: %v", err)
+	}
+	if !ok || rounds != cutAt {
+		t.Fatalf("RestoreLatestCheckpoint = (%d, %v), want (%d, true)", rounds, ok, cutAt)
+	}
+	trainRounds(t, srvB, "resumed")
+
+	assertSystemsEqual(t, srvFull, srvB, clientsFull, clientsB)
+	if gotStats := srvB.CommStats(); gotStats != wantStats {
+		t.Fatalf("resumed CommStats %v differ from uninterrupted %v", gotStats, wantStats)
+	}
+	if srvB.Rounds() != fullRounds {
+		t.Fatalf("resumed round counter %d, want %d", srvB.Rounds(), fullRounds)
+	}
+	wantSynth := synthCSVBytes(t, srvFull, "full", 40)
+	if gotSynth := synthCSVBytes(t, srvB, "resumed", 40); !bytes.Equal(gotSynth, wantSynth) {
+		t.Fatal("resumed federation synthesizes different data than uninterrupted same-seed run")
+	}
+}
+
+// TestResumeReplayParallelismIndependent checkpoints under sequential
+// fan-out and resumes under full concurrency: Parallelism is excluded
+// from the fingerprint because training is bit-identical across fan-out
+// bounds, and resume must preserve that.
+func TestResumeReplayParallelismIndependent(t *testing.T) {
+	const fullRounds, cutAt = 3, 1
+
+	srvFull, clientsFull := newThreeClientSystem(t, 1, func(c *Config) { c.Rounds = fullRounds })
+	trainRounds(t, srvFull, "full")
+
+	dir := t.TempDir()
+	srvA, _ := newThreeClientSystem(t, 1, func(c *Config) { c.Rounds = cutAt })
+	trainRounds(t, srvA, "interrupted")
+	if _, err := srvA.SaveCheckpoint(dir); err != nil {
+		t.Fatalf("SaveCheckpoint: %v", err)
+	}
+
+	srvB, clientsB := newThreeClientSystem(t, 0, func(c *Config) { c.Rounds = fullRounds })
+	if _, ok, err := srvB.RestoreLatestCheckpoint(dir); err != nil || !ok {
+		t.Fatalf("RestoreLatestCheckpoint = (ok %v, err %v)", ok, err)
+	}
+	trainRounds(t, srvB, "resumed")
+	assertSystemsEqual(t, srvFull, srvB, clientsFull, clientsB)
+}
+
+// TestSnapshotOverWire round-trips the new Snapshot/Restore methods
+// through the gtvwire binary transport: the blob fetched over the wire is
+// byte-equal to the one taken in-process, and restoring through the proxy
+// reinstates the remote client's state (weights and replayed row order).
+func TestSnapshotOverWire(t *testing.T) {
+	srv, locals := newThreeClientSystem(t, 0, func(c *Config) { c.Rounds = 1 })
+	trainRounds(t, srv, "origin")
+
+	serve := func(c Client) *WireClient {
+		t.Helper()
+		lis, err := net.Listen("tcp", "127.0.0.1:0")
+		if err != nil {
+			t.Fatalf("listen: %v", err)
+		}
+		go func() {
+			//lint:ignore errdrop the serve loop ends when the test closes the listener
+			_ = ServeClientWire(lis, c)
+		}()
+		proxy, err := DialWireClient("tcp", lis.Addr().String())
+		if err != nil {
+			t.Fatalf("dial: %v", err)
+		}
+		t.Cleanup(func() {
+			//lint:ignore errdrop test teardown, nothing left to lose
+			_ = proxy.Close()
+			//lint:ignore errdrop test teardown, nothing left to lose
+			_ = lis.Close()
+		})
+		return proxy
+	}
+
+	direct, err := locals[0].Snapshot()
+	if err != nil {
+		t.Fatalf("Snapshot(direct): %v", err)
+	}
+	viaWire, err := serve(locals[0]).Snapshot()
+	if err != nil {
+		t.Fatalf("Snapshot(wire): %v", err)
+	}
+	if !bytes.Equal(direct, viaWire) {
+		t.Fatal("wire-fetched snapshot blob differs from the in-process one")
+	}
+
+	// A fresh same-seed federation; restore client 0's blob through the
+	// wire and compare the reinstated state against the original.
+	_, fresh := newThreeClientSystem(t, 0, func(c *Config) { c.Rounds = 1 })
+	if err := serve(fresh[0]).Restore(viaWire); err != nil {
+		t.Fatalf("Restore(wire): %v", err)
+	}
+	assertParamsEqual(t, "restored gen", locals[0].gen, fresh[0].gen)
+	assertParamsEqual(t, "restored disc", locals[0].disc, fresh[0].disc)
+	a, b := locals[0].Table().Data, fresh[0].Table().Data
+	if a.Rows() != b.Rows() || a.Cols() != b.Cols() {
+		t.Fatalf("restored table shape %dx%d, want %dx%d", b.Rows(), b.Cols(), a.Rows(), a.Cols())
+	}
+	for i := 0; i < a.Rows(); i++ {
+		for j := 0; j < a.Cols(); j++ {
+			if a.At(i, j) != b.At(i, j) { //lint:ignore floateq replayed row order must match bit-exactly
+				t.Fatalf("restored table differs at (%d,%d)", i, j)
+			}
+		}
+	}
+}
+
+// TestRestoreRejectsMismatch pins the guard rails: a client blob cannot
+// restore into a server slot, and a client that has already trained
+// refuses restoration (the shuffle replay would double-apply).
+func TestRestoreRejectsMismatch(t *testing.T) {
+	srv, locals := newThreeClientSystem(t, 0, func(c *Config) { c.Rounds = 1 })
+	trainRounds(t, srv, "origin")
+
+	blob, err := locals[0].Snapshot()
+	if err != nil {
+		t.Fatalf("Snapshot: %v", err)
+	}
+	srvData, err := srv.Snapshot()
+	if err != nil {
+		t.Fatalf("server Snapshot: %v", err)
+	}
+
+	if err := srv.Restore(blob); err == nil {
+		t.Fatal("server Restore accepted a client blob")
+	}
+	_, fresh := newThreeClientSystem(t, 0, func(c *Config) { c.Rounds = 1 })
+	if err := fresh[0].Restore(srvData); err == nil {
+		t.Fatal("client Restore accepted a server snapshot")
+	}
+	if err := locals[0].Restore(blob); err == nil {
+		t.Fatal("Restore accepted a client that has already trained")
+	}
+}

@@ -189,6 +189,21 @@ func (s *ClientService) GenerateRows(slice WireMatrix, _ *Empty) error {
 	return s.client.GenerateRows(FromWire(slice))
 }
 
+// Snapshot handles the checkpoint-capture RPC.
+func (s *ClientService) Snapshot(_ Empty, reply *[]byte) error {
+	blob, err := s.client.Snapshot()
+	if err != nil {
+		return err
+	}
+	*reply = blob
+	return nil
+}
+
+// Restore handles the checkpoint-restore RPC.
+func (s *ClientService) Restore(state []byte, _ *Empty) error {
+	return s.client.Restore(state)
+}
+
 // Publish handles the publication RPC.
 func (s *ClientService) Publish(_ Empty, reply *WireTable) error {
 	t, err := s.client.Publish()
@@ -412,6 +427,17 @@ func (c *RPCClient) EndRound(round int) error {
 // GenerateRows implements Client.
 func (c *RPCClient) GenerateRows(slice *tensor.Dense) error {
 	_, err := callRPC[Empty](c, "GTVClient.GenerateRows", ToWire(slice))
+	return err
+}
+
+// Snapshot implements Client.
+func (c *RPCClient) Snapshot() ([]byte, error) {
+	return callRPC[[]byte](c, "GTVClient.Snapshot", Empty{})
+}
+
+// Restore implements Client.
+func (c *RPCClient) Restore(state []byte) error {
+	_, err := callRPC[Empty](c, "GTVClient.Restore", state)
 	return err
 }
 

@@ -3,12 +3,12 @@ package vfl
 import (
 	"errors"
 	"fmt"
-	"math/rand"
 
 	ag "repro/internal/autograd"
 	"repro/internal/encoding"
 	"repro/internal/gan"
 	"repro/internal/nn"
+	"repro/internal/rng"
 	"repro/internal/tensor"
 )
 
@@ -115,11 +115,15 @@ func (c *Config) validate() error {
 // faithful mode) which rows matched a conditional vector on clients other
 // than the contributor.
 type Server struct {
-	cfg     Config
-	rng     *rand.Rand
-	clients []Client
-	infos   []ClientInfo
-	ratios  []float64
+	cfg Config
+	rng *rng.Rand
+	// modelRng seeds weight initialization and keeps feeding the top
+	// discriminator's dropout masks during training, so checkpoints must
+	// capture its stream position alongside rng's.
+	modelRng *rng.Rand
+	clients  []Client
+	infos    []ClientInfo
+	ratios   []float64
 
 	sliceWidths []int // generator boundary split (sums to GenBlockDim)
 	discWidths  []int // client logit widths (sums to BlockDim)
@@ -155,7 +159,7 @@ func NewServer(clients []Client, cfg Config) (*Server, error) {
 	}
 	s := &Server{
 		cfg:     cfg,
-		rng:     rand.New(rand.NewSource(cfg.Seed)),
+		rng:     rng.New(cfg.Seed),
 		clients: clients,
 		infos:   make([]ClientInfo, len(clients)),
 	}
@@ -200,7 +204,11 @@ func NewServer(clients []Client, cfg Config) (*Server, error) {
 	// the GenBlockDim-wide vector that Split partitions by P_r. D^t: n3 FN
 	// blocks then the mandatory score FC. D^s: a small trainable filter on
 	// the conditional vector.
-	initRng := rand.New(rand.NewSource(cfg.Seed + 1))
+	// The layers retain this generator: dropout masks inside D^t keep
+	// drawing from it every round, which is why it lives on the Server (a
+	// capturable rng.Rand) instead of being a constructor-local throwaway.
+	s.modelRng = rng.New(cfg.Seed + 1)
+	initRng := s.modelRng.Rand
 	s.gTop = gan.NewGenerator(initRng, cfg.NoiseDim+s.cvWidth, cfg.GenBlockDim, cfg.Plan.GenServer, cfg.GenBlockDim)
 	dsOut := 0
 	if s.cvWidth > 0 {
@@ -259,7 +267,10 @@ func (s *Server) SliceWidths() []int { return s.sliceWidths }
 // Train runs the full Algorithm 1 loop. The optional progress callback
 // receives (round, criticLoss, generatorLoss) once per round.
 func (s *Server) Train(progress func(round int, dLoss, gLoss float64)) error {
-	for r := 0; r < s.cfg.Rounds; r++ {
+	// Starting from s.round rather than zero makes the loop resume-aware:
+	// a restored checkpoint sets s.round to the rounds already completed.
+	for s.round < s.cfg.Rounds {
+		r := s.round
 		dLoss, gLoss, err := s.TrainRound()
 		if err != nil {
 			return fmt.Errorf("vfl: round %d: %w", r, err)
@@ -331,7 +342,7 @@ func (s *Server) generatorForward(batch int, train bool) (p int, cvRows []int, g
 	}
 	globalCV = s.embedCV(cvb.CV, p)
 	s.comm.add(func(c *CommStats) { c.CVBytes += matrixBytes(cvb.CV.Rows(), cvb.CV.Cols()) })
-	noise := gan.SampleNoise(s.rng, batch, s.cfg.NoiseDim)
+	noise := gan.SampleNoise(s.rng.Rand, batch, s.cfg.NoiseDim)
 	gin := tensor.ConcatCols(noise, globalCV)
 	gtOut = s.gTop.Forward(ag.Const(gin), train)
 	slices = gtOut.Data().SplitCols(s.sliceWidths)
@@ -351,7 +362,7 @@ func (s *Server) drawDPNoise(rows, cols int) *tensor.Dense {
 	if s.cfg.DPLogitNoise <= 0 {
 		return nil
 	}
-	return tensor.Randn(s.rng, rows, cols, 0, s.cfg.DPLogitNoise)
+	return tensor.Randn(s.rng.Rand, rows, cols, 0, s.cfg.DPLogitNoise)
 }
 
 // perturb applies a pre-drawn DP noise matrix to an incoming intermediate
@@ -427,7 +438,7 @@ func (s *Server) discStep() (float64, error) {
 	fakeScores := s.dTop.Forward(fakePacked, true)
 	realScores := s.dTop.Forward(realPacked, true)
 	loss := gan.CriticLoss(fakeScores, realScores)
-	gp := gan.GradientPenalty(s.rng, realPacked.Data(), fakePacked.Data(), func(x *ag.Value) *ag.Value {
+	gp := gan.GradientPenalty(s.rng.Rand, realPacked.Data(), fakePacked.Data(), func(x *ag.Value) *ag.Value {
 		return s.dTop.Forward(x, true)
 	})
 	total := ag.Add(loss, gp)
@@ -668,7 +679,7 @@ func (s *Server) SynthesizeCondition(n, p, spanIdx, category int) (*encoding.Tab
 		}
 		globalCV := s.embedCV(cvb.CV, p)
 		s.comm.add(func(c *CommStats) { c.CVBytes += matrixBytes(cvb.CV.Rows(), cvb.CV.Cols()) })
-		noise := gan.SampleNoise(s.rng, batch, s.cfg.NoiseDim)
+		noise := gan.SampleNoise(s.rng.Rand, batch, s.cfg.NoiseDim)
 		gin := tensor.ConcatCols(noise, globalCV)
 		gtOut := s.gTop.Forward(ag.Const(gin), false)
 		slices := gtOut.Data().SplitCols(s.sliceWidths)

@@ -77,6 +77,8 @@ const (
 	wireMethodEndRound
 	wireMethodGenerateRows
 	wireMethodPublish
+	wireMethodSnapshot
+	wireMethodRestore
 )
 
 // wireMethodName names a method id in error messages.
@@ -104,6 +106,10 @@ func wireMethodName(m byte) string {
 		return "GenerateRows"
 	case wireMethodPublish:
 		return "Publish"
+	case wireMethodSnapshot:
+		return "Snapshot"
+	case wireMethodRestore:
+		return "Restore"
 	}
 	return fmt.Sprintf("method#%d", m)
 }

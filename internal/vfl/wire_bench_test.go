@@ -37,6 +37,8 @@ func (c *echoClient) BackwardGen(*tensor.Dense, bool) (*tensor.Dense, error) {
 }
 func (c *echoClient) EndRound(int) error               { return nil }
 func (c *echoClient) GenerateRows(*tensor.Dense) error { return nil }
+func (c *echoClient) Snapshot() ([]byte, error)        { return nil, nil }
+func (c *echoClient) Restore([]byte) error             { return nil }
 func (c *echoClient) Publish() (*encoding.Table, error) {
 	return nil, fmt.Errorf("echo client has no table")
 }

@@ -370,6 +370,19 @@ func (c *WireClient) GenerateRows(slice *tensor.Dense) error {
 	return err
 }
 
+// Snapshot implements Client: it fetches the remote client's checkpoint
+// blob, an opaque KindClient gtvsnap image.
+func (c *WireClient) Snapshot() ([]byte, error) {
+	return wireCall(c, wireMethodSnapshot, false, nil, func(d *wireDec) []byte { return d.bytes() })
+}
+
+// Restore implements Client: it ships a checkpoint blob back to the
+// remote client for reinstatement.
+func (c *WireClient) Restore(state []byte) error {
+	_, err := wireCall[struct{}](c, wireMethodRestore, false, func(e *wireEnc) { e.bytes(state) }, nil)
+	return err
+}
+
 // Publish implements Client.
 func (c *WireClient) Publish() (*encoding.Table, error) {
 	reply, err := wireCall(c, wireMethodPublish, false, nil, func(d *wireDec) *encoding.Table {

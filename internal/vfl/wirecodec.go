@@ -62,6 +62,12 @@ func (e *wireEnc) str(s string) {
 	e.buf = append(e.buf, s...)
 }
 
+// bytes appends a length-prefixed opaque byte string (checkpoint blobs).
+func (e *wireEnc) bytes(b []byte) {
+	e.u32(uint32(len(b)))
+	e.buf = append(e.buf, b...)
+}
+
 func (e *wireEnc) ints(v []int) {
 	e.u32(uint32(len(v)))
 	for _, x := range v {
@@ -245,6 +251,20 @@ func (d *wireDec) str() string {
 		return ""
 	}
 	return string(b)
+}
+
+// bytes decodes a length-prefixed opaque byte string into a fresh copy:
+// the frame buffer it would otherwise alias is pooled and reused as soon
+// as the call dispatches.
+func (d *wireDec) bytes() []byte {
+	n := d.u32()
+	b := d.take(int(n))
+	if b == nil {
+		return nil
+	}
+	out := make([]byte, len(b))
+	copy(out, b)
+	return out
 }
 
 func (d *wireDec) ints() []int {

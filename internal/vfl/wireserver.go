@@ -296,6 +296,24 @@ func dispatchWireMethod(c Client, slices *wireSliceTracker, method byte, f32 boo
 		}
 		enc.table(t, false)
 		return nil
+
+	case wireMethodSnapshot:
+		if err := dec.finish(); err != nil {
+			return err
+		}
+		blob, err := c.Snapshot()
+		if err != nil {
+			return err
+		}
+		enc.bytes(blob)
+		return nil
+
+	case wireMethodRestore:
+		state := dec.bytes()
+		if err := dec.finish(); err != nil {
+			return err
+		}
+		return c.Restore(state)
 	}
 	return fmt.Errorf("gtvwire: unknown method id %d", method)
 }
