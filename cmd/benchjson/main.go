@@ -22,6 +22,9 @@ type result struct {
 	NsPerOp     float64 `json:"ns_per_op"`
 	BytesPerOp  *int64  `json:"bytes_per_op,omitempty"`
 	AllocsPerOp *int64  `json:"allocs_per_op,omitempty"`
+	// Extra holds custom b.ReportMetric units (e.g. "wire_bytes/op") and
+	// any other per-op/per-second figures the standard fields don't cover.
+	Extra map[string]float64 `json:"extra,omitempty"`
 }
 
 func main() {
@@ -72,6 +75,13 @@ func parse(line string) (result, bool) {
 		case "allocs/op":
 			a := int64(v)
 			r.AllocsPerOp = &a
+		default:
+			if strings.Contains(fields[i+1], "/") {
+				if r.Extra == nil {
+					r.Extra = make(map[string]float64)
+				}
+				r.Extra[fields[i+1]] = v
+			}
 		}
 	}
 	if r.NsPerOp <= 0 {

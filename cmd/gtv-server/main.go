@@ -45,6 +45,8 @@ func run(args []string) error {
 		callWait   = fs.Duration("call-backoff", 50*time.Millisecond, "initial backoff between RPC retries (doubles per retry)")
 		wire       = fs.String("wire", "gob", "wire protocol to the clients: gob (net/rpc) | binary (gtvwire frames, pipelined); must match the clients' -wire")
 		wireF32    = fs.Bool("wire-f32", false, "send activations/gradients as float32 on the binary wire")
+		wireTopK   = fs.Float64("wire-topk", 0, "keep only this fraction of each outbound gradient (top-k with error feedback; lossy, 0 = off)")
+		wireDelta  = fs.Bool("wire-delta", false, "fetch client checkpoints as deltas against the previous fetch on the binary wire (lossless)")
 		faithful   = fs.Bool("faithful-real-pass", false, "use the paper's full-local-pass index privacy mode")
 		synthRows  = fs.Int("synth-rows", 500, "synthetic rows to generate after training")
 		synthOut   = fs.String("synth-out", "synthetic.csv", "output CSV path")
@@ -69,6 +71,9 @@ func run(args []string) error {
 	if *wireF32 && *wire != "binary" {
 		return fmt.Errorf("-wire-f32 requires -wire binary, got %q", *wire)
 	}
+	if *wireDelta && *wire != "binary" {
+		return fmt.Errorf("-wire-delta requires -wire binary, got %q", *wire)
+	}
 	addrs := strings.Split(*clientsArg, ",")
 	clients := make([]vfl.Client, len(addrs))
 	for i, addr := range addrs {
@@ -88,6 +93,7 @@ func run(args []string) error {
 				return err
 			}
 			proxy.SetFloat32(*wireF32)
+			proxy.SetDelta(*wireDelta)
 			//lint:ignore errdrop teardown of a finished training connection, nothing left to lose
 			defer func() { _ = proxy.Close() }()
 			clients[i] = proxy
@@ -110,6 +116,7 @@ func run(args []string) error {
 		Seed:             *seed,
 		FaithfulRealPass: *faithful,
 		Parallelism:      *parallel,
+		GradTopK:         *wireTopK,
 	}
 	server, err := vfl.NewServer(clients, cfg)
 	if err != nil {

@@ -52,6 +52,8 @@ func run(args []string, stdout io.Writer) error {
 		parallel    = fs.Int("parallel-clients", 0, "max clients driven concurrently per round (0 = all, 1 = sequential; results are identical)")
 		wire        = fs.String("wire", "local", "client transport (GTV only): local (in-process) | gob (net/rpc over TCP loopback) | binary (gtvwire frames over TCP loopback)")
 		wireF32     = fs.Bool("wire-f32", false, "send activations/gradients as float32 on the binary wire (halves boundary traffic, breaks exact cross-transport reproducibility)")
+		wireTopK    = fs.Float64("wire-topk", 0, "keep only this fraction of each outbound gradient (top-k with error feedback; lossy, 0 = off)")
+		wireDelta   = fs.Bool("wire-delta", false, "fetch client checkpoints as deltas against the previous fetch (binary wire only, lossless)")
 		faithful    = fs.Bool("faithful-real-pass", false, "use the paper's full-local-pass index privacy mode")
 		synthOut    = fs.String("synth-out", "", "write synthetic data to this CSV file")
 		every       = fs.Int("log-every", 50, "print losses every N rounds")
@@ -122,6 +124,8 @@ func run(args []string, stdout io.Writer) error {
 	opts.Parallelism = *parallel
 	opts.Transport = *wire
 	opts.WireFloat32 = *wireF32
+	opts.WireTopK = *wireTopK
+	opts.WireDelta = *wireDelta
 	opts.FaithfulRealPass = *faithful
 	opts.CheckpointDir = *ckptDir
 	opts.CheckpointEvery = *ckptEvery

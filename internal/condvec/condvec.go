@@ -39,6 +39,12 @@ type Batch struct {
 	Rows []int
 	// Choices records the selected span/category per CV.
 	Choices []Choice
+	// Hot holds, per CV row, the position of its single 1 bit (-1 for an
+	// all-zero row, which only zero-width samplers produce). It is the
+	// sparse representation of CV: transports and embedding code can read
+	// one index per row instead of scanning Width columns. Always populated
+	// by the samplers; len(Hot) == CV.Rows() marks it trustworthy.
+	Hot []int
 }
 
 // Sampler draws conditional vectors and matching row indices for one
@@ -144,11 +150,13 @@ func (s *Sampler) sample(rng *rand.Rand, batch int, probs [][]float64) (*Batch, 
 	cv := tensor.New(batch, s.width)
 	rows := make([]int, batch)
 	choices := make([]Choice, batch)
+	hot := make([]int, batch)
 	for b := 0; b < batch; b++ {
 		if len(s.spans) == 0 {
 			// No categorical columns: unconditioned row sampling.
 			rows[b] = rng.Intn(s.numRows)
 			choices[b] = Choice{Span: -1, Category: -1}
+			hot[b] = -1
 			continue
 		}
 		span := rng.Intn(len(s.spans))
@@ -163,8 +171,9 @@ func (s *Sampler) sample(rng *rand.Rand, batch int, probs [][]float64) (*Batch, 
 		}
 		cv.Set(b, s.offsets[span]+cat, 1)
 		choices[b] = Choice{Span: span, Category: cat}
+		hot[b] = s.offsets[span] + cat
 	}
-	return &Batch{CV: cv, Rows: rows, Choices: choices}, nil
+	return &Batch{CV: cv, Rows: rows, Choices: choices, Hot: hot}, nil
 }
 
 // Reindex updates the sampler's row-index lists after the party shuffles its
@@ -221,6 +230,7 @@ func (s *Sampler) SampleFixed(rng *rand.Rand, batch, spanIdx, category int) (*Ba
 	cv := tensor.New(batch, s.width)
 	rows := make([]int, batch)
 	choices := make([]Choice, batch)
+	hot := make([]int, batch)
 	candidates := s.rowsByCat[spanIdx][category]
 	for b := 0; b < batch; b++ {
 		cv.Set(b, s.offsets[spanIdx]+category, 1)
@@ -230,6 +240,7 @@ func (s *Sampler) SampleFixed(rng *rand.Rand, batch, spanIdx, category int) (*Ba
 			rows[b] = rng.Intn(s.numRows)
 		}
 		choices[b] = Choice{Span: spanIdx, Category: category}
+		hot[b] = s.offsets[spanIdx] + category
 	}
-	return &Batch{CV: cv, Rows: rows, Choices: choices}, nil
+	return &Batch{CV: cv, Rows: rows, Choices: choices, Hot: hot}, nil
 }

@@ -325,3 +325,47 @@ func TestSampleFixedErrors(t *testing.T) {
 		t.Fatal("expected category range error")
 	}
 }
+
+// TestSampleHotMatchesCV: the Hot slice the samplers attach (consumed by
+// the wire encoder's one-hot fast path) must agree exactly with the CV
+// matrix — Hot[b] is the single set column, or -1 for an all-zero row.
+func TestSampleHotMatchesCV(t *testing.T) {
+	rng := rand.New(rand.NewSource(12))
+	tbl, tr := buildTable(t, rng, 200)
+	s, err := NewSampler(tbl, tr)
+	if err != nil {
+		t.Fatalf("NewSampler: %v", err)
+	}
+	check := func(label string, batch *Batch) {
+		t.Helper()
+		if len(batch.Hot) != batch.CV.Rows() {
+			t.Fatalf("%s: Hot length %d for %d rows", label, len(batch.Hot), batch.CV.Rows())
+		}
+		for b, h := range batch.Hot {
+			for j := 0; j < batch.CV.Cols(); j++ {
+				want := 0.0
+				if j == h {
+					want = 1
+				}
+				if batch.CV.At(b, j) != want {
+					t.Fatalf("%s: row %d col %d = %v with Hot=%d", label, b, j, batch.CV.At(b, j), h)
+				}
+			}
+		}
+	}
+	batch, err := s.Sample(rng, 64)
+	if err != nil {
+		t.Fatalf("Sample: %v", err)
+	}
+	check("Sample", batch)
+	batch, err = s.SampleSynthesis(rng, 64)
+	if err != nil {
+		t.Fatalf("SampleSynthesis: %v", err)
+	}
+	check("SampleSynthesis", batch)
+	batch, err = s.SampleFixed(rng, 16, 1, 2)
+	if err != nil {
+		t.Fatalf("SampleFixed: %v", err)
+	}
+	check("SampleFixed", batch)
+}

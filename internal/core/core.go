@@ -80,6 +80,18 @@ type Options struct {
 	// cross-transport reproducibility. Only valid with Transport
 	// "binary".
 	WireFloat32 bool
+	// WireTopK, when in (0, 1), keeps only this fraction of each boundary
+	// gradient the server sends, with error feedback carrying the dropped
+	// mass into later rounds (see vfl.Config.GradTopK). Sparsified
+	// gradients travel as index lists on the binary transport; the setting
+	// itself is transport independent, so a local run with the same
+	// fraction follows the identical trajectory. Lossy; off by default.
+	WireTopK float64
+	// WireDelta ships checkpoint fetches from remote clients as deltas
+	// against the previous fetch instead of full blobs (see
+	// vfl.(*WireClient).SetDelta). Lossless. Only valid with Transport
+	// "binary".
+	WireDelta bool
 	// CallPolicy hardens the network transports' calls (deadline +
 	// transient-error retry); ignored for the local transport. The zero
 	// value imposes nothing.
@@ -144,6 +156,7 @@ func (o Options) vflConfig() vfl.Config {
 		Seed:             o.Seed,
 		FaithfulRealPass: o.FaithfulRealPass,
 		Parallelism:      o.Parallelism,
+		GradTopK:         o.WireTopK,
 	}
 }
 
@@ -218,6 +231,9 @@ func (g *GTV) connectTransport(ifaces []vfl.Client, opts Options) error {
 		if opts.WireFloat32 {
 			return errors.New("core: WireFloat32 requires the binary transport")
 		}
+		if opts.WireDelta {
+			return errors.New("core: WireDelta requires the binary transport")
+		}
 		return nil
 	case "gob", "binary":
 	default:
@@ -225,6 +241,9 @@ func (g *GTV) connectTransport(ifaces []vfl.Client, opts Options) error {
 	}
 	if opts.WireFloat32 && opts.Transport != "binary" {
 		return errors.New("core: WireFloat32 requires the binary transport")
+	}
+	if opts.WireDelta && opts.Transport != "binary" {
+		return errors.New("core: WireDelta requires the binary transport")
 	}
 	for i, c := range ifaces {
 		lis, err := net.Listen("tcp", "127.0.0.1:0")
@@ -245,6 +264,7 @@ func (g *GTV) connectTransport(ifaces []vfl.Client, opts Options) error {
 				return fmt.Errorf("core: dialing client %d: %w", i, err)
 			}
 			wc.SetFloat32(opts.WireFloat32)
+			wc.SetDelta(opts.WireDelta)
 			ifaces[i] = wc
 			g.proxies = append(g.proxies, wc)
 			continue

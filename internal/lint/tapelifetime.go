@@ -175,6 +175,12 @@ func classifyAcquisition(info *types.Info, id *ast.Ident, rhs ast.Expr) *acquisi
 		if isPkgFunc(info, v, "internal/tensor", "NewPooledUninit") {
 			return &acquisition{obj: obj, pos: id.Pos(), what: "tensor.NewPooledUninit buffer"}
 		}
+		if isPkgFunc(info, v, "internal/tensor", "NewPooledOneHot") {
+			return &acquisition{obj: obj, pos: id.Pos(), what: "tensor.NewPooledOneHot buffer"}
+		}
+		if isPkgFunc(info, v, "internal/tensor", "NewPooledBitmap") {
+			return &acquisition{obj: obj, pos: id.Pos(), what: "tensor.NewPooledBitmap buffer"}
+		}
 		if isPkgFunc(info, v, "internal/autograd", "NewTape") {
 			return &acquisition{obj: obj, pos: id.Pos(), what: "autograd tape", tape: true}
 		}

@@ -38,7 +38,10 @@ import (
 
 const (
 	// Version is bumped on any incompatible snapshot-format change.
-	Version = 1
+	// Version 2: server images carry per-method wire-byte tallies in the
+	// comm section and the GradTopK error-feedback section (secSTopKEF),
+	// and the config fingerprint includes the grad-topk fraction.
+	Version = 2
 	// headerLen is the fixed file header size: magic, version, kind.
 	headerLen = 8
 	// sectionOverhead is the per-section framing: id, length, CRC.

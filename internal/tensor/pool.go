@@ -66,6 +66,58 @@ func NewPooledUninit(rows, cols int) *Dense {
 	return getDense(rows, cols, false)
 }
 
+// NewPooledOneHot returns a pooled rows x cols matrix with row i holding a
+// single 1.0 at column hot[i]; hot[i] < 0 leaves the row all-zero. It is
+// the decode path for the wire one-hot matrix layout: one index read per
+// row instead of rebuilding the dense buffer element by element.
+func NewPooledOneHot(rows, cols int, hot []int) *Dense {
+	if len(hot) != rows {
+		panic(fmt.Sprintf("tensor: one-hot index count %d does not match %d rows", len(hot), rows))
+	}
+	m := getDense(rows, cols, true)
+	data := m.data
+	for i, h := range hot {
+		if h < 0 {
+			continue
+		}
+		if h >= cols {
+			m.Release()
+			panic(fmt.Sprintf("tensor: one-hot index %d out of range for %d columns", h, cols))
+		}
+		data[i*cols+h] = 1
+	}
+	return m
+}
+
+// NewPooledBitmap returns a pooled rows x cols matrix whose elements are
+// 1.0 where the corresponding bit of bits is set, in row-major LSB-first
+// order over the flattened element index. bits must hold exactly
+// ceil(rows*cols/8) bytes with all trailing pad bits clear. It is the
+// decode path for the wire bitmap matrix layout.
+func NewPooledBitmap(rows, cols int, bits []byte) *Dense {
+	n := rows * cols
+	if len(bits) != (n+7)/8 {
+		panic(fmt.Sprintf("tensor: bitmap byte count %d does not match %d elements", len(bits), n))
+	}
+	if n%8 != 0 && len(bits) > 0 && bits[len(bits)-1]>>(uint(n)%8) != 0 {
+		panic("tensor: bitmap has bits set past the last element")
+	}
+	m := getDense(rows, cols, true)
+	data := m.data
+	for bi, b := range bits {
+		if b == 0 {
+			continue
+		}
+		base := bi * 8
+		for j := 0; j < 8; j++ {
+			if b&(1<<uint(j)) != 0 {
+				data[base+j] = 1
+			}
+		}
+	}
+	return m
+}
+
 func getDense(rows, cols int, zero bool) *Dense {
 	if rows < 0 || cols < 0 {
 		panic(fmt.Sprintf("tensor: negative shape %dx%d", rows, cols))

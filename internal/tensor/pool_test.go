@@ -1,0 +1,57 @@
+package tensor
+
+import "testing"
+
+func mustPanic(t *testing.T, name string, f func()) {
+	t.Helper()
+	defer func() {
+		if recover() == nil {
+			t.Fatalf("%s did not panic", name)
+		}
+	}()
+	f()
+}
+
+// TestNewPooledOneHot: the decoder-facing constructor must produce exactly
+// one 1.0 per row with a hot index (none for -1) on an otherwise zero
+// pooled buffer, and reject out-of-range indices.
+func TestNewPooledOneHot(t *testing.T) {
+	m := NewPooledOneHot(3, 4, []int{2, -1, 0})
+	want := [][]float64{{0, 0, 1, 0}, {0, 0, 0, 0}, {1, 0, 0, 0}}
+	for i := range want {
+		for j := range want[i] {
+			if m.At(i, j) != want[i][j] {
+				t.Fatalf("element (%d,%d) = %v want %v", i, j, m.At(i, j), want[i][j])
+			}
+		}
+	}
+	m.Release()
+
+	mustPanic(t, "hot length mismatch", func() { NewPooledOneHot(3, 4, []int{1}) })
+	mustPanic(t, "hot index out of range", func() { NewPooledOneHot(1, 4, []int{4}) })
+}
+
+// TestNewPooledBitmap: LSB-first row-major bit unpacking into a pooled
+// buffer, with strict length and pad-bit validation (pad bits are part of
+// the wire contract: a frame with junk there must not decode).
+func TestNewPooledBitmap(t *testing.T) {
+	// 2x5 = 10 bits -> 2 bytes: rows {1,0,1,1,0}, {0,1,0,1,1}.
+	// Flat bits (LSB first): 1,0,1,1,0,0,1,0 -> 0x4D; 1,1 -> 0x03.
+	m := NewPooledBitmap(2, 5, []byte{0x4D, 0x03})
+	want := [][]float64{{1, 0, 1, 1, 0}, {0, 1, 0, 1, 1}}
+	for i := range want {
+		for j := range want[i] {
+			if m.At(i, j) != want[i][j] {
+				t.Fatalf("element (%d,%d) = %v want %v", i, j, m.At(i, j), want[i][j])
+			}
+		}
+	}
+	m.Release()
+
+	// Zero-bit shape takes an empty bitmap.
+	z := NewPooledBitmap(0, 5, nil)
+	z.Release()
+
+	mustPanic(t, "bitmap length mismatch", func() { NewPooledBitmap(2, 5, []byte{0x4D}) })
+	mustPanic(t, "pad bits set", func() { NewPooledBitmap(2, 5, []byte{0x4D, 0xF3}) })
+}

@@ -31,7 +31,29 @@ type CommStats struct {
 	// a measurement, so it is excluded from Total; the two agree within
 	// framing overhead (a test on a loopback run pins this).
 	WireBytes int64
+	// WireBytesByMethod attributes WireBytes to individual wire methods
+	// (request and response frames both count toward the method they
+	// carry), so byte reductions can be traced to specific frame kinds —
+	// e.g. the sparse conditional-vector layout shows up as a SampleCV
+	// drop. A fixed-size array rather than a map keeps CommStats
+	// comparable with ==.
+	WireBytesByMethod WireMethodBytes
 }
+
+// WireMethodBytes holds measured wire bytes indexed by wire method id
+// (index 0 unused; see WireMethodLabel for names).
+type WireMethodBytes [wireNumMethods]int64
+
+// add accumulates another per-method tally into w.
+func (w *WireMethodBytes) add(other WireMethodBytes) {
+	for i, v := range other {
+		w[i] += v
+	}
+}
+
+// WireMethodLabel names method id i of a WireMethodBytes array for
+// display.
+func WireMethodLabel(i int) string { return wireMethodName(byte(i)) }
 
 // Total returns all estimated payload bytes (the 8-byte-per-element
 // model; WireBytes, the measurement, is deliberately not part of it).
@@ -48,10 +70,24 @@ func (c CommStats) PerRound() float64 {
 }
 
 // String renders the stats compactly: the estimated payload totals first,
-// then the measured wire traffic when a counting transport supplied one.
+// then the measured wire traffic when a counting transport supplied one,
+// broken down by method when the per-method tally is populated.
 func (c CommStats) String() string {
-	return fmt.Sprintf("comm{total=%dB wire=%dB rounds=%d gen_slices=%dB disc_logits=%dB grads=%dB slice_grads=%dB cv=%dB}",
+	s := fmt.Sprintf("comm{total=%dB wire=%dB rounds=%d gen_slices=%dB disc_logits=%dB grads=%dB slice_grads=%dB cv=%dB}",
 		c.Total(), c.WireBytes, c.Rounds, c.GenSlicesSent, c.DiscLogitsReceived, c.GradsSent, c.SliceGradsReceived, c.CVBytes)
+	breakdown := ""
+	for i, v := range c.WireBytesByMethod {
+		if v != 0 {
+			if breakdown != "" {
+				breakdown += " "
+			}
+			breakdown += fmt.Sprintf("%s=%dB", WireMethodLabel(i), v)
+		}
+	}
+	if breakdown != "" {
+		s += " wire_by_method{" + breakdown + "}"
+	}
+	return s
 }
 
 // WireByteCounter is implemented by transports that measure their actual
@@ -61,6 +97,14 @@ func (c CommStats) String() string {
 // the wire.
 type WireByteCounter interface {
 	WireBytes() int64
+}
+
+// WireMethodByteCounter is optionally implemented alongside
+// WireByteCounter by transports that also attribute their traffic to
+// individual wire methods; Server.CommStats merges it into
+// CommStats.WireBytesByMethod.
+type WireMethodByteCounter interface {
+	WireBytesByMethod() WireMethodBytes
 }
 
 const bytesPerElement = 8

@@ -239,3 +239,12 @@ func (f *FaultyTransport) WireBytes() int64 {
 	}
 	return 0
 }
+
+// WireBytesByMethod forwards the inner transport's per-method byte tally
+// (zero when the inner client does not measure one).
+func (f *FaultyTransport) WireBytesByMethod() WireMethodBytes {
+	if wc, ok := f.Inner.(WireMethodByteCounter); ok {
+		return wc.WireBytesByMethod()
+	}
+	return WireMethodBytes{}
+}

@@ -3,6 +3,8 @@ package vfl
 import (
 	"errors"
 	"fmt"
+	"math"
+	"sort"
 
 	ag "repro/internal/autograd"
 	"repro/internal/encoding"
@@ -50,6 +52,20 @@ type Config struct {
 	// the server broadcasts idx_p to every client — cheaper, with the
 	// privacy trade-off of the paper's P2P alternative.
 	FaithfulRealPass bool
+	// GradTopK, when in (0, 1), keeps only the largest-magnitude fraction
+	// of each boundary gradient the server sends a client (BackwardDisc,
+	// BackwardGen), zeroing the rest. Dropped mass is not lost: a
+	// per-client, per-stream error-feedback accumulator carries it into
+	// the next round's gradient (the standard top-k + memory compressor;
+	// Fed-TGAN motivates tolerating this kind of lossy compression in
+	// federated tabular GAN training). Sparsified gradients travel as
+	// index lists on the binary wire, cutting gradient traffic roughly by
+	// the sparsity factor. Lossy and therefore off by default (0): dense
+	// same-seed runs stay byte-identical. The accumulator state is
+	// checkpointed, so resumed runs replay identically. Transport
+	// independent — the sparsification happens in the server before the
+	// Client call, so local and remote runs with the same setting match.
+	GradTopK float64
 	// Parallelism bounds how many clients the server drives concurrently
 	// within each protocol step (forwards, gradient scatter, shuffle
 	// trigger, synthesis). 0 means all clients at once; 1 reproduces the
@@ -106,6 +122,9 @@ func (c *Config) validate() error {
 	if c.DPLogitNoise < 0 {
 		return fmt.Errorf("vfl: negative DP noise %v", c.DPLogitNoise)
 	}
+	if c.GradTopK < 0 || c.GradTopK > 1 {
+		return fmt.Errorf("vfl: gradient top-k fraction %v outside [0, 1]", c.GradTopK)
+	}
 	return nil
 }
 
@@ -139,6 +158,15 @@ type Server struct {
 
 	round int
 	comm  commAccount
+
+	// topkEF holds the per-client error-feedback accumulators for GradTopK
+	// (nil when disabled). The three streams per client are the server's
+	// outbound gradient tensors: 0 = disc synthetic, 1 = disc real (after
+	// any faithful-pass scatter), 2 = generator. Entries are shape-lazily
+	// allocated; fan-out goroutines touch disjoint client indices only.
+	//
+	//snap:state error-feedback accumulators (secSTopKEF)
+	topkEF [][3]*tensor.Dense
 }
 
 // fanOut drives fn across all clients under the configured parallelism
@@ -162,6 +190,9 @@ func NewServer(clients []Client, cfg Config) (*Server, error) {
 		rng:     rng.New(cfg.Seed),
 		clients: clients,
 		infos:   make([]ClientInfo, len(clients)),
+	}
+	if cfg.GradTopK > 0 {
+		s.topkEF = make([][3]*tensor.Dense, len(clients))
 	}
 	featureCounts := make([]int, len(clients))
 	err := s.fanOut(func(i int, c Client) error {
@@ -256,6 +287,9 @@ func (s *Server) CommStats() CommStats {
 	for _, c := range s.clients {
 		if wc, ok := c.(WireByteCounter); ok {
 			stats.WireBytes += wc.WireBytes()
+		}
+		if wc, ok := c.(WireMethodByteCounter); ok {
+			stats.WireBytesByMethod.add(wc.WireBytesByMethod())
 		}
 	}
 	return stats
@@ -374,6 +408,81 @@ func perturb(m, noise *tensor.Dense) *tensor.Dense {
 	return tensor.Add(m, noise)
 }
 
+// sparsifyGrad applies GradTopK compression with error feedback to one
+// outbound gradient: the client-bound tensor keeps only the k = ceil(frac
+// * n) largest-magnitude elements of grad plus the accumulated residual,
+// and everything dropped lands back in the accumulator for the next round
+// (top-k + memory). Deterministic: the threshold comes from a full sort
+// and ties at the threshold are kept in index order, so a given
+// (grad, accumulator) pair always produces the same output regardless of
+// transport or parallelism. Returns grad untouched when GradTopK is off;
+// otherwise returns a fresh tensor the caller owns.
+func (s *Server) sparsifyGrad(client, stream int, grad *tensor.Dense) *tensor.Dense {
+	if s.topkEF == nil || grad == nil {
+		return grad
+	}
+	acc := s.topkEF[client][stream]
+	if acc == nil || acc.Rows() != grad.Rows() || acc.Cols() != grad.Cols() {
+		// First use, or the stream changed shape (e.g. FaithfulRealPass
+		// toggled between runs): residuals for the old shape are
+		// meaningless, start clean.
+		acc = tensor.New(grad.Rows(), grad.Cols())
+		s.topkEF[client][stream] = acc
+	}
+	ad := acc.Data()
+	out := tensor.New(grad.Rows(), grad.Cols())
+	td := out.Data()
+	finite := true
+	for i, v := range grad.Data() {
+		t := v + ad[i]
+		if math.IsNaN(t) || math.IsInf(t, 0) {
+			finite = false
+		}
+		td[i] = t
+	}
+	n := len(td)
+	k := int(math.Ceil(s.cfg.GradTopK * float64(n)))
+	if !finite || k >= n {
+		// A non-finite gradient must reach the client undamped (its
+		// training loop decides what to do with it), and k >= n keeps
+		// everything anyway; either way the residual is fully drained.
+		clear(ad)
+		return out
+	}
+	if k < 1 {
+		k = 1
+	}
+	abs := make([]float64, n)
+	for i, v := range td {
+		abs[i] = math.Abs(v)
+	}
+	sort.Float64s(abs)
+	thr := abs[n-k]
+	kept := 0
+	for _, v := range td {
+		if math.Abs(v) > thr {
+			kept++
+		}
+	}
+	need := k - kept
+	thrBits := math.Float64bits(thr)
+	for i, v := range td {
+		a := math.Abs(v)
+		keep := a > thr
+		if !keep && need > 0 && math.Float64bits(a) == thrBits {
+			keep = true
+			need--
+		}
+		if keep {
+			ad[i] = 0
+		} else {
+			ad[i] = v
+			td[i] = 0
+		}
+	}
+	return out
+}
+
 // discStep performs one distributed WGAN-GP critic update (steps 4-16).
 func (s *Server) discStep() (float64, error) {
 	batch := s.cfg.BatchSize
@@ -462,6 +571,8 @@ func (s *Server) discStep() (float64, error) {
 			// accumulating duplicates.
 			gradReal = scatterRowsAccumulate(gradReal, cvRows, fullRealRows[i])
 		}
+		gradSynth = s.sparsifyGrad(i, 0, gradSynth)
+		gradReal = s.sparsifyGrad(i, 1, gradReal)
 		bytes := matrixBytes(gradSynth.Rows(), gradSynth.Cols()) +
 			matrixBytes(gradReal.Rows(), gradReal.Cols())
 		s.comm.add(func(cs *CommStats) { cs.GradsSent += bytes })
@@ -519,7 +630,7 @@ func (s *Server) genStep() (float64, error) {
 
 	sliceGrads := make([]*tensor.Dense, n)
 	err = s.fanOut(func(i int, c Client) error {
-		g := grads[i].Data()
+		g := s.sparsifyGrad(i, 2, grads[i].Data())
 		s.comm.add(func(cs *CommStats) { cs.GradsSent += matrixBytes(g.Rows(), g.Cols()) })
 		sg, err := c.BackwardGen(g, i == p)
 		if err != nil {

@@ -25,6 +25,7 @@ import (
 	"repro/internal/nn"
 	"repro/internal/rng"
 	"repro/internal/snap"
+	"repro/internal/tensor"
 )
 
 // Section ids within a KindClient snapshot. Append only; bump snap.Version
@@ -52,6 +53,7 @@ const (
 	secSComm     = 8
 	secSClient   = 9 // repeated: one per client, in client order
 	secSModelRNG = 10
+	secSTopKEF   = 11 // GradTopK error-feedback accumulators
 )
 
 // clientState names everything a client checkpoint blob captures. The
@@ -304,6 +306,10 @@ type serverState struct {
 	gOpt nn.AdamState
 	dOpt nn.AdamState
 	comm CommStats
+	// topkEF holds the GradTopK error-feedback accumulators (nil when the
+	// mode is off); undrained residuals are trajectory state, so resumed
+	// topk runs replay byte-identically.
+	topkEF [][3]*tensor.Dense
 	// clients holds one opaque KindClient blob per client, in client
 	// order.
 	clients [][]byte
@@ -327,6 +333,7 @@ func encodeServerFingerprint(e *snap.Enc, cfg Config) {
 	e.I64(int64(cfg.Pac))
 	e.F64(cfg.DPLogitNoise)
 	e.Bool(cfg.FaithfulRealPass)
+	e.F64(cfg.GradTopK)
 }
 
 // checkServerFingerprint verifies a fingerprint written by
@@ -357,6 +364,7 @@ func checkServerFingerprint(d *snap.Dec, cfg Config) error {
 		{"pac", float64(cfg.Pac), float64(d.I64())},
 		{"dp-noise", cfg.DPLogitNoise, d.F64()},
 		{"faithful-real-pass", b2f(cfg.FaithfulRealPass), b2f(d.Bool())},
+		{"grad-topk", cfg.GradTopK, d.F64()},
 	}
 	if err := d.Err(); err != nil {
 		return err
@@ -409,6 +417,18 @@ func (st *serverState) encode(b *snap.Builder) []byte {
 		e.I64(st.comm.CVBytes)
 		e.I64(int64(st.comm.Rounds))
 		e.I64(st.comm.WireBytes)
+		e.U32(uint32(len(st.comm.WireBytesByMethod)))
+		for _, v := range st.comm.WireBytesByMethod {
+			e.I64(v)
+		}
+	})
+	b.Section(secSTopKEF, func(e *snap.Enc) {
+		e.U32(uint32(len(st.topkEF)))
+		for i := range st.topkEF {
+			for _, m := range st.topkEF[i] {
+				e.Matrix(m)
+			}
+		}
 	})
 	for i, blob := range st.clients {
 		b.Section(secSClient, func(e *snap.Enc) {
@@ -516,6 +536,29 @@ func (st *serverState) decode(s *snap.Snapshot) error {
 		Rounds:             int(d.I64()),
 		WireBytes:          d.I64(),
 	}
+	nmethods := int(d.U32())
+	if nmethods != wireNumMethods {
+		return fmt.Errorf("gtvsnap: checkpoint tallies %d wire methods, this build has %d", nmethods, wireNumMethods)
+	}
+	for i := range st.comm.WireBytesByMethod {
+		st.comm.WireBytesByMethod[i] = d.I64()
+	}
+	if err := d.Finish(); err != nil {
+		return err
+	}
+
+	if d, err = s.Need(secSTopKEF, "top-k error feedback"); err != nil {
+		return err
+	}
+	nef := int(d.U32())
+	if nef != len(st.topkEF) {
+		return fmt.Errorf("gtvsnap: checkpoint holds %d top-k accumulators, live server has %d (grad-topk fingerprint should have caught this)", nef, len(st.topkEF))
+	}
+	for i := range st.topkEF {
+		for j := range st.topkEF[i] {
+			st.topkEF[i][j] = d.Matrix()
+		}
+	}
 	if err := d.Finish(); err != nil {
 		return err
 	}
@@ -555,6 +598,7 @@ func (s *Server) snapState() *serverState {
 		gTop:     s.gTop,
 		dTop:     s.dTop,
 		dS:       s.dS,
+		topkEF:   s.topkEF,
 	}
 }
 
@@ -615,6 +659,7 @@ func (s *Server) Restore(data []byte) error {
 		return err
 	}
 	s.comm.restore(st.comm)
+	s.topkEF = st.topkEF
 	err = s.fanOut(func(i int, c Client) error {
 		if err := c.Restore(st.clients[i]); err != nil {
 			return fmt.Errorf("client %d restore: %w", i, err)

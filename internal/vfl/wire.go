@@ -41,7 +41,10 @@ import (
 
 const (
 	// wireVersion is bumped on any incompatible frame-format change.
-	wireVersion = 1
+	// Version 2: varint-coded shapes/lengths/indices, density-selected
+	// matrix layouts (one-hot, bitmap, index-list) and the delta-encoded
+	// snapshot transfer.
+	wireVersion = 2
 	// wireHeaderLen is the fixed frame header size in bytes.
 	wireHeaderLen = 16
 	// wireMaxPayload bounds a single frame's payload so a corrupt or
@@ -49,6 +52,14 @@ const (
 	// unboundedly. 1 GiB comfortably fits the paper-scale payloads
 	// (batch 500 x width 768 x 8 B = ~3 MB).
 	wireMaxPayload = 1 << 30
+	// wireMaxSparseElems bounds the dense expansion of the sparse matrix
+	// layouts (one-hot, bitmap, index-list), whose byte cost on the wire
+	// is far below 8 B/element: without a cap a tiny malicious frame could
+	// make the decoder allocate gigabytes. 2^22 elements (32 MiB of
+	// float64) is an order of magnitude above the paper-scale payloads;
+	// larger matrices simply travel dense, where the payload length itself
+	// is the bound.
+	wireMaxSparseElems = 1 << 22
 )
 
 // Frame kinds.
@@ -80,6 +91,10 @@ const (
 	wireMethodSnapshot
 	wireMethodRestore
 )
+
+// wireNumMethods sizes per-method accounting arrays: method ids are dense
+// from 1, so the highest id plus one indexes them all (index 0 unused).
+const wireNumMethods = wireMethodRestore + 1
 
 // wireMethodName names a method id in error messages.
 func wireMethodName(m byte) string {

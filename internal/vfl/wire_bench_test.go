@@ -43,19 +43,72 @@ func (c *echoClient) Publish() (*encoding.Table, error) {
 	return nil, fmt.Errorf("echo client has no table")
 }
 
-// BenchmarkWireRoundTrip measures one full protocol call (matrix out,
-// matrix back) over TCP loopback at the paper's batch-500 scale across
-// boundary widths, comparing net/rpc+gob against the gtvwire binary codec
-// (f64 and the opt-in f32 payload mode). Latency and allocs/op are the
-// wire subsystem's acceptance numbers; see BENCH_comm.json.
-func BenchmarkWireRoundTrip(b *testing.B) {
-	const batch = 500
-	for _, width := range []int{64, 256, 768} {
-		payload := tensor.New(batch, width)
-		for i, data := 0, payload.Data(); i < len(data); i++ {
+// wireBenchPayloads builds the payload shapes the codec picks distinct
+// layouts for, at the paper's batch-500 scale. Every pattern is
+// deterministic so runs are comparable.
+func wireBenchPayloads(batch int) []struct {
+	name    string
+	payload *tensor.Dense
+} {
+	dense := func(width int) *tensor.Dense {
+		m := tensor.New(batch, width)
+		for i, data := 0, m.Data(); i < len(data); i++ {
 			data[i] = float64(i%97) * 0.125
 		}
-		echo := &echoClient{out: tensor.New(batch, width)}
+		return m
+	}
+	// A conditional-vector batch: one-hot rows (plus a few all-zero ones).
+	cv := tensor.New(batch, 64)
+	for i := 0; i < batch; i++ {
+		if i%17 != 0 {
+			cv.Set(i, (i*7)%64, 1)
+		}
+	}
+	// A hard-selection mask: 0/1 at ~10% density, several hits per row.
+	mask := tensor.New(batch, 768)
+	for i := 0; i < batch; i++ {
+		for j := 0; j < 768; j++ {
+			if (i*7+j)%10 == 0 {
+				mask.Set(i, j, 1)
+			}
+		}
+	}
+	// A top-k sparsified gradient: ~5% arbitrary nonzero values.
+	topk := tensor.New(batch, 768)
+	for i := 0; i < batch; i++ {
+		for j := 0; j < 768; j++ {
+			if (i*13+j)%20 == 0 {
+				topk.Set(i, j, float64(i+j)*0.37-50)
+			}
+		}
+	}
+	return []struct {
+		name    string
+		payload *tensor.Dense
+	}{
+		{fmt.Sprintf("batch=%d/width=%d", batch, 64), dense(64)},
+		{fmt.Sprintf("batch=%d/width=%d", batch, 256), dense(256)},
+		{fmt.Sprintf("batch=%d/width=%d", batch, 768), dense(768)},
+		{fmt.Sprintf("batch=%d/cv-sparse", batch), cv},
+		{fmt.Sprintf("batch=%d/mask", batch), mask},
+		{fmt.Sprintf("batch=%d/topk", batch), topk},
+	}
+}
+
+// BenchmarkWireRoundTrip measures one full protocol call (matrix out,
+// matrix back) over TCP loopback, comparing net/rpc+gob against the
+// gtvwire binary codec (f64 and the opt-in f32 payload mode) across the
+// payload classes the encoder picks different layouts for: dense
+// activations at three boundary widths, one-hot CV batches, 0/1 masks
+// (bitmap layout) and top-k sparsified gradients (index-list layout). The
+// wire_bytes/op metric is the measured framed traffic per call, so
+// BENCH_comm.json records the bytes-on-wire reduction next to latency; gob
+// always ships dense and is the baseline.
+func BenchmarkWireRoundTrip(b *testing.B) {
+	const batch = 500
+	for _, tc := range wireBenchPayloads(batch) {
+		payload := tc.payload
+		echo := &echoClient{out: payload.Clone()}
 
 		serve := func(b *testing.B, binary bool) Client {
 			b.Helper()
@@ -85,7 +138,13 @@ func BenchmarkWireRoundTrip(b *testing.B) {
 		run := func(proxy Client) func(*testing.B) {
 			return func(b *testing.B) {
 				b.ReportAllocs()
-				b.SetBytes(2 * 8 * int64(batch) * int64(width))
+				b.SetBytes(2 * 8 * int64(payload.Rows()) * int64(payload.Cols()))
+				counter, _ := proxy.(WireByteCounter)
+				var startBytes int64
+				if counter != nil {
+					startBytes = counter.WireBytes()
+				}
+				b.ResetTimer()
 				for i := 0; i < b.N; i++ {
 					out, err := proxy.BackwardGen(payload, false)
 					if err != nil {
@@ -93,12 +152,15 @@ func BenchmarkWireRoundTrip(b *testing.B) {
 					}
 					out.Release()
 				}
+				if counter != nil {
+					b.ReportMetric(float64(counter.WireBytes()-startBytes)/float64(b.N), "wire_bytes/op")
+				}
 			}
 		}
 
-		b.Run(fmt.Sprintf("batch=%d/width=%d/gob", batch, width), run(serve(b, false)))
-		b.Run(fmt.Sprintf("batch=%d/width=%d/binary", batch, width), run(serve(b, true)))
-		b.Run(fmt.Sprintf("batch=%d/width=%d/binary-f32", batch, width), func(b *testing.B) {
+		b.Run(tc.name+"/gob", run(serve(b, false)))
+		b.Run(tc.name+"/binary", run(serve(b, true)))
+		b.Run(tc.name+"/binary-f32", func(b *testing.B) {
 			proxy := serve(b, true).(*WireClient)
 			proxy.SetFloat32(true)
 			run(proxy)(b)

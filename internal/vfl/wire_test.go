@@ -5,6 +5,7 @@ import (
 	"errors"
 	"fmt"
 	"math"
+	"math/rand"
 	"net"
 	"os"
 	"path/filepath"
@@ -106,14 +107,46 @@ func goldenWireFrames() map[string][]byte {
 	fixtures["info_resp.bin"] = frame(wireKindResponse, wireMethodInfo, 0, 9, enc.buf)
 	enc.release()
 
-	// SampleCV response: CV matrix, row indices, choices.
+	// SampleCV response: CV matrix (one-hot layout via the sampler's Hot
+	// slice — byte-identical to the scanning encoder), row indices, choices.
 	enc = newWireEnc()
 	enc.cvBatch(&condvec.Batch{
 		CV:      tensor.FromRows([][]float64{{0, 1}, {1, 0}}),
+		Hot:     []int{1, 0},
 		Rows:    []int{4, 9},
 		Choices: []condvec.Choice{{Span: 1, Category: 2}, {Span: 0, Category: 3}},
 	}, false)
 	fixtures["sample_cv_resp.bin"] = frame(wireKindResponse, wireMethodSampleCV, 0, 11, enc.buf)
+	enc.release()
+
+	// A 0/1 mask with several hot bits per row: the bitmap layout.
+	enc = newWireEnc()
+	enc.matrix(tensor.FromRows([][]float64{{1, 0, 1, 1, 0}, {0, 1, 0, 1, 1}}), false)
+	fixtures["mask_bitmap.bin"] = frame(wireKindResponse, wireMethodForwardReal, 0, 13, enc.buf)
+	enc.release()
+
+	// A mostly-zero gradient: the delta-coded index-list (sparse) layout.
+	enc = newWireEnc()
+	sp := tensor.New(4, 8)
+	sp.Set(0, 2, 0.5)
+	sp.Set(2, 1, -1.25)
+	sp.Set(3, 7, 3)
+	enc.matrix(sp, false)
+	fixtures["grad_sparse.bin"] = frame(wireKindRequest, wireMethodBackwardGen, 0, 15, enc.buf)
+	enc.release()
+
+	// A delta-encoded snapshot response: three changed bytes against a
+	// 64-byte base (form, epoch, crc of the new blob, length, ops).
+	base := bytes.Repeat([]byte{0xAA}, 64)
+	cur := append([]byte(nil), base...)
+	cur[10], cur[11], cur[40] = 1, 2, 3
+	enc = newWireEnc()
+	enc.u8(wireSnapDelta)
+	enc.uvarint(5)
+	enc.u32(snapDeltaCRC(cur))
+	enc.uvarint(uint64(len(cur)))
+	appendSnapDeltaOps(enc, base, cur)
+	fixtures["snapshot_delta_resp.bin"] = frame(wireKindResponse, wireMethodSnapshot, 0, 17, enc.buf)
 	enc.release()
 
 	// An application error response.
@@ -213,7 +246,69 @@ func TestWireGoldenFramesDecode(t *testing.T) {
 		len(b.Choices) != 2 || b.Choices[0] != (condvec.Choice{Span: 1, Category: 2}) {
 		t.Fatalf("decoded batch %+v", b)
 	}
+	if !b.CV.Equal(tensor.FromRows([][]float64{{0, 1}, {1, 0}})) {
+		t.Fatalf("decoded CV %v", b.CV)
+	}
+	if len(b.Hot) != 2 || b.Hot[0] != 1 || b.Hot[1] != 0 {
+		t.Fatalf("decoded hot positions %v", b.Hot)
+	}
 	b.CV.Release()
+
+	h, dec = read("mask_bitmap.bin")
+	if h.method != wireMethodForwardReal {
+		t.Fatalf("mask fixture header %+v", h)
+	}
+	m = dec.matrix()
+	if err := dec.finish(); err != nil {
+		t.Fatalf("decode mask: %v", err)
+	}
+	if !m.Equal(tensor.FromRows([][]float64{{1, 0, 1, 1, 0}, {0, 1, 0, 1, 1}})) {
+		t.Fatalf("decoded mask %v", m)
+	}
+	m.Release()
+
+	h, dec = read("grad_sparse.bin")
+	if h.method != wireMethodBackwardGen {
+		t.Fatalf("sparse fixture header %+v", h)
+	}
+	m = dec.matrix()
+	if err := dec.finish(); err != nil {
+		t.Fatalf("decode sparse: %v", err)
+	}
+	wantSparse := tensor.New(4, 8)
+	wantSparse.Set(0, 2, 0.5)
+	wantSparse.Set(2, 1, -1.25)
+	wantSparse.Set(3, 7, 3)
+	if !m.Equal(wantSparse) {
+		t.Fatalf("decoded sparse gradient %v", m)
+	}
+	m.Release()
+
+	h, dec = read("snapshot_delta_resp.bin")
+	if h.method != wireMethodSnapshot {
+		t.Fatalf("delta fixture header %+v", h)
+	}
+	if form := dec.u8(); form != wireSnapDelta {
+		t.Fatalf("delta fixture form %d", form)
+	}
+	if epoch := dec.uvarint(); epoch != 5 {
+		t.Fatalf("delta fixture epoch %d", epoch)
+	}
+	crc := dec.u32()
+	newLen := int(dec.uvarint())
+	base := bytes.Repeat([]byte{0xAA}, 64)
+	blob := decodeSnapDelta(dec, base, newLen)
+	if err := dec.finish(); err != nil {
+		t.Fatalf("decode snapshot delta: %v", err)
+	}
+	if snapDeltaCRC(blob) != crc {
+		t.Fatalf("reassembled blob crc %08x, frame says %08x", snapDeltaCRC(blob), crc)
+	}
+	wantBlob := append([]byte(nil), base...)
+	wantBlob[10], wantBlob[11], wantBlob[40] = 1, 2, 3
+	if !bytes.Equal(blob, wantBlob) {
+		t.Fatalf("reassembled blob diverged at %d bytes", len(blob))
+	}
 
 	h, dec = read("error_resp.bin")
 	if h.kind != wireKindError {
@@ -398,34 +493,76 @@ func TestWireSetupCodecRoundTrip(t *testing.T) {
 // every truncation into a descriptive failure instead of a panic, at every
 // possible cut point of a realistic payload.
 func TestWireDecRejectsTruncation(t *testing.T) {
+	// One matrix per layout so every decode path sees every cut point:
+	// dense, one-hot, bitmap (multi-hot 0/1), and sparse (index list).
+	sparse := tensor.New(3, 16)
+	sparse.Set(0, 4, 2.5)
+	sparse.Set(2, 11, -7)
 	enc := newWireEnc()
 	enc.matrix(tensor.FromRows([][]float64{{1, 2}, {3, 4}}), false)
+	enc.matrix(tensor.FromRows([][]float64{{0, 1, 0}, {0, 0, 1}}), false)
+	enc.matrix(tensor.FromRows([][]float64{{1, 1, 0, 1}, {0, 1, 1, 1}}), false)
+	enc.matrix(sparse, false)
 	enc.ints([]int{3, 1, 4})
 	enc.str("hello")
 	full := append([]byte(nil), enc.buf...)
 	enc.release()
 
-	for cut := 0; cut < len(full); cut++ {
-		dec := newWireDec(full[:cut])
-		m := dec.matrix()
+	decodeAll := func(dec *wireDec) {
+		for i := 0; i < 4; i++ {
+			if m := dec.matrix(); m != nil {
+				m.Release()
+			}
+		}
 		dec.ints()
 		dec.str()
+	}
+	for cut := 0; cut < len(full); cut++ {
+		dec := newWireDec(full[:cut])
+		decodeAll(dec)
 		if err := dec.finish(); err == nil {
 			t.Fatalf("truncation at %d/%d bytes decoded without error", cut, len(full))
-		}
-		if m != nil {
-			m.Release()
 		}
 	}
 	// The full payload must still decode cleanly.
 	dec := newWireDec(full)
-	m := dec.matrix()
-	dec.ints()
-	dec.str()
+	decodeAll(dec)
 	if err := dec.finish(); err != nil {
 		t.Fatalf("full payload: %v", err)
 	}
-	m.Release()
+}
+
+// TestWireSnapDeltaRejectsTruncation cuts a delta snapshot response body at
+// every byte; the decoder must fail (or the crc must catch it) every time.
+func TestWireSnapDeltaRejectsTruncation(t *testing.T) {
+	base := bytes.Repeat([]byte{0x5C}, 96)
+	cur := append([]byte(nil), base...)
+	for _, i := range []int{0, 17, 18, 19, 60, 95} {
+		cur[i] ^= 0xFF
+	}
+	enc := newWireEnc()
+	enc.uvarint(uint64(len(cur)))
+	appendSnapDeltaOps(enc, base, cur)
+	full := append([]byte(nil), enc.buf...)
+	enc.release()
+
+	for cut := 0; cut < len(full); cut++ {
+		dec := newWireDec(full[:cut])
+		newLen := int(dec.uvarint())
+		blob := decodeSnapDelta(dec, base, newLen)
+		if err := dec.finish(); err == nil && bytes.Equal(blob, cur) {
+			t.Fatalf("truncation at %d/%d bytes reassembled the full blob", cut, len(full))
+		}
+	}
+	dec := newWireDec(full)
+	newLen := int(dec.uvarint())
+	blob := decodeSnapDelta(dec, base, newLen)
+	if err := dec.finish(); err != nil {
+		t.Fatalf("full delta body: %v", err)
+	}
+	if !bytes.Equal(blob, cur) {
+		t.Fatal("full delta body reassembled the wrong blob")
+	}
 }
 
 func TestWireDecRejectsTrailingBytes(t *testing.T) {
@@ -475,6 +612,23 @@ func FuzzWireFrameDecode(f *testing.F) {
 			func(d *wireDec) { _ = d.clientInfo() },
 			func(d *wireDec) { _ = d.str() },
 			func(d *wireDec) { _ = d.ints() },
+			func(d *wireDec) {
+				// The delta snapshot response body: form, epoch, then
+				// either a plain blob or crc + length + ops.
+				switch d.u8() {
+				case wireSnapFull:
+					_ = d.uvarint()
+					_ = d.bytes()
+				case wireSnapDelta:
+					_ = d.uvarint()
+					_ = d.u32()
+					newLen := int(d.uvarint())
+					if d.err == nil && newLen >= 0 && newLen <= len(payload) {
+						base := make([]byte, newLen)
+						_ = decodeSnapDelta(d, base, newLen)
+					}
+				}
+			},
 		} {
 			d := newWireDec(payload)
 			decode(d)
@@ -830,7 +984,37 @@ func TestWireBytesMatchesEstimate(t *testing.T) {
 	if testing.Short() {
 		t.Skip("networked GAN training in -short mode")
 	}
-	ta, tb := twoClientTables(t, 120, 71)
+	// A wide categorical column (32 categories) makes the CV batch the
+	// realistic kind of sparse payload the one-hot layout exists for; the
+	// tiny two-category tables would let per-row varint overhead (row
+	// indices, choices) mask the matrix compression.
+	const rows = 120
+	rng := rand.New(rand.NewSource(71))
+	cats := make([]string, 32)
+	for i := range cats {
+		cats[i] = fmt.Sprintf("c%02d", i)
+	}
+	da := tensor.New(rows, 2)
+	db := tensor.New(rows, 1)
+	for i := 0; i < rows; i++ {
+		c := float64(rng.Intn(len(cats)))
+		da.Set(i, 0, c)
+		da.Set(i, 1, rng.NormFloat64()+c/8)
+		db.Set(i, 0, rng.NormFloat64()-c/8)
+	}
+	ta, err := encoding.NewTable([]encoding.ColumnSpec{
+		{Name: "segment", Kind: encoding.KindCategorical, Categories: cats},
+		{Name: "spend", Kind: encoding.KindContinuous},
+	}, da)
+	if err != nil {
+		t.Fatalf("NewTable A: %v", err)
+	}
+	tb, err := encoding.NewTable([]encoding.ColumnSpec{
+		{Name: "income", Kind: encoding.KindContinuous},
+	}, db)
+	if err != nil {
+		t.Fatalf("NewTable B: %v", err)
+	}
 	coord := NewShuffleCoordinator(17)
 	la, err := NewLocalClient(ta, coord, 1)
 	if err != nil {
@@ -863,15 +1047,36 @@ func TestWireBytesMatchesEstimate(t *testing.T) {
 	if est <= 0 || got <= 0 {
 		t.Fatalf("stats did not accumulate: estimate %d, wire %d", est, got)
 	}
-	if got <= est {
-		t.Fatalf("measured wire bytes %d should exceed the payload estimate %d (framing overhead)", got, est)
+	// Density-aware bounds. The estimate is a deliberately dense model
+	// (8 B/element for every payload matrix), while the wire picks layouts
+	// per frame: activations and gradients stay dense (so framing overhead
+	// pushes their measurement above the estimate), but one-hot CV batches
+	// compress to about a byte per row. The total therefore sits inside a
+	// sandwich: above half the dense estimate (dense traffic dominates this
+	// run), below 2x (framing overhead bounded).
+	if 2*got <= est {
+		t.Fatalf("measured wire bytes %d under half the estimate %d — dense frames went missing", got, est)
 	}
-	// Framing overhead: 32 B of headers per call, ~11 B metadata per
-	// matrix, plus CV row indices and choices the estimate does not model.
-	// At paper-scale batches that is a few percent; at this test's tiny
-	// batches it stays well under 2x.
 	if got > 2*est {
 		t.Fatalf("measured wire bytes %d more than doubles the estimate %d — framing overhead out of control", got, est)
+	}
+	// The per-method attribution must account for every measured byte.
+	var byMethod int64
+	for _, v := range stats.WireBytesByMethod {
+		byMethod += v
+	}
+	if byMethod != got {
+		t.Fatalf("per-method tally %d != total wire bytes %d", byMethod, got)
+	}
+	// The one-hot CV layout is where density pays: the measured SampleCV
+	// traffic (headers, row indices and choices included) must undercut the
+	// dense 8 B/element CV estimate by at least 5x.
+	cvWire := stats.WireBytesByMethod[wireMethodSampleCV]
+	if cvWire <= 0 || stats.CVBytes <= 0 {
+		t.Fatalf("CV traffic did not accumulate: wire %d, estimate %d", cvWire, stats.CVBytes)
+	}
+	if 5*cvWire >= stats.CVBytes {
+		t.Fatalf("SampleCV wire bytes %d not 5x under the dense estimate %d — one-hot layout not engaged", cvWire, stats.CVBytes)
 	}
 	if err := pa.Close(); err != nil {
 		t.Fatalf("close: %v", err)

@@ -33,13 +33,44 @@ type WireClient struct {
 	// call and never changed mid-training.
 	f32 bool
 
-	// sent/recv count exact framed bytes (headers included) across the
+	// delta enables the delta-encoded snapshot transfer (see SetDelta).
+	delta bool
+
+	// counters tallies exact framed bytes (headers included) across the
 	// connection's whole lifetime, surviving redials.
-	sent atomic.Int64
-	recv atomic.Int64
+	counters wireByteCounters
 
 	mu   sync.Mutex
 	sess *wireSession // guarded by mu
+
+	// snapMu guards the delta-transfer base: the last full snapshot blob
+	// this proxy received, and the responder epoch that produced it. The
+	// cache survives redials (the responder detects staleness by epoch and
+	// falls back to a full transfer).
+	snapMu    sync.Mutex
+	snapBase  []byte
+	snapEpoch uint64
+}
+
+// wireByteCounters tallies framed traffic in both directions, total and
+// attributed per wire method.
+type wireByteCounters struct {
+	sent, recv     atomic.Int64
+	sentBy, recvBy [wireNumMethods]atomic.Int64
+}
+
+func (w *wireByteCounters) addSent(method byte, n int64) {
+	w.sent.Add(n)
+	if int(method) < wireNumMethods {
+		w.sentBy[method].Add(n)
+	}
+}
+
+func (w *wireByteCounters) addRecv(method byte, n int64) {
+	w.recv.Add(n)
+	if int(method) < wireNumMethods {
+		w.recvBy[method].Add(n)
+	}
 }
 
 var _ Client = (*WireClient)(nil)
@@ -69,9 +100,29 @@ func DialWireClientPolicy(network, addr string, p CallPolicy) (*WireClient, erro
 // flag).
 func (c *WireClient) SetFloat32(on bool) { c.f32 = on }
 
+// SetDelta enables the delta-encoded snapshot transfer: after the first
+// full Snapshot fetch, subsequent fetches ship only the byte ranges that
+// changed since the last one, with an epoch tag and checksum forcing a
+// full re-transfer whenever the proxy's base is stale (responder restart,
+// missed fetch). Lossless — the reassembled blob is byte-identical to a
+// full fetch — so it composes with checkpoint golden tests. Off by
+// default.
+func (c *WireClient) SetDelta(on bool) { c.delta = on }
+
 // WireBytes returns the exact framed bytes exchanged with this client in
 // both directions, headers included.
-func (c *WireClient) WireBytes() int64 { return c.sent.Load() + c.recv.Load() }
+func (c *WireClient) WireBytes() int64 {
+	return c.counters.sent.Load() + c.counters.recv.Load()
+}
+
+// WireBytesByMethod returns the same traffic attributed per wire method.
+func (c *WireClient) WireBytesByMethod() WireMethodBytes {
+	var out WireMethodBytes
+	for i := range out {
+		out[i] = c.counters.sentBy[i].Load() + c.counters.recvBy[i].Load()
+	}
+	return out
+}
 
 // session returns the live session, dialing if necessary.
 func (c *WireClient) session() (*wireSession, error) {
@@ -82,7 +133,7 @@ func (c *WireClient) session() (*wireSession, error) {
 		if err != nil {
 			return nil, err
 		}
-		c.sess = newWireSession(conn, &c.sent, &c.recv)
+		c.sess = newWireSession(conn, &c.counters)
 	}
 	return c.sess, nil
 }
@@ -123,9 +174,9 @@ type wireResult struct {
 // writes, and a read-loop goroutine demultiplexing response frames to the
 // callers registered in pending.
 type wireSession struct {
-	conn       net.Conn
-	r          *bufio.Reader // owned by the readLoop goroutine
-	sent, recv *atomic.Int64
+	conn     net.Conn
+	r        *bufio.Reader // owned by the readLoop goroutine
+	counters *wireByteCounters
 
 	wmu sync.Mutex
 	w   *bufio.Writer // guarded by wmu
@@ -136,14 +187,13 @@ type wireSession struct {
 	closed  error                      // guarded by mu; non-nil once the session is dead
 }
 
-func newWireSession(conn net.Conn, sent, recv *atomic.Int64) *wireSession {
+func newWireSession(conn net.Conn, counters *wireByteCounters) *wireSession {
 	s := &wireSession{
-		conn:    conn,
-		r:       bufio.NewReaderSize(conn, 1<<16),
-		w:       bufio.NewWriterSize(conn, 1<<16),
-		sent:    sent,
-		recv:    recv,
-		pending: make(map[uint64]chan wireResult),
+		conn:     conn,
+		r:        bufio.NewReaderSize(conn, 1<<16),
+		w:        bufio.NewWriterSize(conn, 1<<16),
+		counters: counters,
+		pending:  make(map[uint64]chan wireResult),
 	}
 	go s.readLoop()
 	return s
@@ -181,7 +231,7 @@ func (s *wireSession) readLoop() {
 			s.fail(fmt.Errorf("vfl: wire connection lost: %w", err))
 			return
 		}
-		s.recv.Add(wireHeaderLen + int64(h.payloadLen))
+		s.counters.addRecv(h.method, wireHeaderLen+int64(h.payloadLen))
 		s.mu.Lock()
 		ch, ok := s.pending[h.seq]
 		delete(s.pending, h.seq)
@@ -210,7 +260,7 @@ func (s *wireSession) writeFrame(h wireHeader, payload []byte) error {
 	if err := s.w.Flush(); err != nil {
 		return err
 	}
-	s.sent.Add(int64(wireHeaderLen + len(payload)))
+	s.counters.addSent(h.method, int64(wireHeaderLen+len(payload)))
 	return nil
 }
 
@@ -371,9 +421,82 @@ func (c *WireClient) GenerateRows(slice *tensor.Dense) error {
 }
 
 // Snapshot implements Client: it fetches the remote client's checkpoint
-// blob, an opaque KindClient gtvsnap image.
+// blob, an opaque KindClient gtvsnap image. With SetDelta enabled the
+// fetch ships only the byte ranges changed since the previous one (see
+// wiredelta.go); a stale base — responder restarted, checksum mismatch —
+// triggers one transparent full re-fetch.
 func (c *WireClient) Snapshot() ([]byte, error) {
-	return wireCall(c, wireMethodSnapshot, false, nil, func(d *wireDec) []byte { return d.bytes() })
+	if !c.delta {
+		return wireCall(c, wireMethodSnapshot, false, func(e *wireEnc) {
+			e.bool(false)
+		}, func(d *wireDec) []byte { return d.bytes() })
+	}
+	blob, err := c.snapshotDelta()
+	if err != nil && errors.Is(err, errWireSnapStale) {
+		c.snapMu.Lock()
+		c.snapBase, c.snapEpoch = nil, 0
+		c.snapMu.Unlock()
+		blob, err = c.snapshotDelta()
+	}
+	return blob, err
+}
+
+// snapshotDelta runs one delta-capable snapshot fetch against the cached
+// base and updates the cache on success.
+func (c *WireClient) snapshotDelta() ([]byte, error) {
+	c.snapMu.Lock()
+	base, baseEpoch := c.snapBase, c.snapEpoch
+	c.snapMu.Unlock()
+	type snapReply struct {
+		blob  []byte
+		epoch uint64
+	}
+	reply, err := wireCall(c, wireMethodSnapshot, false, func(e *wireEnc) {
+		e.bool(true)
+		if base == nil {
+			e.uvarint(0)
+		} else {
+			e.uvarint(baseEpoch)
+		}
+	}, func(d *wireDec) snapReply {
+		form := d.u8()
+		epoch := d.uvarint()
+		switch form {
+		case wireSnapFull:
+			return snapReply{blob: d.bytes(), epoch: epoch}
+		case wireSnapDelta:
+			crc := d.u32()
+			newLen := int(d.uvarint())
+			if d.err != nil {
+				return snapReply{}
+			}
+			if newLen != len(base) {
+				d.fail("snapshot delta against %d-byte base, have %d: %w", newLen, len(base), errWireSnapStale)
+				return snapReply{}
+			}
+			blob := decodeSnapDelta(d, base, newLen)
+			if blob == nil {
+				return snapReply{}
+			}
+			if snapDeltaCRC(blob) != crc {
+				d.fail("snapshot delta checksum mismatch: %w", errWireSnapStale)
+				return snapReply{}
+			}
+			return snapReply{blob: blob, epoch: epoch}
+		}
+		d.fail("invalid snapshot transfer form %d", form)
+		return snapReply{}
+	})
+	if err != nil {
+		return nil, err
+	}
+	c.snapMu.Lock()
+	// Keep a private copy as the next base: the returned blob escapes to
+	// the caller, which may retain or mutate it.
+	c.snapBase = append([]byte(nil), reply.blob...)
+	c.snapEpoch = reply.epoch
+	c.snapMu.Unlock()
+	return reply.blob, nil
 }
 
 // Restore implements Client: it ships a checkpoint blob back to the

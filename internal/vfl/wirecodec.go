@@ -24,6 +24,29 @@ const (
 	wireElemF32 = 4
 )
 
+// Matrix payload layouts: the first byte of every matrix field. The
+// encoder scans each matrix once and picks the cheapest faithful layout,
+// so layout choice is invisible to decoded values — every layout is
+// lossless for the matrices it admits (f32 element rounding excepted,
+// exactly as in the dense layout) and the sparse ones only apply when the
+// scan proves they reproduce the matrix bit-for-bit.
+const (
+	wireLayoutNil    = 0 // absent matrix (the old presence byte 0)
+	wireLayoutDense  = 1 // raw little-endian elements
+	wireLayoutOneHot = 2 // 0/1 matrix, at most one 1 per row: per-row index
+	wireLayoutBitmap = 3 // 0/1 matrix: row-major LSB-first bitmap
+	wireLayoutSparse = 4 // low density: delta-coded index list plus values
+)
+
+// Bit patterns the density scan classifies against. Comparing bits rather
+// than values keeps the scan lint-clean (no float ==) and strict: -0.0 and
+// denormals near 1 are NOT 0/1, so the bit-set layouts can materialize
+// exact +0.0/+1.0 on decode.
+const (
+	wireBitsZero = 0
+	wireBitsOne  = 0x3FF0000000000000
+)
+
 // wireEnc accumulates one frame payload.
 type wireEnc struct{ buf []byte }
 
@@ -57,36 +80,118 @@ func (e *wireEnc) bool(v bool) {
 	}
 }
 
+// uvarint appends an unsigned LEB128 varint — the field-width-aware
+// packing applied to every shape, length and index field of the format,
+// where the common values (batch sizes, widths, row indices) fit one or
+// two bytes instead of a fixed four or eight.
+func (e *wireEnc) uvarint(v uint64) {
+	e.buf = binary.AppendUvarint(e.buf, v)
+}
+
+// svarint appends a zigzag-coded signed varint (small magnitudes of either
+// sign stay short; condvec uses -1 as a sentinel).
+func (e *wireEnc) svarint(v int64) {
+	e.buf = binary.AppendVarint(e.buf, v)
+}
+
 func (e *wireEnc) str(s string) {
-	e.u32(uint32(len(s)))
+	e.uvarint(uint64(len(s)))
 	e.buf = append(e.buf, s...)
 }
 
 // bytes appends a length-prefixed opaque byte string (checkpoint blobs).
 func (e *wireEnc) bytes(b []byte) {
-	e.u32(uint32(len(b)))
+	e.uvarint(uint64(len(b)))
 	e.buf = append(e.buf, b...)
 }
 
 func (e *wireEnc) ints(v []int) {
-	e.u32(uint32(len(v)))
+	e.uvarint(uint64(len(v)))
 	for _, x := range v {
-		e.i64(int64(x))
+		e.svarint(int64(x))
 	}
 }
 
-// matrix appends m's shape and elements, reading directly from the
-// tensor's backing storage — the float64 data is transformed to
-// little-endian bytes in a single pass with no intermediate copy of the
-// matrix. f32 selects the lossy float32 element encoding.
+// matrix appends m's shape and elements under the cheapest faithful
+// layout: conditional vectors and hard Gumbel outputs (exactly one +1.0
+// per row) travel as per-row indices, 0/1 masks as bitmaps, top-k
+// sparsified gradients as delta-coded index lists, and everything else as
+// raw little-endian elements read directly from the tensor's backing
+// storage. f32 selects the lossy float32 element encoding for the layouts
+// that carry element bytes (dense, index-list); the bit-set layouts are
+// exact in either mode.
 func (e *wireEnc) matrix(m *tensor.Dense, f32 bool) {
 	if m == nil {
-		e.u8(0)
+		e.u8(wireLayoutNil)
 		return
 	}
-	e.u8(1)
-	e.u32(uint32(m.Rows()))
-	e.u32(uint32(m.Cols()))
+	switch scanWireMatrix(m) {
+	case wireLayoutOneHot:
+		e.matrixOneHot(m)
+	case wireLayoutBitmap:
+		e.matrixBitmap(m)
+	case wireLayoutSparse:
+		e.matrixSparse(m, f32)
+	default:
+		e.matrixDense(m, f32)
+	}
+}
+
+// scanWireMatrix classifies m's density in one pass over the raw bits:
+// all elements exactly +0.0/+1.0 with at most one 1 per row selects the
+// one-hot layout, any 0/1 mix the bitmap, at most a quarter nonzero the
+// index list, everything else (including matrices above the sparse
+// decode-allocation cap) the dense layout. The scan bails out to dense as
+// soon as a non-0/1 value and a quarter-density nonzero count have both
+// been seen, so dense activation payloads pay ~n/4 element reads, not a
+// full classification.
+func scanWireMatrix(m *tensor.Dense) byte {
+	data := m.Data()
+	n := len(data)
+	cols := m.Cols()
+	if n == 0 || n > wireMaxSparseElems {
+		return wireLayoutDense
+	}
+	cutoff := n / 4
+	nnz := 0
+	all01 := true
+	oneHot := cols > 0
+	rowNnz, rowEnd := 0, cols
+	for i, v := range data {
+		if i == rowEnd {
+			rowNnz, rowEnd = 0, rowEnd+cols
+		}
+		bits := math.Float64bits(v)
+		if bits == wireBitsZero {
+			continue
+		}
+		nnz++
+		if bits != wireBitsOne {
+			all01 = false
+			if nnz > cutoff {
+				return wireLayoutDense
+			}
+		}
+		rowNnz++
+		if rowNnz > 1 {
+			oneHot = false
+		}
+	}
+	switch {
+	case all01 && oneHot:
+		return wireLayoutOneHot
+	case all01:
+		return wireLayoutBitmap
+	case nnz <= cutoff:
+		return wireLayoutSparse
+	}
+	return wireLayoutDense
+}
+
+func (e *wireEnc) matrixDense(m *tensor.Dense, f32 bool) {
+	e.u8(wireLayoutDense)
+	e.uvarint(uint64(m.Rows()))
+	e.uvarint(uint64(m.Cols()))
 	data := m.Data()
 	if f32 {
 		e.u8(wireElemF32)
@@ -103,33 +208,138 @@ func (e *wireEnc) matrix(m *tensor.Dense, f32 bool) {
 	}
 }
 
+// matrixOneHot writes one varint per row: the hot column plus one, zero
+// meaning an all-zero row. ~1 byte/row instead of 8 bytes/element.
+func (e *wireEnc) matrixOneHot(m *tensor.Dense) {
+	e.u8(wireLayoutOneHot)
+	rows, cols := m.Rows(), m.Cols()
+	e.uvarint(uint64(rows))
+	e.uvarint(uint64(cols))
+	for i := 0; i < rows; i++ {
+		hot := uint64(0)
+		for j, v := range m.RawRow(i) {
+			if math.Float64bits(v) == wireBitsOne {
+				hot = uint64(j) + 1
+				break
+			}
+		}
+		e.uvarint(hot)
+	}
+}
+
+// matrixHot is matrixOneHot fed from a precomputed hot-index slice
+// (condvec.Batch.Hot, hot[i] < 0 for an all-zero row), skipping the
+// density scan and the per-row search entirely. A hot slice that does not
+// cover every row falls back to the scanning encoder.
+func (e *wireEnc) matrixHot(m *tensor.Dense, hot []int) {
+	if m == nil || len(hot) != m.Rows() {
+		e.matrix(m, false)
+		return
+	}
+	e.u8(wireLayoutOneHot)
+	e.uvarint(uint64(m.Rows()))
+	e.uvarint(uint64(m.Cols()))
+	for _, h := range hot {
+		if h < 0 {
+			e.uvarint(0)
+		} else {
+			e.uvarint(uint64(h) + 1)
+		}
+	}
+}
+
+// matrixBitmap packs a 0/1 matrix into a row-major LSB-first bitmap over
+// the flattened element index: n/8 bytes instead of 8n.
+func (e *wireEnc) matrixBitmap(m *tensor.Dense) {
+	e.u8(wireLayoutBitmap)
+	rows, cols := m.Rows(), m.Cols()
+	e.uvarint(uint64(rows))
+	e.uvarint(uint64(cols))
+	data := m.Data()
+	nbytes := (len(data) + 7) / 8
+	e.buf = growWireBuf(e.buf, nbytes)
+	start := len(e.buf)
+	e.buf = e.buf[:start+nbytes]
+	clear(e.buf[start:])
+	for i, v := range data {
+		if math.Float64bits(v) == wireBitsOne {
+			e.buf[start+i/8] |= 1 << (uint(i) % 8)
+		}
+	}
+}
+
+// matrixSparse writes the nonzero elements as a delta-coded ascending
+// index list with their values — the layout top-k sparsified gradients
+// take, ~(1+elemSize) bytes per nonzero.
+func (e *wireEnc) matrixSparse(m *tensor.Dense, f32 bool) {
+	e.u8(wireLayoutSparse)
+	e.uvarint(uint64(m.Rows()))
+	e.uvarint(uint64(m.Cols()))
+	data := m.Data()
+	elem := byte(wireElemF64)
+	if f32 {
+		elem = wireElemF32
+	}
+	e.u8(elem)
+	nnz := 0
+	for _, v := range data {
+		if math.Float64bits(v) != wireBitsZero {
+			nnz++
+		}
+	}
+	e.uvarint(uint64(nnz))
+	prev := -1
+	for i, v := range data {
+		if math.Float64bits(v) == wireBitsZero {
+			continue
+		}
+		if prev < 0 {
+			e.uvarint(uint64(i))
+		} else {
+			e.uvarint(uint64(i - prev))
+		}
+		prev = i
+		if f32 {
+			e.buf = binary.LittleEndian.AppendUint32(e.buf, math.Float32bits(float32(v)))
+		} else {
+			e.buf = binary.LittleEndian.AppendUint64(e.buf, math.Float64bits(v))
+		}
+	}
+}
+
 func (e *wireEnc) choices(cs []condvec.Choice) {
-	e.u32(uint32(len(cs)))
+	e.uvarint(uint64(len(cs)))
 	for _, c := range cs {
-		e.i64(int64(c.Span))
-		e.i64(int64(c.Category))
+		e.svarint(int64(c.Span))
+		e.svarint(int64(c.Category))
 	}
 }
 
 func (e *wireEnc) specs(ss []encoding.ColumnSpec) {
-	e.u32(uint32(len(ss)))
+	e.uvarint(uint64(len(ss)))
 	for i := range ss {
 		s := &ss[i]
 		e.str(s.Name)
 		e.u8(byte(s.Kind))
-		e.u32(uint32(len(s.Categories)))
+		e.uvarint(uint64(len(s.Categories)))
 		for _, c := range s.Categories {
 			e.str(c)
 		}
-		e.u32(uint32(len(s.SpecialValues)))
+		e.uvarint(uint64(len(s.SpecialValues)))
 		for _, v := range s.SpecialValues {
 			e.f64(v)
 		}
 	}
 }
 
+// cvBatch rides the Batch.Hot sparse representation straight onto the wire
+// when the sampler provided it, skipping the density scan.
 func (e *wireEnc) cvBatch(b *condvec.Batch, f32 bool) {
-	e.matrix(b.CV, f32)
+	if b.CV != nil && len(b.Hot) == b.CV.Rows() {
+		e.matrixHot(b.CV, b.Hot)
+	} else {
+		e.matrix(b.CV, f32)
+	}
 	e.ints(b.Rows)
 	e.choices(b.Choices)
 }
@@ -244,8 +454,38 @@ func (d *wireDec) f64() float64 {
 
 func (d *wireDec) bool() bool { return d.u8() != 0 }
 
+// uvarint decodes an unsigned LEB128 varint. Both truncation (n == 0) and
+// a value overflowing 64 bits (n < 0) fail the decoder; encoders emit
+// minimal varints, so there is no partial-prefix ambiguity to tolerate.
+func (d *wireDec) uvarint() uint64 {
+	if d.err != nil {
+		return 0
+	}
+	v, n := binary.Uvarint(d.buf[d.off:])
+	if n <= 0 {
+		d.fail("invalid varint at offset %d", d.off)
+		return 0
+	}
+	d.off += n
+	return v
+}
+
+// svarint decodes a zigzag-coded signed varint.
+func (d *wireDec) svarint() int64 {
+	if d.err != nil {
+		return 0
+	}
+	v, n := binary.Varint(d.buf[d.off:])
+	if n <= 0 {
+		d.fail("invalid varint at offset %d", d.off)
+		return 0
+	}
+	d.off += n
+	return v
+}
+
 func (d *wireDec) str() string {
-	n := d.u32()
+	n := d.uvarint()
 	b := d.take(int(n))
 	if b == nil {
 		return ""
@@ -257,7 +497,7 @@ func (d *wireDec) str() string {
 // the frame buffer it would otherwise alias is pooled and reused as soon
 // as the call dispatches.
 func (d *wireDec) bytes() []byte {
-	n := d.u32()
+	n := d.uvarint()
 	b := d.take(int(n))
 	if b == nil {
 		return nil
@@ -268,30 +508,70 @@ func (d *wireDec) bytes() []byte {
 }
 
 func (d *wireDec) ints() []int {
-	n := int(d.u32())
-	if d.take(0) == nil || n > (len(d.buf)-d.off)/8 {
+	n := int(d.uvarint())
+	// Each encoded int is at least one byte, so the remaining payload
+	// bounds the count before the output slice is allocated.
+	if d.take(0) == nil || n > len(d.buf)-d.off {
 		d.fail("int slice length %d exceeds payload", n)
 		return nil
 	}
 	out := make([]int, n)
 	for i := range out {
-		out[i] = int(d.i64())
+		out[i] = int(d.svarint())
 	}
 	return out
 }
 
-// matrix decodes a matrix into a buffer drawn from the tensor free list
-// (tensor.NewPooledUninit — every element is overwritten below), so the
-// receive path allocates nothing when a same-shape buffer was Released by
-// an earlier step. Ownership passes to the caller; see the release rules
-// in wireclient.go / wireserver.go for who hands it back.
+// matrix decodes a matrix in any wire layout into a buffer drawn from the
+// tensor free list, so the receive path allocates nothing when a
+// same-shape buffer was Released by an earlier step. Ownership passes to
+// the caller; see the release rules in wireclient.go / wireserver.go for
+// who hands it back.
 func (d *wireDec) matrix() *tensor.Dense {
-	tag := d.u8()
-	if d.err != nil || tag == 0 {
-		return nil
+	m, _ := d.matrixHot()
+	return m
+}
+
+// matrixHot decodes a matrix and, for the one-hot layout, also returns the
+// per-row hot indices (-1 for an all-zero row) so conditional-vector
+// receivers can keep the sparse representation alongside the dense tensor.
+// Other layouts return a nil hot slice.
+func (d *wireDec) matrixHot() (*tensor.Dense, []int) {
+	layout := d.u8()
+	if d.err != nil || layout == wireLayoutNil {
+		return nil, nil
 	}
-	rows := int(d.u32())
-	cols := int(d.u32())
+	rows := int(d.uvarint())
+	cols := int(d.uvarint())
+	if d.err != nil {
+		return nil, nil
+	}
+	switch layout {
+	case wireLayoutDense:
+		return d.matrixDense(rows, cols), nil
+	case wireLayoutOneHot:
+		return d.matrixOneHot(rows, cols)
+	case wireLayoutBitmap:
+		return d.matrixBitmap(rows, cols), nil
+	case wireLayoutSparse:
+		return d.matrixSparse(rows, cols), nil
+	}
+	d.fail("invalid matrix layout %d", layout)
+	return nil, nil
+}
+
+// checkSparseShape bounds the dense expansion of the sparse layouts, whose
+// wire size is far below 8 B/element: without the cap a tiny frame could
+// claim a huge shape and make the decoder allocate gigabytes.
+func (d *wireDec) checkSparseShape(rows, cols int) bool {
+	if rows < 0 || cols < 0 || (cols != 0 && rows > wireMaxSparseElems/cols) || (cols == 0 && rows > wireMaxSparseElems) {
+		d.fail("sparse matrix shape %dx%d exceeds element limit %d", rows, cols, wireMaxSparseElems)
+		return false
+	}
+	return true
+}
+
+func (d *wireDec) matrixDense(rows, cols int) *tensor.Dense {
 	elem := int(d.u8())
 	if d.err != nil {
 		return nil
@@ -302,7 +582,7 @@ func (d *wireDec) matrix() *tensor.Dense {
 	}
 	// Bounding rows by remaining/(cols*elem) both rejects shapes larger
 	// than the payload and keeps rows*cols*elem from overflowing below.
-	if cols != 0 && rows > (len(d.buf)-d.off)/(cols*elem) {
+	if rows < 0 || cols < 0 || (cols != 0 && rows > (len(d.buf)-d.off)/(cols*elem)) {
 		d.fail("matrix shape %dx%d exceeds payload", rows, cols)
 		return nil
 	}
@@ -325,22 +605,130 @@ func (d *wireDec) matrix() *tensor.Dense {
 	return out
 }
 
+func (d *wireDec) matrixOneHot(rows, cols int) (*tensor.Dense, []int) {
+	if !d.checkSparseShape(rows, cols) {
+		return nil, nil
+	}
+	// Each row costs at least one varint byte.
+	if rows > len(d.buf)-d.off {
+		d.fail("one-hot matrix rows %d exceed payload", rows)
+		return nil, nil
+	}
+	hot := make([]int, rows)
+	for i := range hot {
+		h := d.uvarint()
+		if d.err != nil {
+			return nil, nil
+		}
+		if h == 0 {
+			hot[i] = -1
+			continue
+		}
+		if h > uint64(cols) {
+			d.fail("one-hot index %d out of range for %d columns", h-1, cols)
+			return nil, nil
+		}
+		hot[i] = int(h) - 1
+	}
+	return tensor.NewPooledOneHot(rows, cols, hot), hot
+}
+
+func (d *wireDec) matrixBitmap(rows, cols int) *tensor.Dense {
+	if !d.checkSparseShape(rows, cols) {
+		return nil
+	}
+	n := rows * cols
+	raw := d.take((n + 7) / 8)
+	if raw == nil {
+		return nil
+	}
+	// Trailing pad bits must be zero so each matrix has exactly one
+	// encoding (golden fixtures and the byte-accounting tests rely on it).
+	if n%8 != 0 && raw[len(raw)-1]>>(uint(n)%8) != 0 {
+		d.fail("bitmap matrix has nonzero padding bits")
+		return nil
+	}
+	return tensor.NewPooledBitmap(rows, cols, raw)
+}
+
+func (d *wireDec) matrixSparse(rows, cols int) *tensor.Dense {
+	if !d.checkSparseShape(rows, cols) {
+		return nil
+	}
+	elem := int(d.u8())
+	if d.err != nil {
+		return nil
+	}
+	if elem != wireElemF64 && elem != wireElemF32 {
+		d.fail("invalid matrix element size %d", elem)
+		return nil
+	}
+	nnz := int(d.uvarint())
+	// Each entry costs at least one index byte plus elem value bytes.
+	if d.err != nil || nnz < 0 || nnz > (len(d.buf)-d.off)/(1+elem) {
+		d.fail("sparse matrix nnz %d exceeds payload", nnz)
+		return nil
+	}
+	n := rows * cols
+	out := tensor.NewPooled(rows, cols)
+	data := out.Data()
+	pos := -1
+	for range nnz {
+		delta := d.uvarint()
+		if d.err != nil {
+			out.Release()
+			return nil
+		}
+		if pos < 0 {
+			pos = int(delta)
+		} else if delta == 0 || delta > uint64(n) {
+			d.fail("sparse matrix index delta %d not strictly ascending", delta)
+			out.Release()
+			return nil
+		} else {
+			pos += int(delta)
+		}
+		if pos < 0 || pos >= n {
+			d.fail("sparse matrix index %d out of range for %d elements", pos, n)
+			out.Release()
+			return nil
+		}
+		if elem == wireElemF32 {
+			b := d.take(4)
+			if b == nil {
+				out.Release()
+				return nil
+			}
+			data[pos] = float64(math.Float32frombits(binary.LittleEndian.Uint32(b)))
+		} else {
+			b := d.take(8)
+			if b == nil {
+				out.Release()
+				return nil
+			}
+			data[pos] = math.Float64frombits(binary.LittleEndian.Uint64(b))
+		}
+	}
+	return out
+}
+
 func (d *wireDec) choices() []condvec.Choice {
-	n := int(d.u32())
-	if d.take(0) == nil || n > (len(d.buf)-d.off)/16 {
+	n := int(d.uvarint())
+	// Each choice costs at least two varint bytes.
+	if d.take(0) == nil || n > (len(d.buf)-d.off)/2 {
 		d.fail("choice slice length %d exceeds payload", n)
 		return nil
 	}
 	out := make([]condvec.Choice, n)
 	for i := range out {
-		out[i].Span = int(d.i64())
-		out[i].Category = int(d.i64())
+		out[i].Span = int(d.svarint())
+		out[i].Category = int(d.svarint())
 	}
 	return out
 }
 
 func (d *wireDec) specs() []encoding.ColumnSpec {
-	n := int(d.u32())
+	n := int(d.uvarint())
 	if d.take(0) == nil || n > len(d.buf)-d.off {
 		d.fail("spec slice length %d exceeds payload", n)
 		return nil
@@ -350,7 +738,7 @@ func (d *wireDec) specs() []encoding.ColumnSpec {
 		s := &out[i]
 		s.Name = d.str()
 		s.Kind = encoding.ColumnKind(d.u8())
-		ncat := int(d.u32())
+		ncat := int(d.uvarint())
 		if d.take(0) == nil || ncat > len(d.buf)-d.off {
 			d.fail("category count %d exceeds payload", ncat)
 			return nil
@@ -361,7 +749,7 @@ func (d *wireDec) specs() []encoding.ColumnSpec {
 				s.Categories[j] = d.str()
 			}
 		}
-		nsp := int(d.u32())
+		nsp := int(d.uvarint())
 		if d.take(0) == nil || nsp > (len(d.buf)-d.off)/8 {
 			d.fail("special value count %d exceeds payload", nsp)
 			return nil
@@ -377,7 +765,8 @@ func (d *wireDec) specs() []encoding.ColumnSpec {
 }
 
 func (d *wireDec) cvBatch() *condvec.Batch {
-	return &condvec.Batch{CV: d.matrix(), Rows: d.ints(), Choices: d.choices()}
+	cv, hot := d.matrixHot()
+	return &condvec.Batch{CV: cv, Hot: hot, Rows: d.ints(), Choices: d.choices()}
 }
 
 func (d *wireDec) setup() Setup {

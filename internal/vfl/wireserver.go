@@ -6,6 +6,7 @@ import (
 	"fmt"
 	"net"
 	"sync"
+	"sync/atomic"
 
 	"repro/internal/tensor"
 )
@@ -84,12 +85,30 @@ func (t *wireSliceTracker) releaseAll() {
 	}
 }
 
+// wireSnapEpoch assigns a fresh process-unique epoch to every snapshot
+// blob served with delta capability, so a peer holding a base from before
+// a responder restart can never have its epoch matched — it gets a full
+// transfer instead of a delta against the wrong base.
+var wireSnapEpoch atomic.Uint64
+
+// wireSnapCache remembers, per connection, the last snapshot blob served
+// to a delta-capable peer and its epoch, the base the next fetch's delta
+// is computed against. Dying with the connection is correct: after a
+// redial the responder has no base and serves full, which is exactly the
+// resync the peer needs.
+type wireSnapCache struct {
+	mu    sync.Mutex
+	epoch uint64 // guarded by mu
+	blob  []byte // guarded by mu
+}
+
 // serveWireConn reads request frames off one connection and dispatches
 // each in its own goroutine.
 func serveWireConn(conn net.Conn, c Client) {
 	r := bufio.NewReaderSize(conn, 1<<16)
 	cw := &wireConnWriter{w: bufio.NewWriterSize(conn, 1<<16)}
 	slices := &wireSliceTracker{}
+	snaps := &wireSnapCache{}
 	for {
 		h, payload, err := readWireFrame(r)
 		if err != nil {
@@ -105,16 +124,16 @@ func serveWireConn(conn net.Conn, c Client) {
 			_ = conn.Close()
 			return
 		}
-		go serveWireRequest(c, cw, slices, h, payload)
+		go serveWireRequest(c, cw, slices, snaps, h, payload)
 	}
 }
 
 // serveWireRequest decodes one request, runs the protocol step, and writes
 // the response (or error) frame.
-func serveWireRequest(c Client, cw *wireConnWriter, slices *wireSliceTracker, h wireHeader, payload []byte) {
+func serveWireRequest(c Client, cw *wireConnWriter, slices *wireSliceTracker, snaps *wireSnapCache, h wireHeader, payload []byte) {
 	dec := newWireDec(payload)
 	enc := newWireEnc()
-	err := dispatchWireMethod(c, slices, h.method, h.flags&wireFlagF32 != 0, dec, enc)
+	err := dispatchWireMethod(c, slices, snaps, h.method, h.flags&wireFlagF32 != 0, dec, enc)
 	putWireBuf(payload)
 	kind := byte(wireKindResponse)
 	if err != nil {
@@ -147,7 +166,7 @@ func serveWireRequest(c Client, cw *wireConnWriter, slices *wireSliceTracker, h 
 // (graph leaves are shielded from the client's tape) and released here,
 // while ForwardSynthetic slices stay live inside the client's retained
 // graph until the phase's backward and are parked in the tracker instead.
-func dispatchWireMethod(c Client, slices *wireSliceTracker, method byte, f32 bool, dec *wireDec, enc *wireEnc) error {
+func dispatchWireMethod(c Client, slices *wireSliceTracker, snaps *wireSnapCache, method byte, f32 bool, dec *wireDec, enc *wireEnc) error {
 	switch method {
 	case wireMethodInfo:
 		if err := dec.finish(); err != nil {
@@ -298,6 +317,11 @@ func dispatchWireMethod(c Client, slices *wireSliceTracker, method byte, f32 boo
 		return nil
 
 	case wireMethodSnapshot:
+		capable := dec.bool()
+		var haveEpoch uint64
+		if capable {
+			haveEpoch = dec.uvarint()
+		}
 		if err := dec.finish(); err != nil {
 			return err
 		}
@@ -305,7 +329,12 @@ func dispatchWireMethod(c Client, slices *wireSliceTracker, method byte, f32 boo
 		if err != nil {
 			return err
 		}
-		enc.bytes(blob)
+		if !capable {
+			// Plain body for peers without delta mode: just the blob.
+			enc.bytes(blob)
+			return nil
+		}
+		encodeWireSnapshot(enc, snaps, blob, haveEpoch)
 		return nil
 
 	case wireMethodRestore:
