@@ -16,22 +16,32 @@ vet:
 
 # Domain-specific static analysis (internal/lint): pool/tape lifetimes,
 # seeded-randomness discipline, map-order determinism, float comparison
-# hygiene, mutex-guard annotations, dropped errors, and the privflow
-# privacy-boundary taint analysis. Findings are cached under .lintcache/
-# keyed by file contents, so unchanged repeat runs skip type-checking.
+# hygiene, mutex-guard annotations, dropped errors, the privflow
+# privacy-boundary taint analysis, and the concurrency suite — lockorder
+# (lock-acquisition cycles, blocking ops under a held lock), goroleak
+# (every spawned goroutine needs a provable exit path), and cancelflow
+# (deadlines propagate into every blocking callee on the fan-out path).
+# Findings are cached under .lintcache/ keyed by file contents, so
+# unchanged repeat runs skip type-checking; -timing prints per-rule wall
+# time so a cache regression shows up as nonzero time on a warm run.
 lint:
-	$(GO) run ./cmd/gtv-lint ./...
+	$(GO) run ./cmd/gtv-lint -timing ./...
 
 # Machine-readable findings for tooling; exit status 1 (findings exist)
 # still writes the report, only a lint crash (exit 2) fails the target.
 lint-json:
-	$(GO) run ./cmd/gtv-lint -json ./... > LINT_findings.json || [ $$? -eq 1 ]
+	$(GO) run ./cmd/gtv-lint -json -timing ./... > LINT_findings.json || [ $$? -eq 1 ]
 
 test:
 	$(GO) test ./...
 
 # Race-detector runs: short mode across the module (heavy GAN-training
-# tests skip themselves), full mode for the concurrency-critical packages.
+# tests skip themselves; everything concurrency-relevant still runs),
+# full mode for the concurrency-critical packages — including the
+# teardown tests that assert goroutine counts return to baseline after
+# Close. internal/core stays off the full-mode list on purpose: its
+# non-short tests are race-instrumented GAN training (~90s of matmul)
+# with no goroutine coverage the vfl/tensor passes don't already have.
 race:
 	$(GO) test -race -short ./...
 	$(GO) test -race ./internal/vfl/... ./internal/tensor/... ./internal/autograd/...

@@ -1,16 +1,19 @@
 #!/bin/sh
 # ci.sh — the checks every change must pass, in increasing cost order:
 # vet, the repo's own static analyzers (gtv-lint: lifetimes, determinism,
-# guarded fields, dropped errors, and the privflow privacy-boundary taint
-# analysis — see DESIGN.md "Static analysis" and "Privacy boundary"),
-# build, full tests (the lint fixture packages, privflow's included, run
-# even under -short), then the race detector over the whole module in
-# short mode (GAN-training tests skip themselves) and in full mode over
-# the concurrency-critical packages (the vfl protocol driver, the gtvwire
-# pipelined transport — demux goroutine, per-request server goroutines,
-# shared frame-buffer pool — and the tensor/autograd substrate — worker
-# pool, buffer free lists — it fans out over). Last, a short-budget pass
-# over every fuzzer in the module (snapshot decoder, wire frame decoder,
+# guarded fields, dropped errors, the privflow privacy-boundary taint
+# analysis, and the concurrency suite — lockorder, goroleak, cancelflow —
+# see DESIGN.md "Static analysis", "Privacy boundary", and "Concurrency
+# rules"), build, full tests (the lint fixture packages run even under
+# -short), then the race detector over the whole module in short mode
+# (GAN-training tests skip themselves; every concurrency path still runs)
+# and in full mode over the concurrency-critical packages (the vfl
+# protocol driver and its teardown tests — goroutine counts must return
+# to baseline after Close — the gtvwire pipelined transport with its
+# demux goroutine, per-connection server goroutines, and shared
+# frame-buffer pool, and the tensor/autograd substrate — worker pool,
+# buffer free lists — it fans out over). Last, a short-budget pass over
+# every fuzzer in the module (snapshot decoder, wire frame decoder,
 # matmul kernel) so decoder defenses regress loudly, not silently.
 set -eux
 

@@ -46,6 +46,7 @@ func run(args []string, stdout *os.File) (int, error) {
 		rules   = fs.String("rules", "", "comma-separated rule subset (default: all)")
 		jsonOut = fs.Bool("json", false, "emit findings as JSON")
 		nocache = fs.Bool("nocache", false, "bypass the findings cache")
+		timing  = fs.Bool("timing", false, "print per-rule wall time on stderr (cached rules show 0, so cache regressions are visible)")
 	)
 	if err := fs.Parse(args); err != nil {
 		return 2, err
@@ -69,9 +70,21 @@ func run(args []string, stdout *os.File) (int, error) {
 		}
 	}
 
+	names := make([]string, 0, len(analyzers))
+	for _, a := range analyzers {
+		names = append(names, a.Name)
+	}
+	var timings *lint.Timings
+	if *timing {
+		analyzers, timings = lint.Instrument(analyzers)
+	}
+
 	findings, err := collectFindings(*root, analyzers, *nocache)
 	if err != nil {
 		return 2, err
+	}
+	if timings != nil {
+		fmt.Fprint(os.Stderr, timings.Summary())
 	}
 
 	// Positional arguments filter reported paths; "./..." (or none) means
@@ -93,9 +106,13 @@ func run(args []string, stdout *os.File) (int, error) {
 	}
 
 	if *jsonOut {
+		doc := report{Count: len(shown), Rules: names, Findings: shown}
+		if timings != nil {
+			doc.TimingsMs = timings.Milliseconds()
+		}
 		enc := json.NewEncoder(stdout)
 		enc.SetIndent("", "  ")
-		if err := enc.Encode(report{Count: len(shown), Findings: shown}); err != nil {
+		if err := enc.Encode(doc); err != nil {
 			return 2, err
 		}
 		if len(shown) > 0 {
@@ -116,11 +133,15 @@ func run(args []string, stdout *os.File) (int, error) {
 	return 0, nil
 }
 
-// report is the -json document: the finding count and the findings, each
-// with rule, position, message, and (for privflow) the taint path.
+// report is the -json document: the finding count, the rule set that ran
+// (so consumers can tell "no findings" from "rule not enabled"), the
+// findings — each with rule, position, message, and (for module rules)
+// the hop path — and, under -timing, per-rule wall time in milliseconds.
 type report struct {
-	Count    int
-	Findings []lint.Finding
+	Count     int
+	Rules     []string
+	Findings  []lint.Finding
+	TimingsMs map[string]float64 `json:",omitempty"`
 }
 
 // collectFindings produces the module's findings, through the cache

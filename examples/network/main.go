@@ -44,6 +44,7 @@ func main() {
 		if err != nil {
 			log.Fatal(err)
 		}
+		//lint:ignore goroleak demo serve loop: it lives for the life of the example process and dies with it
 		go func() {
 			if err := vfl.ServeClientWire(lis, local); err != nil {
 				log.Println("client server:", err)

@@ -254,6 +254,7 @@ func (g *GTV) connectTransport(ifaces []vfl.Client, opts Options) error {
 		g.listeners = append(g.listeners, lis)
 		serve := c
 		if opts.Transport == "binary" {
+			//lint:ignore goroleak serve-loop daemon: it exits when Close shuts the listener, which also closes every served connection
 			go func() {
 				//lint:ignore errdrop the serve loop ends when Close shuts the listener
 				_ = vfl.ServeClientWire(lis, serve)
@@ -269,6 +270,7 @@ func (g *GTV) connectTransport(ifaces []vfl.Client, opts Options) error {
 			g.proxies = append(g.proxies, wc)
 			continue
 		}
+		//lint:ignore goroleak serve-loop daemon: it exits when Close shuts the listener, which also closes every served connection
 		go func() {
 			//lint:ignore errdrop the serve loop ends when Close shuts the listener
 			_ = vfl.ServeClient(lis, serve)

@@ -84,6 +84,75 @@ func TestCacheSaltCoversRuleSet(t *testing.T) {
 	}
 }
 
+// TestCacheSaltCoversAnalyzerSources pins the salt's self-invalidation
+// contract for the concurrency suite: editing an analyzer source file
+// under internal/lint (say lockorder.go) must change the salt — so every
+// cached entry, per-package and module, goes stale the moment a rule's
+// implementation changes — while editing only a testdata fixture must
+// NOT (fixtures feed the analyzer's own tests, not the analysis of the
+// target module, and testdata trees sit outside the hashed package set).
+func TestCacheSaltCoversAnalyzerSources(t *testing.T) {
+	// The three concurrency-rule sources must actually live in
+	// internal/lint: that placement is what puts them inside the salted
+	// package, and this test's temp-module contract depends on it.
+	for _, src := range []string{"lockorder.go", "goroleak.go", "cancelflow.go", "concurrency.go"} {
+		if _, err := os.Stat(src); err != nil {
+			t.Fatalf("analyzer source %s not in internal/lint: %v", src, err)
+		}
+	}
+
+	root := t.TempDir()
+	writeTree(t, root, map[string]string{
+		"go.mod":                               "module example.com/m\n\ngo 1.21\n",
+		"internal/lint/lockorder.go":           "package lint\n\nvar ruleLockOrder = 1\n",
+		"internal/lint/testdata/src/lo/fix.go": "package lo\n\nvar Fixture = 1\n",
+		"cmd/gtv-lint/main.go":                 "package main\n\nfunc main() {}\n",
+		"internal/vfl/client.go":               "package vfl\n\nvar Client = 1\n",
+	})
+	rules := []string{"lockorder", "goroleak", "cancelflow"}
+	ix1, err := BuildModuleIndex(root)
+	if err != nil {
+		t.Fatal(err)
+	}
+	salt1 := CacheSalt(ix1, rules)
+
+	// An analyzer-source edit (even comment-only) must move the salt.
+	path := filepath.Join(root, "internal", "lint", "lockorder.go")
+	if err := os.WriteFile(path, []byte("package lint\n\n// tightened cycle check\nvar ruleLockOrder = 1\n"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	ix2, err := BuildModuleIndex(root)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if CacheSalt(ix2, rules) == salt1 {
+		t.Error("salt unchanged after editing an analyzer source file")
+	}
+
+	// A fixture-only edit must leave the salt (and the analyzer package
+	// key) alone: fixtures are test inputs, not analysis semantics.
+	salt2 := CacheSalt(ix2, rules)
+	fixture := filepath.Join(root, "internal", "lint", "testdata", "src", "lo", "fix.go")
+	if err := os.WriteFile(fixture, []byte("package lo\n\nvar Fixture = 2\n"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	ix3, err := BuildModuleIndex(root)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ix3.PackageKey("internal/lint") != ix2.PackageKey("internal/lint") {
+		t.Error("internal/lint package key moved on a fixture-only edit")
+	}
+	if CacheSalt(ix3, rules) != salt2 {
+		t.Error("salt moved on a fixture-only edit")
+	}
+	// The target module's own packages stay cacheable across both edits:
+	// analyzer changes invalidate via the salt, not via package keys.
+	if ix3.PackageKey("internal/vfl") != ix1.PackageKey("internal/vfl") {
+		t.Error("analyzed-package key moved although only analyzer/fixture files changed")
+	}
+}
+
 // TestCacheRoundTrip covers Get/Put/Prune: a put entry hits with its
 // findings (paths included) intact, unknown keys miss, and pruning with
 // an empty live set empties the cache.

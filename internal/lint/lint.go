@@ -128,6 +128,9 @@ func Analyzers() []*Analyzer {
 		AnalyzerErrDrop,
 		AnalyzerPrivFlow,
 		AnalyzerSnapState,
+		AnalyzerLockOrder,
+		AnalyzerGoroLeak,
+		AnalyzerCancelFlow,
 	}
 }
 

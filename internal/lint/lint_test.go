@@ -27,6 +27,9 @@ var fixtureCases = []struct {
 	{"floateq", "testdata/src/suppress", "suppress"},
 	{"privflow", "testdata/src/privflow", "privflow"},
 	{"snapstate", "testdata/src/snapstate", "snapstate"},
+	{"lockorder", "testdata/src/lockorder", "lockorder"},
+	{"goroleak", "testdata/src/goroleak", "goroleak"},
+	{"cancelflow", "testdata/src/cancelflow", "cancelflow"},
 }
 
 func TestAnalyzersOnFixtures(t *testing.T) {

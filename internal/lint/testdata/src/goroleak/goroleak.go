@@ -1,0 +1,146 @@
+// Fixture for the goroleak rule: every spawned goroutine needs a provable
+// exit path, and sends on unbuffered channels need a guaranteed receiver.
+package goroleak
+
+import (
+	"context"
+	"sync"
+)
+
+func poll() bool { return false }
+
+func compute() int { return 42 }
+
+// An infinite loop with no cancellation arm: nothing ever stops it.
+func badSpin() {
+	go func() { // want "goroutine \\(func literal\\) has no provable exit path: infinite for loop without a cancellation select arm"
+		for {
+			poll()
+		}
+	}()
+}
+
+// A close-signal select arm whose body returns is a provable exit.
+func goodDone(done chan struct{}) {
+	go func() {
+		for {
+			select {
+			case <-done:
+				return
+			default:
+			}
+			poll()
+		}
+	}()
+}
+
+// ctx.Done() is the canonical cancellation arm.
+func goodCtx(ctx context.Context, work chan int) {
+	go func() {
+		for {
+			select {
+			case <-ctx.Done():
+				return
+			case v := <-work:
+				_ = v
+			}
+		}
+	}()
+}
+
+// WaitGroup pairing: the spawner observes the exit, even if the loop's
+// own termination is too dynamic to prove.
+func goodWGDaemon() {
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		for {
+			if poll() {
+				return
+			}
+		}
+	}()
+	wg.Wait()
+}
+
+// A bounded loop terminates on its own: clean.
+func goodBounded() {
+	go func() {
+		for i := 0; i < 10; i++ {
+			poll()
+		}
+	}()
+}
+
+// feed is never closed anywhere in the package, so ranging over it can
+// never finish.
+var feed = make(chan int)
+
+func badRange() {
+	go func() { // want "goroutine \\(func literal\\) has no provable exit path: range over channel feed, which nothing ever closes"
+		for range feed {
+		}
+	}()
+}
+
+// jobs is closed below, so the range drains and exits.
+func goodClosedRange() {
+	jobs := make(chan int, 4)
+	go func() {
+		for range jobs {
+		}
+	}()
+	close(jobs)
+}
+
+// A named daemon is caught the same way as a literal.
+func spin() {
+	for {
+		poll()
+	}
+}
+
+func badNamed() {
+	go spin() // want "goroutine \\(spin\\) has no provable exit path: infinite for loop without a cancellation select arm"
+}
+
+// ...including transitively through a clean-looking wrapper.
+func runForever() {
+	spin()
+}
+
+func badVia() {
+	go runForever() // want "goroutine \\(runForever\\) has no provable exit path: infinite for loop without a cancellation select arm \\(via spin\\)"
+}
+
+// The abandoned-result leak: if the caller stops listening, the send
+// blocks forever and the goroutine never exits.
+func badSend() chan int {
+	ch := make(chan int)
+	go func() {
+		ch <- compute() // want "send on unbuffered channel ch inside a goroutine: if every receiver abandons it \\(timeout, early return\\) the goroutine leaks"
+	}()
+	return ch
+}
+
+// Buffering by one lets the sender complete unconditionally.
+func goodBuffered() chan int {
+	ch := make(chan int, 1)
+	go func() {
+		ch <- compute()
+	}()
+	return ch
+}
+
+// A select with an escape arm also bounds the send.
+func goodSelectSend(done chan struct{}) chan int {
+	ch := make(chan int)
+	go func() {
+		select {
+		case ch <- compute():
+		case <-done:
+		}
+	}()
+	return ch
+}

@@ -214,6 +214,7 @@ func startWorkers() {
 	}
 	taskCh = make(chan kernelTask, 8*numWorkers)
 	for i := 0; i < numWorkers-1; i++ {
+		//lint:ignore goroleak process-lifetime kernel worker pool: taskCh is deliberately never closed, the workers die with the process
 		go func() {
 			for t := range taskCh {
 				runKernelRange(t)

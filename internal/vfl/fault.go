@@ -67,8 +67,10 @@ func (f *FaultyTransport) DropNext(n int) {
 	f.mu.Unlock()
 }
 
-// Release unblocks all dropped calls, present and future. Tests call it in
-// cleanup so leaked attempt goroutines exit.
+// Release unblocks all dropped and delayed calls, present and future:
+// dropped calls fail with a transient error, delayed calls proceed to the
+// inner client immediately. Tests call it in cleanup so leaked attempt
+// goroutines exit promptly instead of sitting out their injected latency.
 func (f *FaultyTransport) Release() {
 	f.mu.Lock()
 	if !f.released {
@@ -111,7 +113,14 @@ func (f *FaultyTransport) before(method string) error {
 	f.mu.Unlock()
 
 	if delay > 0 {
-		time.Sleep(delay)
+		// The delay races the release signal, so a test tearing down does
+		// not sit out the full configured latency of every in-flight call.
+		t := time.NewTimer(delay)
+		select {
+		case <-t.C:
+		case <-release:
+			t.Stop()
+		}
 	}
 	if failErr != nil {
 		if errors.Is(failErr, ErrTransient) {

@@ -101,6 +101,7 @@ func callWithPolicy[R any](p CallPolicy, what string, onRetry func(), do func() 
 			onRetry()
 		}
 		if backoff > 0 {
+			//lint:ignore cancelflow backoff sleeps between attempts, when no attempt deadline is pending, and is bounded by MaxBackoff; CallPolicy carries no cancellation signal to select on
 			time.Sleep(backoff)
 			backoff *= 2
 			if backoff > p.MaxBackoff {

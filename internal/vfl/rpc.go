@@ -221,6 +221,8 @@ func ServeClient(lis net.Listener, c Client) error {
 	if err := srv.RegisterName("GTVClient", NewClientService(c)); err != nil {
 		return fmt.Errorf("vfl: registering RPC service: %w", err)
 	}
+	var conns connSet
+	defer conns.closeAll()
 	for {
 		conn, err := lis.Accept()
 		if err != nil {
@@ -229,7 +231,11 @@ func ServeClient(lis net.Listener, c Client) error {
 			}
 			return fmt.Errorf("vfl: accepting connection: %w", err)
 		}
-		go srv.ServeConn(conn)
+		conns.add(conn)
+		go func() {
+			srv.ServeConn(conn)
+			conns.remove(conn)
+		}()
 	}
 }
 
@@ -291,12 +297,15 @@ func DialClientPolicy(network, addr string, p CallPolicy) (*RPCClient, error) {
 	return c, nil
 }
 
-// conn returns the live connection, dialing if necessary.
+// conn returns the live connection, dialing if necessary. Like
+// WireClient.session, the dial is single-flight under mu and bounded by
+// the policy timeout so the lock hold cannot outlive a call's deadline.
 func (c *RPCClient) conn() (*rpc.Client, error) {
 	c.mu.Lock()
 	defer c.mu.Unlock()
 	if c.rc == nil {
-		conn, err := net.Dial(c.network, c.addr)
+		//lint:ignore lockorder single-flight dial: mu serializes redials on purpose, and DialTimeout bounds the hold to the per-call policy deadline
+		conn, err := net.DialTimeout(c.network, c.addr, c.policy.Timeout)
 		if err != nil {
 			return nil, err
 		}

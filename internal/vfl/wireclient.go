@@ -40,8 +40,9 @@ type WireClient struct {
 	// connection's whole lifetime, surviving redials.
 	counters wireByteCounters
 
-	mu   sync.Mutex
-	sess *wireSession // guarded by mu
+	mu     sync.Mutex
+	sess   *wireSession // guarded by mu
+	closed bool         // guarded by mu; set by Close, fails every later call
 
 	// snapMu guards the delta-transfer base: the last full snapshot blob
 	// this proxy received, and the responder epoch that produced it. The
@@ -124,12 +125,20 @@ func (c *WireClient) WireBytesByMethod() WireMethodBytes {
 	return out
 }
 
-// session returns the live session, dialing if necessary.
+// session returns the live session, dialing if necessary. The dial
+// happens under mu deliberately — single-flight, so a burst of pipelined
+// calls after a redial shares one connection instead of racing to dial —
+// and is bounded by the policy timeout, so holding the lock cannot
+// outlive the deadline the caller was promised.
 func (c *WireClient) session() (*wireSession, error) {
 	c.mu.Lock()
 	defer c.mu.Unlock()
+	if c.closed {
+		return nil, fmt.Errorf("vfl: wire client %s: %w", c.addr, net.ErrClosed)
+	}
 	if c.sess == nil {
-		conn, err := net.Dial(c.network, c.addr)
+		//lint:ignore lockorder single-flight dial: mu serializes redials on purpose, and DialTimeout bounds the hold to the per-call policy deadline
+		conn, err := net.DialTimeout(c.network, c.addr, c.policy.Timeout)
 		if err != nil {
 			return nil, err
 		}
@@ -150,10 +159,12 @@ func (c *WireClient) redial() {
 	c.mu.Unlock()
 }
 
-// Close shuts the connection down; in-flight calls fail.
+// Close shuts the connection down; in-flight calls fail, and every later
+// call fails fast instead of redialing a client that was told to go away.
 func (c *WireClient) Close() error {
 	c.mu.Lock()
 	defer c.mu.Unlock()
+	c.closed = true
 	if c.sess == nil {
 		return nil
 	}
@@ -195,6 +206,7 @@ func newWireSession(conn net.Conn, counters *wireByteCounters) *wireSession {
 		counters: counters,
 		pending:  make(map[uint64]chan wireResult),
 	}
+	//lint:ignore goroleak demux daemon whose exit path is the connection itself: readWireFrame fails the moment the conn closes or resets, and fail() then returns the loop
 	go s.readLoop()
 	return s
 }
@@ -251,6 +263,7 @@ func (s *wireSession) writeFrame(h wireHeader, payload []byte) error {
 	h.put(hdr[:])
 	s.wmu.Lock()
 	defer s.wmu.Unlock()
+	//lint:ignore lockorder wmu exists to serialize whole frames onto the shared conn; a peer stuck mid-write dies with the conn, which fails the session and releases every caller
 	if _, err := s.w.Write(hdr[:]); err != nil {
 		return err
 	}

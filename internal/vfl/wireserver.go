@@ -18,6 +18,8 @@ import (
 // a server that serializes its calls (as vfl.Server does per client) sees
 // strictly ordered execution.
 func ServeClientWire(lis net.Listener, c Client) error {
+	var conns connSet
+	defer conns.closeAll()
 	for {
 		conn, err := lis.Accept()
 		if err != nil {
@@ -26,7 +28,50 @@ func ServeClientWire(lis net.Listener, c Client) error {
 			}
 			return fmt.Errorf("vfl: accepting wire connection: %w", err)
 		}
-		go serveWireConn(conn, c)
+		conns.add(conn)
+		//lint:ignore goroleak per-connection read loop whose exit path is the connection: it returns on any read error, and closeAll closes every tracked conn when the listener dies
+		go func() {
+			serveWireConn(conn, c)
+			conns.remove(conn)
+		}()
+	}
+}
+
+// connSet tracks the connections a serve loop accepted, so closing the
+// listener also closes every served connection — and with it every
+// per-connection goroutine — instead of leaving them parked on reads
+// until the peer hangs up.
+type connSet struct {
+	mu    sync.Mutex
+	conns map[net.Conn]struct{} // guarded by mu
+}
+
+func (s *connSet) add(c net.Conn) {
+	s.mu.Lock()
+	if s.conns == nil {
+		s.conns = make(map[net.Conn]struct{})
+	}
+	s.conns[c] = struct{}{}
+	s.mu.Unlock()
+}
+
+func (s *connSet) remove(c net.Conn) {
+	s.mu.Lock()
+	delete(s.conns, c)
+	s.mu.Unlock()
+}
+
+// closeAll closes every still-tracked connection.
+func (s *connSet) closeAll() {
+	s.mu.Lock()
+	conns := s.conns
+	s.conns = nil
+	s.mu.Unlock()
+	for c := range conns {
+		// The listener is gone; these connections are being abandoned and
+		// their close errors carry nothing.
+		//lint:ignore errdrop teardown of connections outliving a closed listener
+		_ = c.Close()
 	}
 }
 
@@ -48,6 +93,7 @@ func (cw *wireConnWriter) writeFrame(h wireHeader, payload []byte) error {
 	h.put(hdr[:])
 	cw.mu.Lock()
 	defer cw.mu.Unlock()
+	//lint:ignore lockorder mu exists to serialize whole response frames onto the shared conn; a write stuck on a dead peer ends when the read loop (or closeAll) closes the conn
 	if _, err := cw.w.Write(hdr[:]); err != nil {
 		return err
 	}
