@@ -20,7 +20,9 @@ vet:
 # privacy-boundary taint analysis, and the concurrency suite — lockorder
 # (lock-acquisition cycles, blocking ops under a held lock), goroleak
 # (every spawned goroutine needs a provable exit path), and cancelflow
-# (deadlines propagate into every blocking callee on the fan-out path).
+# (deadlines propagate into every blocking callee on the fan-out path) —
+# plus shapeflow, interprocedural tensor shape inference over //shape:
+# contracts that proves runtime shape panics unreachable.
 # Findings are cached under .lintcache/ keyed by file contents, so
 # unchanged repeat runs skip type-checking; -timing prints per-rule wall
 # time so a cache regression shows up as nonzero time on a warm run.
@@ -29,8 +31,10 @@ lint:
 
 # Machine-readable findings for tooling; exit status 1 (findings exist)
 # still writes the report, only a lint crash (exit 2) fails the target.
+# No -timing: the report is committed and drift-checked by ci.sh, so it
+# must be byte-deterministic (wall times are not).
 lint-json:
-	$(GO) run ./cmd/gtv-lint -json -timing ./... > LINT_findings.json || [ $$? -eq 1 ]
+	$(GO) run ./cmd/gtv-lint -json ./... > LINT_findings.json || [ $$? -eq 1 ]
 
 test:
 	$(GO) test ./...

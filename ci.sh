@@ -4,7 +4,10 @@
 # guarded fields, dropped errors, the privflow privacy-boundary taint
 # analysis, and the concurrency suite — lockorder, goroleak, cancelflow —
 # see DESIGN.md "Static analysis", "Privacy boundary", and "Concurrency
-# rules"), build, full tests (the lint fixture packages run even under
+# rules"), a regenerate-and-diff of the committed LINT_findings.json
+# (the machine-readable report, including shapeflow's proved-ops
+# coverage stats, must match a fresh run — stats drift or new findings
+# fail here), build, full tests (the lint fixture packages run even under
 # -short), then the race detector over the whole module in short mode
 # (GAN-training tests skip themselves; every concurrency path still runs)
 # and in full mode over the concurrency-critical packages (the vfl
@@ -19,6 +22,8 @@ set -eux
 
 go vet ./...
 make lint
+make lint-json
+git diff --exit-code -- LINT_findings.json
 go build ./...
 go test ./...
 go test -race -short ./...

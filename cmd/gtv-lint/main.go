@@ -5,8 +5,9 @@
 // findings.
 //
 // Findings are cached under <module>/.lintcache keyed by file contents,
-// so runs over an unchanged tree skip type-checking entirely; -nocache
-// forces a full run.
+// with one entry per (package, rule) so a partial -only run fills and
+// reuses the same entries as a full run instead of invalidating them;
+// -nocache forces a full run.
 //
 // Usage:
 //
@@ -14,7 +15,7 @@
 //	gtv-lint ./...        # same
 //	gtv-lint internal/vfl # only report findings under these path prefixes
 //	gtv-lint -list        # print the rule catalog
-//	gtv-lint -rules floateq,maporder
+//	gtv-lint -only floateq,maporder
 //	gtv-lint -json        # machine-readable findings on stdout
 package main
 
@@ -43,7 +44,8 @@ func run(args []string, stdout *os.File) (int, error) {
 	var (
 		root    = fs.String("root", ".", "directory inside the module to lint")
 		list    = fs.Bool("list", false, "print the rule catalog and exit")
-		rules   = fs.String("rules", "", "comma-separated rule subset (default: all)")
+		only    = fs.String("only", "", "comma-separated rule subset (default: all)")
+		rules   = fs.String("rules", "", "deprecated alias for -only")
 		jsonOut = fs.Bool("json", false, "emit findings as JSON")
 		nocache = fs.Bool("nocache", false, "bypass the findings cache")
 		timing  = fs.Bool("timing", false, "print per-rule wall time on stderr (cached rules show 0, so cache regressions are visible)")
@@ -59,9 +61,13 @@ func run(args []string, stdout *os.File) (int, error) {
 	}
 
 	analyzers := lint.Analyzers()
-	if *rules != "" {
+	sel := *only
+	if sel == "" {
+		sel = *rules
+	}
+	if sel != "" {
 		analyzers = analyzers[:0:0]
-		for _, name := range strings.Split(*rules, ",") {
+		for _, name := range strings.Split(sel, ",") {
 			a := lint.AnalyzerByName(strings.TrimSpace(name))
 			if a == nil {
 				return 2, fmt.Errorf("unknown rule %q (try -list)", name)
@@ -79,7 +85,7 @@ func run(args []string, stdout *os.File) (int, error) {
 		analyzers, timings = lint.Instrument(analyzers)
 	}
 
-	findings, err := collectFindings(*root, analyzers, *nocache)
+	findings, stats, err := collectFindings(*root, analyzers, *nocache)
 	if err != nil {
 		return 2, err
 	}
@@ -106,7 +112,7 @@ func run(args []string, stdout *os.File) (int, error) {
 	}
 
 	if *jsonOut {
-		doc := report{Count: len(shown), Rules: names, Findings: shown}
+		doc := report{Count: len(shown), Rules: names, Findings: shown, Stats: stats}
 		if timings != nil {
 			doc.TimingsMs = timings.Milliseconds()
 		}
@@ -136,132 +142,194 @@ func run(args []string, stdout *os.File) (int, error) {
 // report is the -json document: the finding count, the rule set that ran
 // (so consumers can tell "no findings" from "rule not enabled"), the
 // findings — each with rule, position, message, and (for module rules)
-// the hop path — and, under -timing, per-rule wall time in milliseconds.
+// the hop path — rule-namespaced coverage stats (e.g.
+// "shapeflow.ops_proved"), and, under -timing, per-rule wall time in
+// milliseconds.
 type report struct {
 	Count     int
 	Rules     []string
 	Findings  []lint.Finding
+	Stats     map[string]int     `json:",omitempty"`
 	TimingsMs map[string]float64 `json:",omitempty"`
 }
 
-// collectFindings produces the module's findings, through the cache
-// unless disabled. Any cache infrastructure failure falls back to a full
-// uncached run — caching must never change results, only speed.
-func collectFindings(root string, analyzers []*lint.Analyzer, nocache bool) ([]lint.Finding, error) {
+// collectFindings produces the module's findings and coverage stats,
+// through the cache unless disabled. Any cache infrastructure failure
+// falls back to a full uncached run — caching must never change results,
+// only speed.
+func collectFindings(root string, analyzers []*lint.Analyzer, nocache bool) ([]lint.Finding, lint.Stats, error) {
 	if !nocache {
-		if findings, err := collectCached(root, analyzers); err == nil {
-			return findings, nil
+		if findings, stats, err := collectCached(root, analyzers); err == nil {
+			return findings, stats, nil
 		}
 	}
 	loader, err := lint.NewLoader(root)
 	if err != nil {
-		return nil, err
+		return nil, nil, err
 	}
 	pkgs, err := loader.LoadModule()
 	if err != nil {
-		return nil, err
-	}
-	findings := lint.Run(pkgs, analyzers)
-	lint.Relativize(findings, loader.ModuleRoot)
-	return findings, nil
-}
-
-// collectCached runs the analysis through the findings cache: per-package
-// rules re-run only for packages whose content+dependency key changed,
-// and the whole-module rules re-run only when anything changed.
-func collectCached(root string, analyzers []*lint.Analyzer) ([]lint.Finding, error) {
-	ix, err := lint.BuildModuleIndex(root)
-	if err != nil {
-		return nil, err
+		return nil, nil, err
 	}
 	perPkg, module := lint.SplitAnalyzers(analyzers)
-	names := make([]string, 0, len(analyzers))
-	for _, a := range analyzers {
-		names = append(names, a.Name)
+	var all []lint.Finding
+	stats := make(lint.Stats)
+	for _, pkg := range pkgs {
+		for _, a := range perPkg {
+			all = append(all, lint.RunPackageRule(pkg, a)...)
+		}
+		all = append(all, lint.PackageSuppressionFindings(pkg)...)
 	}
-	cache := lint.OpenCache(filepath.Join(ix.Root, ".lintcache"), lint.CacheSalt(ix, names))
+	for _, a := range module {
+		fs, st := lint.RunModuleRule(pkgs, a)
+		all = append(all, fs...)
+		stats.Merge(st)
+	}
+	lint.Relativize(all, loader.ModuleRoot)
+	lint.SortFindings(all)
+	return all, stats, nil
+}
+
+// collectCached runs the analysis through the findings cache. Entries are
+// keyed per (package, rule) — plus one suppression entry per package and
+// one entry per module rule — so a rule re-runs only where its inputs
+// changed, and a -only subset run touches only its own entries. The
+// prune live set always covers the full rule registry, so a partial run
+// can never evict entries a full run still needs.
+func collectCached(root string, analyzers []*lint.Analyzer) ([]lint.Finding, lint.Stats, error) {
+	ix, err := lint.BuildModuleIndex(root)
+	if err != nil {
+		return nil, nil, err
+	}
+	perPkg, module := lint.SplitAnalyzers(analyzers)
+	cache := lint.OpenCache(filepath.Join(ix.Root, ".lintcache"), lint.CacheSalt(ix))
+
+	allPerPkg, allModule := lint.SplitAnalyzers(lint.Analyzers())
+	live := make(map[string]bool)
+	for _, rel := range ix.Dirs {
+		pk := ix.PackageKey(rel)
+		for _, a := range allPerPkg {
+			live[cache.Key("pkg", rel, pk, a.Name)] = true
+		}
+		live[cache.Key("sup", rel, pk)] = true
+	}
+	modKey := ix.ModuleKey()
+	for _, a := range allModule {
+		live[cache.Key("module", modKey, a.Name)] = true
+	}
 
 	var all []lint.Finding
-	live := make(map[string]bool)
-	missed := make(map[string]bool)
+	stats := make(lint.Stats)
+	missed := make(map[string][]*lint.Analyzer)
+	supMissed := make(map[string]bool)
+	needLoad := make(map[string]bool)
 	for _, rel := range ix.Dirs {
-		key := cache.Key("pkg", rel, ix.PackageKey(rel))
-		live[key] = true
-		if cached, ok := cache.Get(key); ok {
-			all = append(all, cached...)
+		pk := ix.PackageKey(rel)
+		for _, a := range perPkg {
+			if fs, _, ok := cache.Get(cache.Key("pkg", rel, pk, a.Name)); ok {
+				all = append(all, fs...)
+			} else {
+				missed[rel] = append(missed[rel], a)
+				needLoad[rel] = true
+			}
+		}
+		if fs, _, ok := cache.Get(cache.Key("sup", rel, pk)); ok {
+			all = append(all, fs...)
 		} else {
-			missed[rel] = true
+			supMissed[rel] = true
+			needLoad[rel] = true
 		}
 	}
-	moduleKey := cache.Key("module", ix.ModuleKey())
-	moduleMiss := false
-	if len(module) > 0 {
-		live[moduleKey] = true
-		if cached, ok := cache.Get(moduleKey); ok {
-			all = append(all, cached...)
+	var moduleMissed []*lint.Analyzer
+	for _, a := range module {
+		if fs, st, ok := cache.Get(cache.Key("module", modKey, a.Name)); ok {
+			all = append(all, fs...)
+			stats.Merge(st)
 		} else {
-			moduleMiss = true
+			moduleMissed = append(moduleMissed, a)
 		}
 	}
 
-	if len(missed) > 0 || moduleMiss {
-		loader, err := lint.NewLoader(ix.Root)
-		if err != nil {
-			return nil, err
-		}
-		if moduleMiss {
-			// A module rule must see every package, so load the whole
-			// module and refresh the missed per-package entries on the way.
-			pkgs, err := loader.LoadModule()
-			if err != nil {
-				return nil, err
-			}
-			for _, pkg := range pkgs {
-				rel := pkgRelDir(ix.ModulePath, pkg.Path)
-				if !missed[rel] {
-					continue
-				}
-				fs := lint.RunPackage(pkg, perPkg)
-				lint.Relativize(fs, ix.Root)
-				if err := cache.Put(cache.Key("pkg", rel, ix.PackageKey(rel)), fs); err != nil {
-					return nil, err
-				}
-				all = append(all, fs...)
-			}
-			fs := lint.RunModuleAnalyzers(pkgs, module)
+	// refresh re-runs a package's stale rules (and suppression scan) and
+	// stores each result under its own key.
+	refresh := func(rel string, pkg *lint.Package) error {
+		pk := ix.PackageKey(rel)
+		for _, a := range missed[rel] {
+			fs := lint.RunPackageRule(pkg, a)
 			lint.Relativize(fs, ix.Root)
-			if err := cache.Put(moduleKey, fs); err != nil {
-				return nil, err
+			if err := cache.Put(cache.Key("pkg", rel, pk, a.Name), fs, nil); err != nil {
+				return err
 			}
 			all = append(all, fs...)
-		} else {
-			// Only per-package work is stale: load just those packages
-			// (their dependencies type-check on demand, without running
-			// analyzers over them).
-			for _, rel := range ix.Dirs {
-				if !missed[rel] {
-					continue
-				}
-				ip := ix.ModulePath
-				if rel != "." {
-					ip = ix.ModulePath + "/" + rel
-				}
-				pkg, err := loader.LoadDir(filepath.Join(ix.Root, filepath.FromSlash(rel)), ip)
-				if err != nil {
-					return nil, err
-				}
-				fs := lint.RunPackage(pkg, perPkg)
-				lint.Relativize(fs, ix.Root)
-				if err := cache.Put(cache.Key("pkg", rel, ix.PackageKey(rel)), fs); err != nil {
-					return nil, err
-				}
-				all = append(all, fs...)
+		}
+		if supMissed[rel] {
+			fs := lint.PackageSuppressionFindings(pkg)
+			lint.Relativize(fs, ix.Root)
+			if err := cache.Put(cache.Key("sup", rel, pk), fs, nil); err != nil {
+				return err
+			}
+			all = append(all, fs...)
+		}
+		return nil
+	}
+
+	if len(moduleMissed) > 0 {
+		// A module rule must see every package, so load the whole module
+		// and refresh the missed per-package entries on the way.
+		loader, err := lint.NewLoader(ix.Root)
+		if err != nil {
+			return nil, nil, err
+		}
+		pkgs, err := loader.LoadModule()
+		if err != nil {
+			return nil, nil, err
+		}
+		for _, pkg := range pkgs {
+			rel := pkgRelDir(ix.ModulePath, pkg.Path)
+			if !needLoad[rel] {
+				continue
+			}
+			if err := refresh(rel, pkg); err != nil {
+				return nil, nil, err
+			}
+		}
+		for _, a := range moduleMissed {
+			fs, st := lint.RunModuleRule(pkgs, a)
+			lint.Relativize(fs, ix.Root)
+			if err := cache.Put(cache.Key("module", modKey, a.Name), fs, st); err != nil {
+				return nil, nil, err
+			}
+			all = append(all, fs...)
+			stats.Merge(st)
+		}
+	} else if len(needLoad) > 0 {
+		// Only per-package work is stale: load just those packages (their
+		// dependencies type-check on demand, without running analyzers
+		// over them).
+		loader, err := lint.NewLoader(ix.Root)
+		if err != nil {
+			return nil, nil, err
+		}
+		for _, rel := range ix.Dirs {
+			if !needLoad[rel] {
+				continue
+			}
+			ip := ix.ModulePath
+			if rel != "." {
+				ip = ix.ModulePath + "/" + rel
+			}
+			pkg, err := loader.LoadDir(filepath.Join(ix.Root, filepath.FromSlash(rel)), ip)
+			if err != nil {
+				return nil, nil, err
+			}
+			if err := refresh(rel, pkg); err != nil {
+				return nil, nil, err
 			}
 		}
 	}
 	cache.Prune(live)
 	lint.SortFindings(all)
-	return all, nil
+	return all, stats, nil
 }
 
 // pkgRelDir maps an import path back to the module-relative directory.

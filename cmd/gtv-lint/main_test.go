@@ -1,0 +1,120 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// pinTestModule lays out a minimal module with exactly one floateq
+// finding, so full and subset runs have observably different outputs.
+func pinTestModule(t *testing.T) string {
+	t.Helper()
+	root := t.TempDir()
+	files := map[string]string{
+		"go.mod": "module example.com/pin\n\ngo 1.21\n",
+		"a.go":   "package pin\n\n// Eq compares floats exactly.\nfunc Eq(a, b float64) bool { return a == b }\n",
+	}
+	for rel, content := range files {
+		path := filepath.Join(root, filepath.FromSlash(rel))
+		if err := os.MkdirAll(filepath.Dir(path), 0o755); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(path, []byte(content), 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	return root
+}
+
+// runLint invokes the CLI entry point and returns its exit code and
+// captured stdout.
+func runLint(t *testing.T, args ...string) (int, string) {
+	t.Helper()
+	out, err := os.CreateTemp(t.TempDir(), "stdout")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer out.Close()
+	code, err := run(args, out)
+	if err != nil {
+		t.Fatalf("run(%v): %v", args, err)
+	}
+	data, err := os.ReadFile(out.Name())
+	if err != nil {
+		t.Fatal(err)
+	}
+	return code, string(data)
+}
+
+// snapshotCache maps each cache entry file to its contents.
+func snapshotCache(t *testing.T, dir string) map[string]string {
+	t.Helper()
+	snap := make(map[string]string)
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		t.Fatalf("cache dir missing: %v", err)
+	}
+	for _, e := range entries {
+		data, err := os.ReadFile(filepath.Join(dir, e.Name()))
+		if err != nil {
+			t.Fatal(err)
+		}
+		snap[e.Name()] = string(data)
+	}
+	return snap
+}
+
+// TestOnlyRunDoesNotPoisonFullCache pins the per-rule cache contract: a
+// full run populates the cache; a subsequent -only subset run must leave
+// every full-run entry byte-identical (no eviction, no rewrite), and a
+// second full run must reproduce the first run's output from that cache.
+func TestOnlyRunDoesNotPoisonFullCache(t *testing.T) {
+	root := pinTestModule(t)
+	cacheDir := filepath.Join(root, ".lintcache")
+
+	code, full1 := runLint(t, "-root", root)
+	if code != 1 || !strings.Contains(full1, "floateq") {
+		t.Fatalf("full run: code %d, output %q; want code 1 with a floateq finding", code, full1)
+	}
+	snap := snapshotCache(t, cacheDir)
+	if len(snap) == 0 {
+		t.Fatal("full run left no cache entries")
+	}
+
+	// Subset run on a rule with no findings here: exit 0, and the full
+	// run's entries survive untouched.
+	code, sub := runLint(t, "-root", root, "-only", "errdrop")
+	if code != 0 || strings.Contains(sub, "floateq") {
+		t.Fatalf("-only errdrop run: code %d, output %q; want clean", code, sub)
+	}
+	after := snapshotCache(t, cacheDir)
+	for name, content := range snap {
+		got, ok := after[name]
+		if !ok {
+			t.Errorf("-only run evicted full-run cache entry %s", name)
+			continue
+		}
+		if got != content {
+			t.Errorf("-only run rewrote full-run cache entry %s", name)
+		}
+	}
+
+	// The subset's findings must also match a full run's view of that rule.
+	code, only := runLint(t, "-root", root, "-only", "floateq")
+	if code != 1 || !strings.Contains(only, "floateq") {
+		t.Fatalf("-only floateq run: code %d, output %q; want the finding", code, only)
+	}
+
+	code, full2 := runLint(t, "-root", root)
+	if code != 1 || full2 != full1 {
+		t.Fatalf("second full run diverged: code %d\nfirst:\n%s\nsecond:\n%s", code, full1, full2)
+	}
+
+	// -rules stays as a deprecated alias for -only.
+	code, alias := runLint(t, "-root", root, "-rules", "floateq")
+	if code != 1 || alias != only {
+		t.Fatalf("-rules alias diverged from -only: code %d\n-only:\n%s\n-rules:\n%s", code, only, alias)
+	}
+}

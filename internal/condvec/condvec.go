@@ -33,6 +33,8 @@ type Choice struct {
 // Batch is one sampled batch of conditional vectors.
 type Batch struct {
 	// CV is batch x Width, one one-hot condition per row.
+	//
+	//shape: (N,W)
 	CV *tensor.Dense
 	// Rows holds, per CV, the index of a real training row matching the
 	// condition (the idx_p the selected client shares with the server).

@@ -81,10 +81,13 @@ func (s *ColumnSpec) Validate() error {
 // Categorical cells store 0-based category indices.
 type Table struct {
 	Specs []ColumnSpec
-	Data  *tensor.Dense
+	//shape: (R,C)
+	Data *tensor.Dense
 }
 
 // NewTable validates and wraps specs+data into a Table.
+//
+//shape: in(R,C)
 func NewTable(specs []ColumnSpec, data *tensor.Dense) (*Table, error) {
 	if data.Cols() != len(specs) {
 		return nil, fmt.Errorf("encoding: %d specs for %d data columns", len(specs), data.Cols())

@@ -30,6 +30,8 @@ const GradientPenaltyWeight = 10.0
 // one-hot spans. rng draws the Gumbel noise; pass hard=false during
 // training (soft, differentiable samples) and hard=true at synthesis time
 // (the decoded table argmaxes anyway, so hard sampling just sharpens).
+//
+//shape: in(B,W) out(B,W)
 func ActivateOutput(raw *ag.Value, spans []encoding.Span, rng *rand.Rand, hard bool) *ag.Value {
 	_, cols := raw.Shape()
 	parts := make([]*ag.Value, 0, len(spans))
@@ -88,6 +90,7 @@ func gumbelSoftmax(logits *ag.Value, rng *rand.Rand, hard bool) *ag.Value {
 // catSpans.
 //
 //privacy:sanitizer batch-aggregated conditioning cross-entropy
+//shape: in(B,W) out(1,1)
 func ConditionLoss(rawOut *ag.Value, catSpans []encoding.Span, choices []condvec.Choice) *ag.Value {
 	// Group rows by conditioned span so each span costs one graph slice.
 	rowsBySpan := make(map[int][]int)
@@ -126,13 +129,18 @@ func ConditionLoss(rawOut *ag.Value, catSpans []encoding.Span, choices []condvec
 }
 
 // CriticLoss is the Wasserstein critic loss to *minimize*:
-// mean(D(fake)) - mean(D(real)).
+// mean(D(fake)) - mean(D(real)). The two score batches may have
+// different row counts (PacGAN packing divides them independently).
+//
+//shape: in(Bf,K) in(Br,K2) out(1,1)
 func CriticLoss(fakeScores, realScores *ag.Value) *ag.Value {
 	return ag.Sub(ag.MeanAll(fakeScores), ag.MeanAll(realScores))
 }
 
 // GeneratorLoss is the Wasserstein generator loss to minimize:
 // -mean(D(fake)).
+//
+//shape: in(B,K) out(1,1)
 func GeneratorLoss(fakeScores *ag.Value) *ag.Value {
 	return ag.Neg(ag.MeanAll(fakeScores))
 }
@@ -145,6 +153,8 @@ func GeneratorLoss(fakeScores *ag.Value) *ag.Value {
 // critic must build a differentiable graph from its input. The returned
 // value is differentiable with respect to the critic's parameters thanks to
 // the autograd engine's higher-order gradients.
+//
+//shape: in(B,C) in(B,C) out(1,1)
 func GradientPenalty(rng *rand.Rand, realIn, fakeIn *tensor.Dense, critic func(*ag.Value) *ag.Value) *ag.Value {
 	rows, cols := realIn.Shape()
 	eps := tensor.New(rows, 1)
@@ -191,6 +201,8 @@ func NewDiscriminator(rng *rand.Rand, inDim, blockDim, nBlocks int) *nn.Sequenti
 }
 
 // SampleNoise draws a batch of standard-normal noise rows.
+//
+//shape: in(B) in(D) out(B,D)
 func SampleNoise(rng *rand.Rand, batch, dim int) *tensor.Dense {
 	return tensor.Randn(rng, batch, dim, 0, 1)
 }

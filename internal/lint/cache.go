@@ -182,15 +182,14 @@ func (ix *ModuleIndex) PackageKey(rel string) string { return ix.depKey[rel] }
 func (ix *ModuleIndex) ModuleKey() string { return ix.modKey }
 
 // CacheSalt hashes everything that changes analyzer behavior outside the
-// analyzed package itself: the cache version, the selected rule set, and
-// the analyzer implementation (the internal/lint and cmd/gtv-lint
-// sources, which this module carries as ordinary packages).
-func CacheSalt(ix *ModuleIndex, ruleNames []string) string {
-	names := append([]string(nil), ruleNames...)
-	sort.Strings(names)
+// analyzed package itself: the cache version and the analyzer
+// implementation (the internal/lint and cmd/gtv-lint sources, which this
+// module carries as ordinary packages). The rule selection is not part
+// of the salt — entries are keyed per rule, so a partial -only run
+// shares (and cannot poison) the full run's cache.
+func CacheSalt(ix *ModuleIndex) string {
 	h := sha256.New()
 	mustWrite(h, cacheVersion)
-	mustWrite(h, names...)
 	lintKey, cmdKey := ix.PackageKey("internal/lint"), ix.PackageKey("cmd/gtv-lint")
 	if lintKey == "" || cmdKey == "" {
 		// The analyzed module does not carry the analyzer sources (-root
@@ -253,31 +252,33 @@ func (c *Cache) Key(parts ...string) string {
 type cacheEntry struct {
 	Version  string
 	Findings []Finding
+	Stats    Stats `json:",omitempty"`
 }
 
 func (c *Cache) path(key string) string { return filepath.Join(c.dir, key+".json") }
 
-// Get returns the cached findings for key, with ok reporting a hit. A
-// corrupt or version-skewed entry is a miss.
-func (c *Cache) Get(key string) ([]Finding, bool) {
+// Get returns the cached findings and stats for key, with ok reporting a
+// hit. A corrupt or version-skewed entry is a miss.
+func (c *Cache) Get(key string) ([]Finding, Stats, bool) {
 	data, err := os.ReadFile(c.path(key))
 	if err != nil {
-		return nil, false
+		return nil, nil, false
 	}
 	var e cacheEntry
 	if err := json.Unmarshal(data, &e); err != nil || e.Version != cacheVersion {
-		return nil, false
+		return nil, nil, false
 	}
-	return e.Findings, true
+	return e.Findings, e.Stats, true
 }
 
-// Put stores findings under key. Findings must already be relativized to
-// the module root so entries are stable across invocation directories.
-func (c *Cache) Put(key string, findings []Finding) error {
+// Put stores findings and stats under key. Findings must already be
+// relativized to the module root so entries are stable across invocation
+// directories.
+func (c *Cache) Put(key string, findings []Finding, stats Stats) error {
 	if err := os.MkdirAll(c.dir, 0o755); err != nil {
 		return err
 	}
-	data, err := json.Marshal(cacheEntry{Version: cacheVersion, Findings: findings})
+	data, err := json.Marshal(cacheEntry{Version: cacheVersion, Findings: findings, Stats: stats})
 	if err != nil {
 		return err
 	}

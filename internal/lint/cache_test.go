@@ -67,20 +67,23 @@ func TestModuleIndexKeyStability(t *testing.T) {
 	}
 }
 
-// TestCacheSaltCoversRuleSet ensures runs with different rule selections
-// cannot share entries.
-func TestCacheSaltCoversRuleSet(t *testing.T) {
+// TestCacheSaltIgnoresRuleSelection pins the per-rule keying contract:
+// the salt must NOT vary with the selected rule set (entries are keyed
+// per rule instead), so a -only subset run shares the full run's cache.
+// Rule identity still separates entries, via Key parts.
+func TestCacheSaltIgnoresRuleSelection(t *testing.T) {
 	root := cacheTestModule(t)
 	ix, err := BuildModuleIndex(root)
 	if err != nil {
 		t.Fatal(err)
 	}
-	all := CacheSalt(ix, []string{"privflow", "errdrop"})
-	if all != CacheSalt(ix, []string{"errdrop", "privflow"}) {
-		t.Error("salt depends on rule-name order")
+	if CacheSalt(ix) != CacheSalt(ix) {
+		t.Error("salt is not deterministic")
 	}
-	if all == CacheSalt(ix, []string{"errdrop"}) {
-		t.Error("salt ignores the selected rule set")
+	c := OpenCache(filepath.Join(root, ".lintcache"), CacheSalt(ix))
+	pk := ix.PackageKey("sub")
+	if c.Key("pkg", "sub", pk, "errdrop") == c.Key("pkg", "sub", pk, "privflow") {
+		t.Error("per-rule keys collide across rules")
 	}
 }
 
@@ -109,12 +112,11 @@ func TestCacheSaltCoversAnalyzerSources(t *testing.T) {
 		"cmd/gtv-lint/main.go":                 "package main\n\nfunc main() {}\n",
 		"internal/vfl/client.go":               "package vfl\n\nvar Client = 1\n",
 	})
-	rules := []string{"lockorder", "goroleak", "cancelflow"}
 	ix1, err := BuildModuleIndex(root)
 	if err != nil {
 		t.Fatal(err)
 	}
-	salt1 := CacheSalt(ix1, rules)
+	salt1 := CacheSalt(ix1)
 
 	// An analyzer-source edit (even comment-only) must move the salt.
 	path := filepath.Join(root, "internal", "lint", "lockorder.go")
@@ -125,13 +127,13 @@ func TestCacheSaltCoversAnalyzerSources(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if CacheSalt(ix2, rules) == salt1 {
+	if CacheSalt(ix2) == salt1 {
 		t.Error("salt unchanged after editing an analyzer source file")
 	}
 
 	// A fixture-only edit must leave the salt (and the analyzer package
 	// key) alone: fixtures are test inputs, not analysis semantics.
-	salt2 := CacheSalt(ix2, rules)
+	salt2 := CacheSalt(ix2)
 	fixture := filepath.Join(root, "internal", "lint", "testdata", "src", "lo", "fix.go")
 	if err := os.WriteFile(fixture, []byte("package lo\n\nvar Fixture = 2\n"), 0o644); err != nil {
 		t.Fatal(err)
@@ -143,7 +145,7 @@ func TestCacheSaltCoversAnalyzerSources(t *testing.T) {
 	if ix3.PackageKey("internal/lint") != ix2.PackageKey("internal/lint") {
 		t.Error("internal/lint package key moved on a fixture-only edit")
 	}
-	if CacheSalt(ix3, rules) != salt2 {
+	if CacheSalt(ix3) != salt2 {
 		t.Error("salt moved on a fixture-only edit")
 	}
 	// The target module's own packages stay cacheable across both edits:
@@ -159,7 +161,7 @@ func TestCacheSaltCoversAnalyzerSources(t *testing.T) {
 func TestCacheRoundTrip(t *testing.T) {
 	c := OpenCache(filepath.Join(t.TempDir(), ".lintcache"), "salt")
 	key := c.Key("pkg", "internal/vfl", "abc123")
-	if _, ok := c.Get(key); ok {
+	if _, _, ok := c.Get(key); ok {
 		t.Fatal("hit on an empty cache")
 	}
 	findings := []Finding{{
@@ -171,16 +173,19 @@ func TestCacheRoundTrip(t *testing.T) {
 			{Func: "vfl.Handler", Pos: token.Position{Filename: "internal/vfl/rpc.go", Line: 9}},
 		},
 	}}
-	if err := c.Put(key, findings); err != nil {
+	if err := c.Put(key, findings, Stats{"shapeflow.ops_proved": 7}); err != nil {
 		t.Fatal(err)
 	}
-	got, ok := c.Get(key)
+	got, stats, ok := c.Get(key)
 	if !ok {
 		t.Fatal("miss right after Put")
 	}
 	// PathHop slices make Finding non-comparable; compare rendered forms.
 	if len(got) != 1 || got[0].String() != findings[0].String() || got[0].PathString() != findings[0].PathString() {
 		t.Fatalf("round-trip mismatch: got %+v, want %+v", got, findings)
+	}
+	if stats["shapeflow.ops_proved"] != 7 {
+		t.Errorf("stats did not round-trip: %v", stats)
 	}
 	if c.Key("pkg", "internal/vfl", "abc123") != key {
 		t.Error("Key is not deterministic")
@@ -190,7 +195,7 @@ func TestCacheRoundTrip(t *testing.T) {
 		t.Error("different salts produced the same key")
 	}
 	c.Prune(map[string]bool{})
-	if _, ok := c.Get(key); ok {
+	if _, _, ok := c.Get(key); ok {
 		t.Error("entry survived a prune that kept nothing")
 	}
 }

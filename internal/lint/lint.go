@@ -61,6 +61,35 @@ type ModulePass struct {
 
 	analyzer *Analyzer
 	findings *[]Finding
+	stats    Stats
+}
+
+// Stats are the coverage counters a module rule may emit alongside its
+// findings (shapeflow reports how many tensor ops it proved consistent).
+// They ride the cache next to findings and surface in the -json report.
+type Stats map[string]int
+
+// AddStat bumps a named counter on the pass. Keys are namespaced by rule
+// ("shapeflow.ops_proved") so merged reports stay unambiguous.
+func (p *ModulePass) AddStat(key string, n int) {
+	if p.stats == nil {
+		p.stats = make(Stats)
+	}
+	p.stats[p.analyzer.Name+"."+key] += n
+}
+
+// Merge folds other into s, summing shared keys.
+func (s Stats) Merge(other Stats) Stats {
+	if len(other) == 0 {
+		return s
+	}
+	if s == nil {
+		s = make(Stats, len(other))
+	}
+	for k, v := range other {
+		s[k] += v
+	}
+	return s
 }
 
 // Fset returns the file set shared by the loaded packages.
@@ -131,6 +160,7 @@ func Analyzers() []*Analyzer {
 		AnalyzerLockOrder,
 		AnalyzerGoroLeak,
 		AnalyzerCancelFlow,
+		AnalyzerShapeFlow,
 	}
 }
 
@@ -220,6 +250,58 @@ func RunModuleAnalyzers(pkgs []*Package, analyzers []*Analyzer) []Finding {
 		all = append(all, f)
 	}
 	return append(all, sups.unused(ruleNames(analyzers))...)
+}
+
+// RunPackageRule executes exactly one per-package analyzer over one
+// package, applies that rule's suppressions, and reports the rule's unused
+// suppressions. It is the unit the per-rule findings cache stores;
+// malformed-suppression findings are left to PackageSuppressionFindings so
+// a multi-rule run reports them exactly once. Results are unsorted.
+func RunPackageRule(pkg *Package, a *Analyzer) []Finding {
+	var raw []Finding
+	a.Run(&Pass{Pkg: pkg, analyzer: a, findings: &raw})
+	sup, _ := collectSuppressions(pkg)
+	var all []Finding
+	for _, f := range raw {
+		if s := sup.match(f); s != nil {
+			s.used = true
+			continue
+		}
+		all = append(all, f)
+	}
+	return append(all, sup.unused(ruleNames([]*Analyzer{a}))...)
+}
+
+// PackageSuppressionFindings reports a package's malformed //lint:ignore
+// comments. They belong to no single rule, so per-rule runs cache them
+// under their own key instead of duplicating them into every rule's entry.
+func PackageSuppressionFindings(pkg *Package) []Finding {
+	_, bad := collectSuppressions(pkg)
+	return bad
+}
+
+// RunModuleRule executes one whole-module analyzer over the package set,
+// applies suppressions from every package, reports the rule's unused
+// suppressions, and returns the rule's coverage stats. Results are
+// unsorted.
+func RunModuleRule(pkgs []*Package, a *Analyzer) ([]Finding, Stats) {
+	var raw []Finding
+	mp := &ModulePass{Pkgs: pkgs, analyzer: a, findings: &raw}
+	a.RunModule(mp)
+	var sups suppressionSet
+	for _, pkg := range pkgs {
+		s, _ := collectSuppressions(pkg)
+		sups = append(sups, s...)
+	}
+	var all []Finding
+	for _, f := range raw {
+		if s := sups.match(f); s != nil {
+			s.used = true
+			continue
+		}
+		all = append(all, f)
+	}
+	return append(all, sups.unused(ruleNames([]*Analyzer{a}))...), mp.stats
 }
 
 // ruleNames collects the rule IDs of an analyzer set.

@@ -30,6 +30,7 @@ var fixtureCases = []struct {
 	{"lockorder", "testdata/src/lockorder", "lockorder"},
 	{"goroleak", "testdata/src/goroleak", "goroleak"},
 	{"cancelflow", "testdata/src/cancelflow", "cancelflow"},
+	{"shapeflow", "testdata/src/shapeflow", "shapeflow"},
 }
 
 func TestAnalyzersOnFixtures(t *testing.T) {
@@ -196,6 +197,101 @@ func TestPrivFlowAnnotationErrors(t *testing.T) {
 		if !hit {
 			t.Errorf("no finding contains %q in %v", want, findings)
 		}
+	}
+}
+
+// TestShapeFlowAnnotationErrors covers //shape: misuse. The findings
+// land on the directive comments themselves, where an inline want
+// comment would change how the directive parses, so the expected
+// messages are checked directly (mirroring TestPrivFlowAnnotationErrors).
+// Invalid directives are discarded, so each one also re-arms the
+// boundary obligation on its declaration.
+func TestShapeFlowAnnotationErrors(t *testing.T) {
+	loader, err := NewLoader(".")
+	if err != nil {
+		t.Fatal(err)
+	}
+	pkg, err := loader.LoadDir("testdata/src/shapeflowann", "shapeflowann")
+	if err != nil {
+		t.Fatal(err)
+	}
+	findings := Run([]*Package{pkg}, []*Analyzer{AnalyzerShapeFlow})
+	wantSubstrings := []string{
+		"shape annotation on TooManyIns has 2 in(...) clauses for 1 shape-bearing parameters",
+		"exported shape-bearing function shapeflowann.TooManyIns needs a //shape: annotation",
+		"malformed shape annotation: in(...) clauses must precede out(...) clauses",
+		"exported shape-bearing function shapeflowann.OutBeforeIn needs a //shape: annotation",
+		`malformed shape annotation: bad dim "B-1"`,
+		"exported shape-bearing function shapeflowann.BadToken needs a //shape: annotation",
+		`malformed shape annotation: "_" cannot appear inside a sum`,
+		"exported shape-bearing function shapeflowann.BlankInSum needs a //shape: annotation",
+		"malformed shape annotation: clause needs 1 or 2 dims, got 3",
+		"exported shape-bearing function shapeflowann.TooWide needs a //shape: annotation",
+		"shape annotation on NoDims, which has no tensor or int dims to declare",
+		"duplicate shape annotation on Duplicate",
+		"shape annotation on a struct field must be a single (R,C) clause",
+		"exported tensor field FieldForms.Wrong needs a //shape: (R,C) annotation",
+		"shape annotation on NotTensor, which is not a tensor-typed field",
+		"exported shape-bearing function shapeflowann.Misplaced needs a //shape: annotation",
+		"misplaced shape annotation: //shape: goes in the doc comment",
+	}
+	if len(findings) != len(wantSubstrings) {
+		t.Fatalf("got %d findings, want %d:\n%v", len(findings), len(wantSubstrings), findings)
+	}
+	matched := make([]bool, len(findings))
+	for _, want := range wantSubstrings {
+		hit := false
+		for i, f := range findings {
+			if !matched[i] && strings.Contains(f.Msg, want) {
+				matched[i] = true
+				hit = true
+				break
+			}
+		}
+		if !hit {
+			t.Errorf("no finding contains %q in %v", want, findings)
+		}
+	}
+}
+
+// TestShapeFlowPaths checks that an interprocedural shape finding
+// carries the call chain: the Chain fixture violates a MatMul inner-dim
+// equation exported from helperMM's summary, so the finding must hop
+// through helperMM before landing in Chain.
+func TestShapeFlowPaths(t *testing.T) {
+	loader, err := NewLoader(".")
+	if err != nil {
+		t.Fatal(err)
+	}
+	pkg, err := loader.LoadDir("testdata/src/shapeflow", "shapeflow")
+	if err != nil {
+		t.Fatal(err)
+	}
+	findings := Run([]*Package{pkg}, []*Analyzer{AnalyzerShapeFlow})
+	var hit *Finding
+	for i := range findings {
+		if strings.Contains(findings[i].Msg, "MatMul inner dims") && len(findings[i].Path) > 0 && strings.Contains(findings[i].Path[0].Func, "helperMM") {
+			hit = &findings[i]
+			break
+		}
+	}
+	if hit == nil {
+		t.Fatalf("no summary-replay finding hopping through helperMM in %v", findings)
+	}
+	if len(hit.Path) < 2 {
+		t.Fatalf("replay finding path has %d hops, want >= 2: %v", len(hit.Path), hit.Path)
+	}
+	for i, h := range hit.Path {
+		if h.Func == "" {
+			t.Errorf("path hop %d has no function name", i)
+		}
+		if h.Pos.Filename == "" || h.Pos.Line == 0 {
+			t.Errorf("path hop %d has no position: %+v", i, h)
+		}
+	}
+	rendered := hit.PathString()
+	if !strings.Contains(rendered, "helperMM") || !strings.Contains(rendered, "Chain") {
+		t.Errorf("PathString() = %q, want helperMM -> Chain chain", rendered)
 	}
 }
 

@@ -28,3 +28,34 @@ func TestModuleIsLintClean(t *testing.T) {
 		t.Errorf("loaded only %d packages; the module walk looks broken", len(pkgs))
 	}
 }
+
+// TestShapeFlowProvesModuleOps pins the analyzer's coverage of the real
+// tree: a healthy module has well over a hundred tensor-op call sites
+// whose shape constraints discharge statically. A drop below the floor
+// means annotations were removed or the interpreter regressed to Top
+// somewhere load-bearing.
+func TestShapeFlowProvesModuleOps(t *testing.T) {
+	if testing.Short() {
+		t.Skip("skipping whole-module shape sweep in short mode")
+	}
+	loader, err := NewLoader(".")
+	if err != nil {
+		t.Fatal(err)
+	}
+	pkgs, err := loader.LoadModule()
+	if err != nil {
+		t.Fatal(err)
+	}
+	findings, stats := RunModuleRule(pkgs, AnalyzerShapeFlow)
+	Relativize(findings, loader.ModuleRoot)
+	for _, f := range findings {
+		t.Errorf("%s", f)
+	}
+	t.Logf("shapeflow stats: %v", stats)
+	if got := stats["shapeflow.ops_proved"]; got < 100 {
+		t.Errorf("shapeflow proved %d ops, want >= 100", got)
+	}
+	if got := stats["shapeflow.shape_annotations"]; got < 40 {
+		t.Errorf("shapeflow sees %d annotations, want >= 40", got)
+	}
+}

@@ -25,6 +25,8 @@ type LogisticRegression struct {
 var _ Classifier = (*LogisticRegression)(nil)
 
 // Fit implements Classifier.
+//
+//shape: in(B,D) in(K)
 func (m *LogisticRegression) Fit(x *tensor.Dense, y []int, numClasses int) error {
 	if x.Rows() == 0 || x.Rows() != len(y) {
 		return errors.New("ml: logistic regression fit with empty or misaligned data")
@@ -73,6 +75,8 @@ func (m *LogisticRegression) scores(x *tensor.Dense) *tensor.Dense {
 }
 
 // PredictProba implements Classifier.
+//
+//shape: in(B,D) out(B,K)
 func (m *LogisticRegression) PredictProba(x *tensor.Dense) *tensor.Dense {
 	out := m.scores(x)
 	softmaxInPlace(out)
@@ -100,6 +104,8 @@ type LinearSVM struct {
 var _ Classifier = (*LinearSVM)(nil)
 
 // Fit implements Classifier.
+//
+//shape: in(B,D) in(K)
 func (m *LinearSVM) Fit(x *tensor.Dense, y []int, numClasses int) error {
 	if x.Rows() == 0 || x.Rows() != len(y) {
 		return errors.New("ml: svm fit with empty or misaligned data")
@@ -164,6 +170,8 @@ func (m *LinearSVM) margins(x *tensor.Dense) *tensor.Dense {
 }
 
 // PredictProba implements Classifier.
+//
+//shape: in(B,D) out(B,K)
 func (m *LinearSVM) PredictProba(x *tensor.Dense) *tensor.Dense {
 	out := m.margins(x)
 	// Squash margins through a sigmoid then renormalize per row.

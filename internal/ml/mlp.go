@@ -28,7 +28,11 @@ type MLP struct {
 
 var _ Classifier = (*MLP)(nil)
 
-// Fit implements Classifier.
+// Fit implements Classifier. The contract Fit needs — x has exactly
+// len(y) rows — relates a matrix dim to a slice length, which the
+// //shape: dim language cannot express; a dims-only contract would
+// overpromise, so the obligation is waived instead.
+//lint:ignore shapeflow x-rows/len(y) coupling is not expressible in the dim language
 func (m *MLP) Fit(x *tensor.Dense, y []int, numClasses int) error {
 	if x.Rows() == 0 || x.Rows() != len(y) {
 		return errors.New("ml: mlp fit with empty or misaligned data")
@@ -67,6 +71,8 @@ func (m *MLP) Fit(x *tensor.Dense, y []int, numClasses int) error {
 }
 
 // PredictProba implements Classifier.
+//
+//shape: in(B,D) out(B,K)
 func (m *MLP) PredictProba(x *tensor.Dense) *tensor.Dense {
 	logits := m.net.Forward(ag.Const(x), false)
 	return ag.SoftmaxRows(logits).Data()
@@ -74,6 +80,8 @@ func (m *MLP) PredictProba(x *tensor.Dense) *tensor.Dense {
 
 // CrossEntropy returns the mean softmax cross-entropy between logits and
 // one-hot targets, as an autograd value.
+//
+//shape: in(B,K) in(B,K) out(1,1)
 func CrossEntropy(logits, onehot *ag.Value) *ag.Value {
 	probs := ag.SoftmaxRows(logits)
 	logp := ag.Log(ag.AddScalar(probs, 1e-12))

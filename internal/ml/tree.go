@@ -37,6 +37,8 @@ type treeNode struct {
 }
 
 // Fit implements Classifier.
+//
+//shape: in(B,D) in(K)
 func (t *DecisionTree) Fit(x *tensor.Dense, y []int, numClasses int) error {
 	if x.Rows() == 0 || x.Rows() != len(y) {
 		return errors.New("ml: tree fit with empty or misaligned data")
@@ -153,6 +155,8 @@ func (t *DecisionTree) candidateFeatures(total int) []int {
 }
 
 // PredictProba implements Classifier.
+//
+//shape: in(B,D) out(B,K)
 func (t *DecisionTree) PredictProba(x *tensor.Dense) *tensor.Dense {
 	out := tensor.New(x.Rows(), t.numClasses)
 	for i := 0; i < x.Rows(); i++ {
@@ -209,6 +213,8 @@ type RandomForest struct {
 var _ Classifier = (*RandomForest)(nil)
 
 // Fit implements Classifier.
+//
+//shape: in(B,D) in(K)
 func (f *RandomForest) Fit(x *tensor.Dense, y []int, numClasses int) error {
 	if x.Rows() == 0 || x.Rows() != len(y) {
 		return errors.New("ml: forest fit with empty or misaligned data")
@@ -250,6 +256,8 @@ func (f *RandomForest) Fit(x *tensor.Dense, y []int, numClasses int) error {
 }
 
 // PredictProba implements Classifier.
+//
+//shape: in(B,D) out(B,K)
 func (f *RandomForest) PredictProba(x *tensor.Dense) *tensor.Dense {
 	out := tensor.New(x.Rows(), f.numClasses)
 	for _, tree := range f.trees {

@@ -21,6 +21,8 @@ import (
 // train toggles training-time behaviour (batch statistics, dropout masks).
 type Layer interface {
 	// Forward applies the layer to a batch (rows = samples).
+	//
+	//shape: in(B,Din) out(B,Dout)
 	Forward(x *ag.Value, train bool) *ag.Value
 	// Params returns the trainable parameters in a stable order.
 	Params() []*ag.Value
@@ -28,8 +30,10 @@ type Layer interface {
 
 // Linear is a fully-connected layer: y = x*W + b.
 type Linear struct {
-	W *ag.Value // in x out
-	B *ag.Value // 1 x out
+	//shape: (In,Out)
+	W *ag.Value
+	//shape: (1,Out)
+	B *ag.Value
 }
 
 var _ Layer = (*Linear)(nil)
@@ -48,6 +52,8 @@ func NewLinear(rng *rand.Rand, in, out int) *Linear {
 }
 
 // Forward implements Layer.
+//
+//shape: in(B,In) out(B,Out)
 func (l *Linear) Forward(x *ag.Value, _ bool) *ag.Value {
 	return ag.Affine(x, l.W, l.B)
 }
@@ -65,8 +71,10 @@ func (l *Linear) Out() int { _, c := l.W.Shape(); return c }
 // over the batch, then applies a learned affine transform. At evaluation
 // time it uses exponential running statistics gathered during training.
 type BatchNorm struct {
-	Gamma *ag.Value // 1 x dim
-	Beta  *ag.Value // 1 x dim
+	//shape: (1,Dim)
+	Gamma *ag.Value
+	//shape: (1,Dim)
+	Beta *ag.Value
 
 	runningMean *tensor.Dense
 	runningVar  *tensor.Dense
@@ -90,6 +98,8 @@ func NewBatchNorm(dim int) *BatchNorm {
 }
 
 // Forward implements Layer.
+//
+//shape: in(B,Dim) out(B,Dim)
 func (b *BatchNorm) Forward(x *ag.Value, train bool) *ag.Value {
 	rows, _ := x.Shape()
 	var mean, variance *ag.Value
@@ -120,6 +130,8 @@ type ReLU struct{}
 var _ Layer = ReLU{}
 
 // Forward implements Layer.
+//
+//shape: in(B,D) out(B,D)
 func (ReLU) Forward(x *ag.Value, _ bool) *ag.Value { return ag.ReLU(x) }
 
 // Params implements Layer.
@@ -133,6 +145,8 @@ type LeakyReLU struct {
 var _ Layer = LeakyReLU{}
 
 // Forward implements Layer.
+//
+//shape: in(B,D) out(B,D)
 func (l LeakyReLU) Forward(x *ag.Value, _ bool) *ag.Value { return ag.LeakyReLU(x, l.Slope) }
 
 // Params implements Layer.
@@ -144,6 +158,8 @@ type Tanh struct{}
 var _ Layer = Tanh{}
 
 // Forward implements Layer.
+//
+//shape: in(B,D) out(B,D)
 func (Tanh) Forward(x *ag.Value, _ bool) *ag.Value { return ag.Tanh(x) }
 
 // Params implements Layer.
@@ -168,6 +184,8 @@ func NewDropout(rng *rand.Rand, p float64) *Dropout {
 }
 
 // Forward implements Layer.
+//
+//shape: in(B,D) out(B,D)
 func (d *Dropout) Forward(x *ag.Value, train bool) *ag.Value {
 	if !train || d.P <= 0 {
 		return x
@@ -202,6 +220,7 @@ func NewSequential(layers ...Layer) *Sequential { return &Sequential{Layers: lay
 // the raw input, becomes visible downstream.
 //
 //privacy:sanitizer bottom-model forward activation
+//shape: in(B,Din) out(B,Dout)
 func (s *Sequential) Forward(x *ag.Value, train bool) *ag.Value {
 	for _, l := range s.Layers {
 		x = l.Forward(x, train)
@@ -233,7 +252,11 @@ func NewResidualBlock(rng *rand.Rand, in, out int) *ResidualBlock {
 	return &ResidualBlock{FC: NewLinear(rng, in, out), BN: NewBatchNorm(out)}
 }
 
-// Forward implements Layer.
+// Forward implements Layer. The output width is the FC width plus the
+// input width (the skip concatenation), which only the caller's dims can
+// name — hence the free Dout.
+//
+//shape: in(B,Din) out(B,Dout)
 func (r *ResidualBlock) Forward(x *ag.Value, train bool) *ag.Value {
 	h := ag.ReLU(r.BN.Forward(r.FC.Forward(x, train), train))
 	return ag.ConcatCols(h, x)
@@ -267,6 +290,8 @@ func NewDiscBlock(rng *rand.Rand, in, out int) *DiscBlock {
 }
 
 // Forward implements Layer.
+//
+//shape: in(B,Din) out(B,Dout)
 func (d *DiscBlock) Forward(x *ag.Value, train bool) *ag.Value {
 	return d.Drop.Forward(d.Act.Forward(d.FC.Forward(x, train), train), train)
 }

@@ -81,6 +81,8 @@ func CloneInto(dst, src Layer) error {
 }
 
 // Grads computes the gradients of loss with respect to every parameter of l.
+//
+//shape: in(1,1)
 func Grads(loss *ag.Value, l Layer) []*ag.Value {
 	return ag.Grad(loss, l.Params()...)
 }

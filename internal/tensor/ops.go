@@ -30,10 +30,18 @@ const (
 	binDiv
 )
 
-func checkBinShapes(dst, a, b *Dense, op string) {
+// checkBroadcast panics unless b can broadcast onto a. It is the single
+// definition of the broadcast-failure message, shared by the allocating
+// and into-destination binary paths (and mirrored statically by the
+// shapeflow lint rule).
+func checkBroadcast(a, b *Dense) {
 	if !BroadcastOK(a.rows, a.cols, b.rows, b.cols) {
 		panic(fmt.Sprintf("tensor: cannot broadcast %dx%d onto %dx%d", b.rows, b.cols, a.rows, a.cols))
 	}
+}
+
+func checkBinShapes(dst, a, b *Dense, op string) {
+	checkBroadcast(a, b)
 	if dst.rows != a.rows || dst.cols != a.cols {
 		panic(fmt.Sprintf("tensor: %s dst %dx%d, want %dx%d", op, dst.rows, dst.cols, a.rows, a.cols))
 	}
@@ -195,9 +203,7 @@ func DivInto(dst, a, b *Dense) *Dense {
 }
 
 func newBinDst(a, b *Dense, op string) *Dense {
-	if !BroadcastOK(a.rows, a.cols, b.rows, b.cols) {
-		panic(fmt.Sprintf("tensor: cannot broadcast %dx%d onto %dx%d", b.rows, b.cols, a.rows, a.cols))
-	}
+	checkBroadcast(a, b)
 	return newPooledNoZero(a.rows, a.cols)
 }
 

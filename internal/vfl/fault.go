@@ -168,6 +168,8 @@ func (f *FaultyTransport) SampleCVFixed(batch, spanIdx, category int) (*condvec.
 }
 
 // ForwardSynthetic implements Client.
+//
+//shape: in(B,W) out(B,K)
 func (f *FaultyTransport) ForwardSynthetic(slice *tensor.Dense, phase Phase) (*tensor.Dense, error) {
 	if err := f.before("ForwardSynthetic"); err != nil {
 		return nil, err
@@ -176,6 +178,8 @@ func (f *FaultyTransport) ForwardSynthetic(slice *tensor.Dense, phase Phase) (*t
 }
 
 // ForwardReal implements Client.
+//
+//shape: out(R,K)
 func (f *FaultyTransport) ForwardReal(idx []int) (*tensor.Dense, error) {
 	if err := f.before("ForwardReal"); err != nil {
 		return nil, err
@@ -184,6 +188,8 @@ func (f *FaultyTransport) ForwardReal(idx []int) (*tensor.Dense, error) {
 }
 
 // BackwardDisc implements Client.
+//
+//shape: in(Bs,K) in(Br,K2)
 func (f *FaultyTransport) BackwardDisc(gradSynth, gradReal *tensor.Dense) error {
 	if err := f.before("BackwardDisc"); err != nil {
 		return err
@@ -192,6 +198,8 @@ func (f *FaultyTransport) BackwardDisc(gradSynth, gradReal *tensor.Dense) error 
 }
 
 // BackwardGen implements Client.
+//
+//shape: in(B,K) out(B,W)
 func (f *FaultyTransport) BackwardGen(gradSynth *tensor.Dense, conditioned bool) (*tensor.Dense, error) {
 	if err := f.before("BackwardGen"); err != nil {
 		return nil, err
@@ -208,6 +216,8 @@ func (f *FaultyTransport) EndRound(round int) error {
 }
 
 // GenerateRows implements Client.
+//
+//shape: in(B,W)
 func (f *FaultyTransport) GenerateRows(slice *tensor.Dense) error {
 	if err := f.before("GenerateRows"); err != nil {
 		return err

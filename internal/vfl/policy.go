@@ -189,18 +189,21 @@ func (c *policyClient) SampleCVFixed(batch, spanIdx, category int) (*condvec.Bat
 	})
 }
 
+//shape: in(B,W) out(B,K)
 func (c *policyClient) ForwardSynthetic(slice *tensor.Dense, phase Phase) (*tensor.Dense, error) {
 	return callWithPolicy(c.policy, c.what("ForwardSynthetic"), nil, func() (*tensor.Dense, error) {
 		return c.inner.ForwardSynthetic(slice, phase)
 	})
 }
 
+//shape: out(R,K)
 func (c *policyClient) ForwardReal(idx []int) (*tensor.Dense, error) {
 	return callWithPolicy(c.policy, c.what("ForwardReal"), nil, func() (*tensor.Dense, error) {
 		return c.inner.ForwardReal(idx)
 	})
 }
 
+//shape: in(Bs,K) in(Br,K2)
 func (c *policyClient) BackwardDisc(gradSynth, gradReal *tensor.Dense) error {
 	_, err := callWithPolicy(c.policy, c.what("BackwardDisc"), nil, func() (struct{}, error) {
 		return struct{}{}, c.inner.BackwardDisc(gradSynth, gradReal)
@@ -208,6 +211,7 @@ func (c *policyClient) BackwardDisc(gradSynth, gradReal *tensor.Dense) error {
 	return err
 }
 
+//shape: in(B,K) out(B,W)
 func (c *policyClient) BackwardGen(gradSynth *tensor.Dense, conditioned bool) (*tensor.Dense, error) {
 	return callWithPolicy(c.policy, c.what("BackwardGen"), nil, func() (*tensor.Dense, error) {
 		return c.inner.BackwardGen(gradSynth, conditioned)
@@ -221,6 +225,7 @@ func (c *policyClient) EndRound(round int) error {
 	return err
 }
 
+//shape: in(B,W)
 func (c *policyClient) GenerateRows(slice *tensor.Dense) error {
 	_, err := callWithPolicy(c.policy, c.what("GenerateRows"), nil, func() (struct{}, error) {
 		return struct{}{}, c.inner.GenerateRows(slice)

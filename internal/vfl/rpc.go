@@ -25,6 +25,8 @@ type WireMatrix struct {
 }
 
 // ToWire converts a matrix for transmission.
+//
+//shape: in(R,C)
 func ToWire(m *tensor.Dense) WireMatrix {
 	if m == nil {
 		return WireMatrix{}
@@ -34,7 +36,10 @@ func ToWire(m *tensor.Dense) WireMatrix {
 	return WireMatrix{Rows: m.Rows(), Cols: m.Cols(), Data: data}
 }
 
-// FromWire converts a received matrix back to a tensor.
+// FromWire converts a received matrix back to a tensor. The shape is
+// whatever the wire says, so both result dims are fresh.
+//
+//shape: out(R,C)
 func FromWire(w WireMatrix) *tensor.Dense {
 	return tensor.FromSlice(w.Rows, w.Cols, w.Data)
 }
@@ -391,6 +396,8 @@ func (c *RPCClient) SampleCVFixed(batch, spanIdx, category int) (*condvec.Batch,
 }
 
 // ForwardSynthetic implements Client.
+//
+//shape: in(B,W) out(B,K)
 func (c *RPCClient) ForwardSynthetic(slice *tensor.Dense, phase Phase) (*tensor.Dense, error) {
 	args := ForwardSyntheticArgs{Slice: ToWire(slice), Phase: phase}
 	reply, err := callRPC[WireMatrix](c, "GTVClient.ForwardSynthetic", args)
@@ -401,6 +408,8 @@ func (c *RPCClient) ForwardSynthetic(slice *tensor.Dense, phase Phase) (*tensor.
 }
 
 // ForwardReal implements Client.
+//
+//shape: out(R,K)
 func (c *RPCClient) ForwardReal(idx []int) (*tensor.Dense, error) {
 	args := ForwardRealArgs{All: idx == nil, Idx: idx}
 	reply, err := callRPC[WireMatrix](c, "GTVClient.ForwardReal", args)
@@ -411,6 +420,8 @@ func (c *RPCClient) ForwardReal(idx []int) (*tensor.Dense, error) {
 }
 
 // BackwardDisc implements Client.
+//
+//shape: in(Bs,K) in(Br,K2)
 func (c *RPCClient) BackwardDisc(gradSynth, gradReal *tensor.Dense) error {
 	args := BackwardDiscArgs{GradSynth: ToWire(gradSynth), GradReal: ToWire(gradReal)}
 	_, err := callRPC[Empty](c, "GTVClient.BackwardDisc", args)
@@ -418,6 +429,8 @@ func (c *RPCClient) BackwardDisc(gradSynth, gradReal *tensor.Dense) error {
 }
 
 // BackwardGen implements Client.
+//
+//shape: in(B,K) out(B,W)
 func (c *RPCClient) BackwardGen(gradSynth *tensor.Dense, conditioned bool) (*tensor.Dense, error) {
 	args := BackwardGenArgs{GradSynth: ToWire(gradSynth), Conditioned: conditioned}
 	reply, err := callRPC[WireMatrix](c, "GTVClient.BackwardGen", args)
@@ -434,6 +447,8 @@ func (c *RPCClient) EndRound(round int) error {
 }
 
 // GenerateRows implements Client.
+//
+//shape: in(B,W)
 func (c *RPCClient) GenerateRows(slice *tensor.Dense) error {
 	_, err := callRPC[Empty](c, "GTVClient.GenerateRows", ToWire(slice))
 	return err

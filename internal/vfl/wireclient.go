@@ -389,6 +389,8 @@ func (c *WireClient) SampleCVFixed(batch, spanIdx, category int) (*condvec.Batch
 }
 
 // ForwardSynthetic implements Client.
+//
+//shape: in(B,W) out(B,K)
 func (c *WireClient) ForwardSynthetic(slice *tensor.Dense, phase Phase) (*tensor.Dense, error) {
 	return wireCall(c, wireMethodForwardSynthetic, c.f32, func(e *wireEnc) {
 		e.matrix(slice, c.f32)
@@ -397,6 +399,8 @@ func (c *WireClient) ForwardSynthetic(slice *tensor.Dense, phase Phase) (*tensor
 }
 
 // ForwardReal implements Client.
+//
+//shape: out(R,K)
 func (c *WireClient) ForwardReal(idx []int) (*tensor.Dense, error) {
 	return wireCall(c, wireMethodForwardReal, c.f32, func(e *wireEnc) {
 		e.bool(idx == nil)
@@ -405,6 +409,8 @@ func (c *WireClient) ForwardReal(idx []int) (*tensor.Dense, error) {
 }
 
 // BackwardDisc implements Client.
+//
+//shape: in(Bs,K) in(Br,K2)
 func (c *WireClient) BackwardDisc(gradSynth, gradReal *tensor.Dense) error {
 	_, err := wireCall[struct{}](c, wireMethodBackwardDisc, c.f32, func(e *wireEnc) {
 		e.matrix(gradSynth, c.f32)
@@ -414,6 +420,8 @@ func (c *WireClient) BackwardDisc(gradSynth, gradReal *tensor.Dense) error {
 }
 
 // BackwardGen implements Client.
+//
+//shape: in(B,K) out(B,W)
 func (c *WireClient) BackwardGen(gradSynth *tensor.Dense, conditioned bool) (*tensor.Dense, error) {
 	return wireCall(c, wireMethodBackwardGen, c.f32, func(e *wireEnc) {
 		e.matrix(gradSynth, c.f32)
@@ -428,6 +436,8 @@ func (c *WireClient) EndRound(round int) error {
 }
 
 // GenerateRows implements Client.
+//
+//shape: in(B,W)
 func (c *WireClient) GenerateRows(slice *tensor.Dense) error {
 	_, err := wireCall[struct{}](c, wireMethodGenerateRows, c.f32, func(e *wireEnc) { e.matrix(slice, c.f32) }, nil)
 	return err
