@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build vet lint lint-json test race fuzz ci bench bench-round bench-kernels bench-comm
+.PHONY: all build vet lint lint-json test race fuzz ci bench bench-round bench-kernels bench-comm bench-data
 
 # Per-fuzzer budget for the `fuzz` target; override with
 # `make fuzz FUZZTIME=1m` for longer local hunts.
@@ -51,12 +51,15 @@ race:
 	$(GO) test -race ./internal/vfl/... ./internal/tensor/... ./internal/autograd/...
 
 # Short-budget runs of every fuzzer in the module: the gtvsnap checkpoint
-# decoder, the gtvwire frame decoder, and the blocked-matmul kernel. Each
-# guards a byte-level or numeric contract that unit tests only sample.
+# decoder, the gtvwire frame decoder, the blocked-matmul kernel, and the
+# gtvcol columnar file decoder (hostile bytes + encode/decode round-trip).
+# Each guards a byte-level or numeric contract that unit tests only sample.
 fuzz:
 	$(GO) test -run '^$$' -fuzz FuzzSnapshotDecode -fuzztime $(FUZZTIME) ./internal/snap
 	$(GO) test -run '^$$' -fuzz FuzzWireFrameDecode -fuzztime $(FUZZTIME) ./internal/vfl
 	$(GO) test -run '^$$' -fuzz FuzzMatMulAgainstNaive -fuzztime $(FUZZTIME) ./internal/tensor
+	$(GO) test -run '^$$' -fuzz FuzzColFileDecode -fuzztime $(FUZZTIME) ./internal/coldata
+	$(GO) test -run '^$$' -fuzz FuzzColRoundTrip -fuzztime $(FUZZTIME) ./internal/coldata
 
 ci: vet lint build test race fuzz
 
@@ -82,3 +85,12 @@ bench-comm:
 	{ $(GO) test -run xxx -bench BenchmarkWireRoundTrip -benchtime 50x ./internal/vfl ; \
 	  $(GO) test -run xxx -bench 'BenchmarkGTVTrainingRoundLatency$$' -benchtime 5x . ; } \
 		| $(GO) run ./cmd/benchjson > BENCH_comm.json
+
+# Data-plane benchmarks: whole-process gtv-train runs (in-memory vs gtvcol
+# streamed, centralized and federated, up to 10M rows) measuring training
+# throughput, peak RSS, and on-disk store size. Recorded as JSON in
+# BENCH_data.json. Subprocess-driven so peak RSS is the real number.
+bench-data:
+	$(GO) build -o /tmp/gtv-train-bench ./cmd/gtv-train
+	GTV_TRAIN_BIN=/tmp/gtv-train-bench $(GO) test -run xxx -bench BenchmarkDataPlane -benchtime 1x -timeout 120m . \
+		| $(GO) run ./cmd/benchjson > BENCH_data.json

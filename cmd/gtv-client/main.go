@@ -20,6 +20,7 @@ import (
 
 	"repro/internal/core"
 	"repro/internal/datasets"
+	"repro/internal/encoding"
 	"repro/internal/vfl"
 )
 
@@ -41,6 +42,8 @@ func run(args []string) error {
 		secret     = fs.Int64("secret", 0x67747673, "shared shuffle secret (must match every client; never give it to the server)")
 		seed       = fs.Int64("seed", 1, "dataset seed (must match every client)")
 		wire       = fs.String("wire", "gob", "wire protocol to serve: gob (net/rpc) | binary (gtvwire frames, pipelined); must match the server's -wire")
+		dataDir    = fs.String("data-dir", "", "keep this client's encoded matrix in a gtvcol columnar file under this directory (flat-memory training; reruns reuse it)")
+		blockCache = fs.Int("block-cache", 0, "decoded-block cache budget in MiB (0 = 256); only with -data-dir")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -64,7 +67,12 @@ func run(args []string) error {
 	local := parts[*clientIdx]
 
 	coord := vfl.NewShuffleCoordinator(*secret)
-	client, err := vfl.NewLocalClient(local, coord, *seed+int64(*clientIdx)*1000)
+	st := encoding.Storage{
+		Dir:        *dataDir,
+		Name:       fmt.Sprintf("client-%d", *clientIdx),
+		CacheBytes: int64(*blockCache) << 20,
+	}
+	client, err := vfl.NewLocalClientStored(local, coord, *seed+int64(*clientIdx)*1000, st)
 	if err != nil {
 		return err
 	}

@@ -16,6 +16,7 @@ import (
 	"os"
 	"runtime"
 	"runtime/pprof"
+	"time"
 
 	"repro/internal/core"
 	"repro/internal/datasets"
@@ -62,6 +63,9 @@ func run(args []string, stdout io.Writer) error {
 		ckptDir     = fs.String("checkpoint-dir", "", "write atomic gtvsnap checkpoints into this directory")
 		ckptEvery   = fs.Int("checkpoint-every", 1, "rounds between checkpoints when -checkpoint-dir is set")
 		resume      = fs.Bool("resume", false, "restore the newest checkpoint in -checkpoint-dir before training")
+		dataDir     = fs.String("data-dir", "", "keep each party's encoded matrix in a gtvcol columnar file under this directory (flat-memory out-of-core training; reruns reuse the files)")
+		blockCache  = fs.Int("block-cache", 0, "decoded-block cache budget per party in MiB (0 = 256); only with -data-dir")
+		skipEval    = fs.Bool("skip-eval", false, "skip the similarity/utility evaluation after training")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -99,17 +103,50 @@ func run(args []string, stdout io.Writer) error {
 		}()
 	}
 
-	d, err := datasets.Generate(*dataset, datasets.Config{Rows: *rows, Seed: *seed})
-	if err != nil {
-		return err
+	// The raw train split is identified by everything that determines its
+	// rows; with -data-dir, a centralized -skip-eval rerun whose stored
+	// table carries the same tag skips dataset generation entirely (the
+	// flat-memory path: nothing row-scaled is ever materialized).
+	sourceTag := fmt.Sprintf("%s:rows=%d:seed=%d:split=0.2", *dataset, *rows, *seed)
+	rawStore := encoding.Storage{Dir: *dataDir, Name: "train", CacheBytes: int64(*blockCache) << 20}
+	var (
+		train, test *encoding.Table
+		target      int
+	)
+	if *dataDir != "" && *centralized && *skipEval {
+		if t, tag, err := encoding.OpenRawTable(rawStore); err == nil {
+			if tag == sourceTag {
+				train = t
+				defer func() {
+					//lint:ignore errdrop teardown of a read-only store at exit
+					_ = t.Close()
+				}()
+				fmt.Fprintf(stdout, "dataset %s: %d train rows, %d columns (stored, %s)\n",
+					*dataset, train.Rows(), train.Cols(), rawStore.RawPath())
+			} else {
+				//lint:ignore errdrop the stale store is simply regenerated
+				_ = t.Close()
+			}
+		}
 	}
-	rng := rand.New(rand.NewSource(*seed))
-	train, test, err := d.TrainTestSplit(rng, 0.2)
-	if err != nil {
-		return err
+	if train == nil {
+		d, err := datasets.Generate(*dataset, datasets.Config{Rows: *rows, Seed: *seed})
+		if err != nil {
+			return err
+		}
+		rng := rand.New(rand.NewSource(*seed))
+		if train, test, err = d.TrainTestSplit(rng, 0.2); err != nil {
+			return err
+		}
+		target = d.Target
+		fmt.Fprintf(stdout, "dataset %s: %d train rows, %d test rows, %d columns\n",
+			*dataset, train.Rows(), test.Rows(), train.Cols())
+		if *dataDir != "" && *centralized {
+			if err := encoding.WriteRawTable(rawStore, train, sourceTag); err != nil {
+				return err
+			}
+		}
 	}
-	fmt.Fprintf(stdout, "dataset %s: %d train rows, %d test rows, %d columns\n",
-		*dataset, train.Rows(), test.Rows(), train.Cols())
 
 	opts := core.DefaultOptions()
 	opts.Rounds = *rounds
@@ -130,6 +167,8 @@ func run(args []string, stdout io.Writer) error {
 	opts.CheckpointDir = *ckptDir
 	opts.CheckpointEvery = *ckptEvery
 	opts.Resume = *resume
+	opts.DataDir = *dataDir
+	opts.BlockCacheMB = *blockCache
 
 	progress := func(round int, dLoss, gLoss float64) {
 		if *every > 0 && (round+1)%*every == 0 {
@@ -137,15 +176,20 @@ func run(args []string, stdout io.Writer) error {
 		}
 	}
 
-	var (
-		synth  *encoding.Table
-		target = d.Target
-	)
+	// With evaluation skipped and no output file, the synthesized table
+	// would be discarded unread; skipping the full-table generator pass
+	// keeps -skip-eval runs' peak memory bounded by training, not by an
+	// n-row synthesis no one looks at.
+	wantSynth := !*skipEval || *synthOut != ""
+	var synth *encoding.Table
+	trainStart := time.Now()
 	if *centralized {
 		c, err := core.NewCentralized(train, opts)
 		if err != nil {
 			return err
 		}
+		//lint:ignore errdrop teardown of the data plane at exit
+		defer func() { _ = c.Close() }()
 		trainCB, finish := progress, func() error { return nil }
 		if *ckptDir != "" {
 			if err := os.MkdirAll(*ckptDir, 0o755); err != nil {
@@ -168,8 +212,11 @@ func run(args []string, stdout io.Writer) error {
 		if err := finish(); err != nil {
 			return err
 		}
-		if synth, err = c.Synthesize(train.Rows()); err != nil {
-			return err
+		fmt.Fprintf(stdout, "training: %d rounds in %s\n", *rounds, time.Since(trainStart))
+		if wantSynth {
+			if synth, err = c.Synthesize(train.Rows()); err != nil {
+				return err
+			}
 		}
 	} else {
 		plan, err := vfl.ParsePlan(*planArg)
@@ -194,42 +241,47 @@ func run(args []string, stdout io.Writer) error {
 		if err := g.Train(progress); err != nil {
 			return err
 		}
-		if synth, err = g.Synthesize(train.Rows()); err != nil {
-			return err
-		}
+		fmt.Fprintf(stdout, "training: %d rounds in %s\n", *rounds, time.Since(trainStart))
 		// Estimate (8 B/element payload model) and, on a network transport,
 		// the measured framed bytes side by side.
 		fmt.Fprintf(stdout, "communication: %s\n", g.CommStats())
-		// The synthetic column order follows the assignment; restore the
-		// original order for evaluation and output.
-		order := make([]int, 0, train.Cols())
-		for p := 0; p < *clients; p++ {
-			for j, owner := range assignment {
-				if owner == p {
-					order = append(order, j)
+		if wantSynth {
+			if synth, err = g.Synthesize(train.Rows()); err != nil {
+				return err
+			}
+			// The synthetic column order follows the assignment; restore the
+			// original order for evaluation and output.
+			order := make([]int, 0, train.Cols())
+			for p := 0; p < *clients; p++ {
+				for j, owner := range assignment {
+					if owner == p {
+						order = append(order, j)
+					}
 				}
 			}
-		}
-		inverse := make([]int, len(order))
-		for pos, col := range order {
-			inverse[col] = pos
-		}
-		if synth, err = synth.SelectColumns(inverse); err != nil {
-			return err
+			inverse := make([]int, len(order))
+			for pos, col := range order {
+				inverse[col] = pos
+			}
+			if synth, err = synth.SelectColumns(inverse); err != nil {
+				return err
+			}
 		}
 	}
 
-	sim, err := stats.Similarity(train, synth)
-	if err != nil {
-		return err
+	if !*skipEval {
+		sim, err := stats.Similarity(train, synth)
+		if err != nil {
+			return err
+		}
+		util, err := ml.UtilityDifference(train, synth, test, target, *seed)
+		if err != nil {
+			return err
+		}
+		fmt.Fprintf(stdout, "statistical similarity: avg JSD %.4f, avg WD %.4f, Diff.Corr %.3f\n",
+			sim.AvgJSD, sim.AvgWD, sim.DiffCorr)
+		fmt.Fprintf(stdout, "ML utility difference (real - synthetic): %s\n", util)
 	}
-	util, err := ml.UtilityDifference(train, synth, test, target, *seed)
-	if err != nil {
-		return err
-	}
-	fmt.Fprintf(stdout, "statistical similarity: avg JSD %.4f, avg WD %.4f, Diff.Corr %.3f\n",
-		sim.AvgJSD, sim.AvgWD, sim.DiffCorr)
-	fmt.Fprintf(stdout, "ML utility difference (real - synthetic): %s\n", util)
 
 	if *synthOut != "" {
 		f, err := os.Create(*synthOut)

@@ -1,0 +1,96 @@
+package coldata
+
+import (
+	"container/list"
+	"sync"
+)
+
+// DefaultCacheBytes is the decoded-block LRU budget readers use when the
+// caller passes 0.
+const DefaultCacheBytes = 256 << 20
+
+type cacheKey struct {
+	stripe, col int32
+}
+
+type cacheEntry struct {
+	key    cacheKey
+	handle *blockHandle
+	bytes  int64
+}
+
+// blockCache is a byte-bounded LRU over decoded block handles. Handles
+// stay in their compact form (raw payload plus small index slices), so the
+// budget tracks roughly the on-disk footprint of the cached blocks, not
+// their dense expansion.
+//
+// The mutex makes the bookkeeping safe under concurrent use, but returned
+// handles follow the pool ownership discipline: a handle obtained from get
+// is only valid until the same consumer's next add may evict it, so a
+// Reader supports one random-access consumer at a time (the same contract
+// the vfl.Client interface already imposes per client).
+type blockCache struct {
+	mu    sync.Mutex
+	limit int64
+	used  int64                      // guarded by mu
+	ll    *list.List                 // guarded by mu; front = most recent
+	items map[cacheKey]*list.Element // guarded by mu
+}
+
+func newBlockCache(limit int64) *blockCache {
+	if limit <= 0 {
+		limit = DefaultCacheBytes
+	}
+	return &blockCache{limit: limit, ll: list.New(), items: map[cacheKey]*list.Element{}}
+}
+
+// get returns the cached handle for k, refreshing its recency, or nil.
+func (c *blockCache) get(k cacheKey) *blockHandle {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	el, ok := c.items[k]
+	if !ok {
+		return nil
+	}
+	c.ll.MoveToFront(el)
+	return el.Value.(*cacheEntry).handle
+}
+
+// add inserts a handle (taking ownership of it and its pooled buffer) and
+// evicts from the cold end until the budget holds again. The entry just
+// inserted is never evicted by its own add, so the caller may use the
+// handle until its next cache operation.
+func (c *blockCache) add(k cacheKey, h *blockHandle) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if el, ok := c.items[k]; ok {
+		// Lost a benign race with another fill of the same block: keep the
+		// resident entry, drop the newcomer.
+		c.ll.MoveToFront(el)
+		h.release()
+		return
+	}
+	e := &cacheEntry{key: k, handle: h, bytes: h.memBytes()}
+	c.items[k] = c.ll.PushFront(e)
+	c.used += e.bytes
+	for c.used > c.limit && c.ll.Len() > 1 {
+		back := c.ll.Back()
+		ev := back.Value.(*cacheEntry)
+		c.ll.Remove(back)
+		delete(c.items, ev.key)
+		c.used -= ev.bytes
+		ev.handle.release()
+	}
+}
+
+// drop releases every cached handle.
+func (c *blockCache) drop() {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	for el := c.ll.Front(); el != nil; el = el.Next() {
+		el.Value.(*cacheEntry).handle.release()
+	}
+	c.ll.Init()
+	c.items = map[cacheKey]*list.Element{}
+	c.used = 0
+}

@@ -57,13 +57,25 @@ type Sampler struct {
 	numRows  int
 	probs    [][]float64 // per span: log-frequency category distribution
 	rawProbs [][]float64 // per span: raw category frequencies
-	// rowsByCat indexes real training rows by category value; the idx_p
-	// drawn from it reveal which rows match a condition.
+	// catRows indexes real training rows by category value as one flat
+	// int32 array per span (rows grouped by category, ascending row order
+	// within each group); catOff[i][c] is the group start of category c,
+	// with a trailing end sentinel. The flat layout costs 4 bytes per row
+	// per categorical column — the only per-row state the out-of-core data
+	// plane keeps resident — instead of a ragged slice-of-slices. The
+	// idx_p drawn from it reveal which rows match a condition.
 	//privacy:source matching-row indices (idx_p)
-	rowsByCat [][][]int // per span, per category: matching row indices
+	catRows [][]int32
+	catOff  [][]int32
 	// offsets[i] is the first CV position of span i (spans are re-based to
 	// the CV coordinate space, which contains only categorical one-hots).
 	offsets []int
+}
+
+// candidates returns the (possibly empty) row group matching category cat
+// of span i.
+func (s *Sampler) candidates(i, cat int) []int32 {
+	return s.catRows[i][s.catOff[i][cat]:s.catOff[i][cat+1]]
 }
 
 // NewSampler builds a sampler from a party's raw table and its fitted
@@ -73,14 +85,18 @@ func NewSampler(t *encoding.Table, tr *encoding.Transformer) (*Sampler, error) {
 	if t.Rows() == 0 {
 		return nil, errors.New("condvec: empty table")
 	}
+	if t.Rows() > math.MaxInt32 {
+		return nil, fmt.Errorf("condvec: %d rows exceed the int32 row-index space", t.Rows())
+	}
 	spans := tr.CategoricalSpans()
 	s := &Sampler{
-		spans:     spans,
-		numRows:   t.Rows(),
-		probs:     make([][]float64, len(spans)),
-		rawProbs:  make([][]float64, len(spans)),
-		rowsByCat: make([][][]int, len(spans)),
-		offsets:   make([]int, len(spans)),
+		spans:    spans,
+		numRows:  t.Rows(),
+		probs:    make([][]float64, len(spans)),
+		rawProbs: make([][]float64, len(spans)),
+		catRows:  make([][]int32, len(spans)),
+		catOff:   make([][]int32, len(spans)),
+		offsets:  make([]int, len(spans)),
 	}
 	for i, sp := range spans {
 		s.offsets[i] = s.width
@@ -106,12 +122,27 @@ func NewSampler(t *encoding.Table, tr *encoding.Transformer) (*Sampler, error) {
 		s.probs[i] = probs
 		s.rawProbs[i] = freq
 
-		byCat := make([][]int, len(freq))
+		// Counting sort into the flat per-span index: one pass to count,
+		// one to place. Ascending row order within each category matches
+		// the append order the ragged layout used to produce, so sampling
+		// draws identical rows from identical RNG streams.
 		col := t.Column(sp.Column)
-		for row, v := range col {
-			byCat[int(v)] = append(byCat[int(v)], row)
+		off := make([]int32, len(freq)+1)
+		for _, v := range col {
+			off[int(v)+1]++
 		}
-		s.rowsByCat[i] = byCat
+		for c := 1; c < len(off); c++ {
+			off[c] += off[c-1]
+		}
+		rows := make([]int32, len(col))
+		next := append([]int32(nil), off[:len(freq)]...)
+		for row, v := range col {
+			c := int(v)
+			rows[next[c]] = int32(row)
+			next[c]++
+		}
+		s.catRows[i] = rows
+		s.catOff[i] = off
 	}
 	return s, nil
 }
@@ -163,13 +194,13 @@ func (s *Sampler) sample(rng *rand.Rand, batch int, probs [][]float64) (*Batch, 
 		}
 		span := rng.Intn(len(s.spans))
 		cat := sampleDiscrete(rng, probs[span])
-		candidates := s.rowsByCat[span][cat]
+		candidates := s.candidates(span, cat)
 		if len(candidates) == 0 {
 			// Category absent from current data (cannot happen with
 			// frequencies derived from the same table, but guard anyway).
 			rows[b] = rng.Intn(s.numRows)
 		} else {
-			rows[b] = candidates[rng.Intn(len(candidates))]
+			rows[b] = int(candidates[rng.Intn(len(candidates))])
 		}
 		cv.Set(b, s.offsets[span]+cat, 1)
 		choices[b] = Choice{Span: span, Category: cat}
@@ -192,12 +223,10 @@ func (s *Sampler) Reindex(perm []int) error {
 		}
 		inv[old] = k
 	}
-	for i := range s.rowsByCat {
-		for c := range s.rowsByCat[i] {
-			lst := s.rowsByCat[i][c]
-			for k, old := range lst {
-				lst[k] = inv[old]
-			}
+	for i := range s.catRows {
+		lst := s.catRows[i]
+		for k, old := range lst {
+			lst[k] = int32(inv[old])
 		}
 	}
 	return nil
@@ -233,11 +262,11 @@ func (s *Sampler) SampleFixed(rng *rand.Rand, batch, spanIdx, category int) (*Ba
 	rows := make([]int, batch)
 	choices := make([]Choice, batch)
 	hot := make([]int, batch)
-	candidates := s.rowsByCat[spanIdx][category]
+	candidates := s.candidates(spanIdx, category)
 	for b := 0; b < batch; b++ {
 		cv.Set(b, s.offsets[spanIdx]+category, 1)
 		if len(candidates) > 0 {
-			rows[b] = candidates[rng.Intn(len(candidates))]
+			rows[b] = int(candidates[rng.Intn(len(candidates))])
 		} else {
 			rows[b] = rng.Intn(s.numRows)
 		}

@@ -107,6 +107,26 @@ type Options struct {
 	// Resume makes New restore the newest checkpoint in CheckpointDir (if
 	// any) before training, continuing the original run byte-identically.
 	Resume bool
+	// DataDir, when set, moves each party's encoded training matrix into
+	// a gtvcol columnar file under this directory (<party>.enc.gtvcol);
+	// batches are gathered through a bounded block cache, so resident
+	// memory stays flat regardless of dataset size, and a rerun with the
+	// same data, seed and GMM config reuses the file without re-fitting or
+	// re-encoding. Training is bit-identical with or without a DataDir.
+	DataDir string
+	// BlockCacheMB bounds each party's decoded-block cache in MiB; 0
+	// selects the coldata default (256 MiB). Only meaningful with DataDir.
+	BlockCacheMB int
+}
+
+// storage builds the per-party gtvcol storage config; name is the file
+// stem ("central", "client-0", ...).
+func (o Options) storage(name string) encoding.Storage {
+	return encoding.Storage{
+		Dir:        o.DataDir,
+		Name:       name,
+		CacheBytes: int64(o.BlockCacheMB) << 20,
+	}
 }
 
 // DefaultOptions returns a laptop-scale configuration with the paper's
@@ -185,7 +205,8 @@ func New(clientTables []*encoding.Table, opts Options) (*GTV, error) {
 	clients := make([]*vfl.LocalClient, len(clientTables))
 	ifaces := make([]vfl.Client, len(clientTables))
 	for i, t := range clientTables {
-		c, err := vfl.NewLocalClient(t, coord, opts.Seed+int64(i)*1000)
+		c, err := vfl.NewLocalClientStored(t, coord, opts.Seed+int64(i)*1000,
+			opts.storage(fmt.Sprintf("client-%d", i)))
 		if err != nil {
 			return nil, fmt.Errorf("core: client %d: %w", i, err)
 		}
@@ -287,8 +308,9 @@ func (g *GTV) connectTransport(ifaces []vfl.Client, opts Options) error {
 }
 
 // Close tears down the loopback transport (proxies first, then the
-// listeners their serve loops accept on). It is a no-op for the local
-// transport and safe to call more than once.
+// listeners their serve loops accept on) and releases every client's
+// encoded-data backing (file handles and block caches when a DataDir is
+// configured). It is safe to call more than once.
 func (g *GTV) Close() error {
 	var first error
 	for _, p := range g.proxies {
@@ -303,6 +325,12 @@ func (g *GTV) Close() error {
 		}
 	}
 	g.listeners = nil
+	for _, c := range g.clients {
+		if err := c.Close(); err != nil && first == nil {
+			first = err
+		}
+	}
+	g.clients = nil
 	return first
 }
 
@@ -436,7 +464,7 @@ func NewCentralized(table *encoding.Table, opts Options) (*Centralized, error) {
 		Pac:        opts.Pac,
 		Seed:       opts.Seed,
 	}
-	return gan.NewCentralized(table, cfg)
+	return gan.NewCentralizedStored(table, cfg, opts.storage("central"))
 }
 
 // SynthesizeCondition generates n rows conditioned on one category of one

@@ -1,0 +1,174 @@
+package core
+
+import (
+	"math"
+	"os"
+	"testing"
+
+	"repro/internal/datasets"
+	"repro/internal/encoding"
+)
+
+// synthBits flattens a synthesized table into the exact float64 bit
+// patterns so runs can be compared for byte identity, not tolerance.
+func synthBits(t *testing.T, synth *encoding.Table) []uint64 {
+	t.Helper()
+	bits := make([]uint64, 0, synth.Rows()*synth.Cols())
+	for i := 0; i < synth.Rows(); i++ {
+		for _, v := range synth.Data.RawRow(i) {
+			bits = append(bits, math.Float64bits(v))
+		}
+	}
+	return bits
+}
+
+func sameBits(t *testing.T, label string, a, b []uint64) {
+	t.Helper()
+	if len(a) != len(b) {
+		t.Fatalf("%s: synthesized %d values, want %d", label, len(b), len(a))
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("%s: synthesized value %d differs between runs (bit patterns %x vs %x)", label, i, a[i], b[i])
+		}
+	}
+}
+
+func sameCheckpoint(t *testing.T, label string, a, b []byte) {
+	t.Helper()
+	if len(a) != len(b) {
+		t.Fatalf("%s: checkpoint sizes differ (%d vs %d bytes)", label, len(a), len(b))
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("%s: checkpoint byte %d differs between runs", label, i)
+		}
+	}
+}
+
+// TestDataPlaneByteIdentityCentralized is the streamed-equals-resident
+// property for the centralized trainer: with the same seed, training from
+// the in-memory encoded matrix, from a freshly encoded gtvcol file, and
+// from a cached gtvcol file (fit/transform skipped entirely) must produce
+// byte-identical model checkpoints and byte-identical synthetic output.
+func TestDataPlaneByteIdentityCentralized(t *testing.T) {
+	if testing.Short() {
+		t.Skip("GAN training in -short mode")
+	}
+	d, err := datasets.Generate("loan", datasets.Config{Rows: 300, Seed: 11})
+	if err != nil {
+		t.Fatalf("Generate: %v", err)
+	}
+	run := func(dataDir string) ([]uint64, []byte) {
+		opts := DefaultOptions()
+		opts.Rounds = 4
+		opts.BlockDim = 32
+		opts.NoiseDim = 16
+		opts.BatchSize = 32
+		opts.DataDir = dataDir
+		opts.BlockCacheMB = 1
+		c, err := NewCentralized(d.Table, opts)
+		if err != nil {
+			t.Fatalf("NewCentralized(dataDir=%q): %v", dataDir, err)
+		}
+		defer func() {
+			if err := c.Close(); err != nil {
+				t.Errorf("Close: %v", err)
+			}
+		}()
+		if err := c.Train(nil); err != nil {
+			t.Fatalf("Train(dataDir=%q): %v", dataDir, err)
+		}
+		ckptDir := t.TempDir()
+		path, err := c.SaveCheckpoint(ckptDir)
+		if err != nil {
+			t.Fatalf("SaveCheckpoint: %v", err)
+		}
+		ckpt, err := os.ReadFile(path)
+		if err != nil {
+			t.Fatalf("reading checkpoint: %v", err)
+		}
+		synth, err := c.Synthesize(40)
+		if err != nil {
+			t.Fatalf("Synthesize(dataDir=%q): %v", dataDir, err)
+		}
+		return synthBits(t, synth), ckpt
+	}
+
+	memBits, memCkpt := run("")
+	dir := t.TempDir()
+	freshBits, freshCkpt := run(dir) // encodes train.enc.gtvcol
+	if _, err := os.Stat(dir + "/central.enc.gtvcol"); err != nil {
+		t.Fatalf("expected encoded store on disk: %v", err)
+	}
+	cachedBits, cachedCkpt := run(dir) // reuses it via fingerprint
+
+	sameBits(t, "in-memory vs streamed", memBits, freshBits)
+	sameBits(t, "streamed vs cached-rerun", freshBits, cachedBits)
+	sameCheckpoint(t, "in-memory vs streamed", memCkpt, freshCkpt)
+	sameCheckpoint(t, "streamed vs cached-rerun", freshCkpt, cachedCkpt)
+}
+
+// TestDataPlaneByteIdentityFederated is the same property for GTV proper:
+// every client draws batches through its gtvcol store and the federated
+// trajectory must not move by a single bit.
+func TestDataPlaneByteIdentityFederated(t *testing.T) {
+	if testing.Short() {
+		t.Skip("GAN training in -short mode")
+	}
+	d, err := datasets.Generate("loan", datasets.Config{Rows: 240, Seed: 12})
+	if err != nil {
+		t.Fatalf("Generate: %v", err)
+	}
+	assignment, err := EvenAssignment(d.Table.Cols(), 2)
+	if err != nil {
+		t.Fatalf("EvenAssignment: %v", err)
+	}
+	run := func(dataDir string) ([]uint64, []byte) {
+		opts := DefaultOptions()
+		opts.Rounds = 3
+		opts.BlockDim = 32
+		opts.NoiseDim = 16
+		opts.BatchSize = 32
+		opts.DataDir = dataDir
+		opts.BlockCacheMB = 1
+		g, err := NewFromAssignment(d.Table, assignment, 2, opts)
+		if err != nil {
+			t.Fatalf("NewFromAssignment(dataDir=%q): %v", dataDir, err)
+		}
+		if err := g.Train(nil); err != nil {
+			t.Fatalf("Train(dataDir=%q): %v", dataDir, err)
+		}
+		ckptDir := t.TempDir()
+		path, err := g.Checkpoint(ckptDir)
+		if err != nil {
+			t.Fatalf("Checkpoint: %v", err)
+		}
+		ckpt, err := os.ReadFile(path)
+		if err != nil {
+			t.Fatalf("reading checkpoint: %v", err)
+		}
+		synth, err := g.Synthesize(30)
+		if err != nil {
+			t.Fatalf("Synthesize(dataDir=%q): %v", dataDir, err)
+		}
+		bits := synthBits(t, synth)
+		if err := g.Close(); err != nil {
+			t.Fatalf("Close: %v", err)
+		}
+		return bits, ckpt
+	}
+
+	memBits, memCkpt := run("")
+	dir := t.TempDir()
+	freshBits, freshCkpt := run(dir)
+	if _, err := os.Stat(dir + "/client-0.enc.gtvcol"); err != nil {
+		t.Fatalf("expected client-0 encoded store on disk: %v", err)
+	}
+	cachedBits, cachedCkpt := run(dir)
+
+	sameBits(t, "in-memory vs streamed", memBits, freshBits)
+	sameBits(t, "streamed vs cached-rerun", freshBits, cachedBits)
+	sameCheckpoint(t, "in-memory vs streamed", memCkpt, freshCkpt)
+	sameCheckpoint(t, "streamed vs cached-rerun", freshCkpt, cachedCkpt)
+}

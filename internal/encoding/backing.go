@@ -1,0 +1,76 @@
+package encoding
+
+import (
+	"repro/internal/tensor"
+)
+
+// Backing abstracts where a party's encoded training matrix lives: fully
+// in memory (DenseBacking) or on disk in a gtvcol file with a bounded
+// block cache (the backing returned by OpenOrEncode with Storage set).
+// Trainers draw batches through it, so the same training loop runs
+// in-core or out-of-core — bit-identically, since gtvcol round-trips
+// float64 bit patterns exactly.
+type Backing interface {
+	// Rows returns the number of encoded rows.
+	Rows() int
+	// Width returns the encoded width.
+	Width() int
+	// GatherRows returns a pooled batch whose row k is encoded row idx[k].
+	// The caller owns the result and must Release it when the training
+	// step is done with it.
+	//
+	//shape: out(N,W)
+	GatherRows(idx []int) (*tensor.Dense, error)
+	// Dense returns the full encoded matrix. owned reports whether the
+	// caller must Release it: columnar backings expand it per call (the
+	// faithful-real-pass path; see DESIGN.md), the in-memory backing
+	// returns its resident matrix.
+	//
+	//shape: out(R,W)
+	Dense() (m *tensor.Dense, owned bool, err error)
+	// Shuffle re-orders the logical rows so that new row k holds old row
+	// perm[k] (training-with-shuffling). Columnar backings compose a row
+	// view instead of rewriting the immutable file.
+	Shuffle(perm []int) error
+	// Close releases file handles and caches; the in-memory backing is a
+	// no-op.
+	Close() error
+}
+
+// DenseBacking is the in-memory Backing: a thin wrapper over the encoded
+// *tensor.Dense, preserving the pre-gtvcol behavior exactly.
+type DenseBacking struct {
+	m *tensor.Dense
+}
+
+// NewDenseBacking wraps an encoded matrix.
+//
+//shape: in(N,W)
+func NewDenseBacking(m *tensor.Dense) *DenseBacking { return &DenseBacking{m: m} }
+
+// Rows implements Backing.
+func (b *DenseBacking) Rows() int { return b.m.Rows() }
+
+// Width implements Backing.
+func (b *DenseBacking) Width() int { return b.m.Cols() }
+
+// GatherRows implements Backing. The result comes from the tensor pool.
+//
+//shape: out(N,W)
+func (b *DenseBacking) GatherRows(idx []int) (*tensor.Dense, error) {
+	return b.m.GatherRows(idx), nil
+}
+
+// Dense implements Backing: the resident matrix, not owned by the caller.
+//
+//shape: out(R,W)
+func (b *DenseBacking) Dense() (*tensor.Dense, bool, error) { return b.m, false, nil }
+
+// Shuffle implements Backing.
+func (b *DenseBacking) Shuffle(perm []int) error {
+	b.m = b.m.ShuffleRows(perm)
+	return nil
+}
+
+// Close implements Backing.
+func (b *DenseBacking) Close() error { return nil }

@@ -11,6 +11,7 @@ import (
 	"fmt"
 	"math"
 
+	"repro/internal/coldata"
 	"repro/internal/tensor"
 )
 
@@ -78,11 +79,18 @@ func (s *ColumnSpec) Validate() error {
 }
 
 // Table is a raw tabular dataset: one float64 cell per row and column.
-// Categorical cells store 0-based category indices.
+// Categorical cells store 0-based category indices. A Table is backed
+// either by an in-memory matrix (Data) or by an on-disk gtvcol file
+// (src, via NewStoredTable) — stored tables serve Rows/Cols/Column/
+// ScanRows through a bounded block cache and reject the row-rearranging
+// operations that need the whole matrix resident.
 type Table struct {
 	Specs []ColumnSpec
 	//shape: (R,C)
 	Data *tensor.Dense
+	// src serves a stored table's cells straight from its gtvcol file;
+	// Data is nil in that case.
+	src *coldata.Reader
 }
 
 // NewTable validates and wraps specs+data into a Table.
@@ -115,20 +123,103 @@ func NewTable(specs []ColumnSpec, data *tensor.Dense) (*Table, error) {
 	return &Table{Specs: specs, Data: data}, nil
 }
 
+// NewStoredTable wraps an open gtvcol reader as a Table. Cell-level
+// validation is skipped: the file's CRCs guarantee the bytes are the ones
+// written, and WriteRawTable only ever stores already-validated tables.
+// The caller transfers ownership of r; Close releases it.
+func NewStoredTable(specs []ColumnSpec, r *coldata.Reader) (*Table, error) {
+	if r.Cols() != len(specs) {
+		return nil, fmt.Errorf("encoding: %d specs for %d stored columns", len(specs), r.Cols())
+	}
+	for i := range specs {
+		if err := specs[i].Validate(); err != nil {
+			return nil, err
+		}
+	}
+	return &Table{Specs: specs, src: r}, nil
+}
+
+// Stored reports whether the table is backed by an on-disk gtvcol file.
+func (t *Table) Stored() bool { return t.src != nil }
+
+// Close releases a stored table's reader and block cache; it is a no-op
+// for in-memory tables.
+func (t *Table) Close() error {
+	if t.src != nil {
+		return t.src.Close()
+	}
+	return nil
+}
+
+// mustDense returns the in-memory matrix, panicking with a diagnosable
+// message when the table is stored: the row-rearranging operations below
+// would silently materialize the whole dataset otherwise.
+func (t *Table) mustDense(op string) *tensor.Dense {
+	if t.src != nil {
+		panic(fmt.Sprintf("encoding: %s requires an in-memory table; stored tables support Rows/Cols/Column/ScanRows only", op))
+	}
+	return t.Data
+}
+
 // Rows returns the number of rows. Row and column counts are shape
 // metadata the protocol discloses by design (the server sizes batches and
 // splits with them), not row values.
 //
 //privacy:sanitizer table shape metadata (row count)
-func (t *Table) Rows() int { return t.Data.Rows() }
+func (t *Table) Rows() int {
+	if t.src != nil {
+		return t.src.Rows()
+	}
+	return t.Data.Rows()
+}
 
 // Cols returns the number of columns.
 //
 //privacy:sanitizer table shape metadata (column count)
-func (t *Table) Cols() int { return t.Data.Cols() }
+func (t *Table) Cols() int {
+	if t.src != nil {
+		return t.src.Cols()
+	}
+	return t.Data.Cols()
+}
 
-// Column returns a copy of column j's raw values.
-func (t *Table) Column(j int) []float64 { return t.Data.Col(j) }
+// Column returns a copy of column j's raw values. For stored tables the
+// column is decoded from its compact blocks; a read failure panics (the
+// file was CRC-validated at open, so mid-read corruption is not an error
+// the caller can meaningfully handle).
+func (t *Table) Column(j int) []float64 {
+	if t.src != nil {
+		col, err := t.src.Column(j)
+		if err != nil {
+			panic(fmt.Sprintf("encoding: reading stored column %d: %v", j, err))
+		}
+		return col
+	}
+	return t.Data.Col(j)
+}
+
+// ScanRows streams every row through fn in order. In-memory tables hand
+// out their resident rows; stored tables decode stripe by stripe, so the
+// peak footprint is one stripe regardless of table size. The row slice is
+// only valid during the callback.
+func (t *Table) ScanRows(fn func(i int, row []float64) error) error {
+	if t.src != nil {
+		return t.src.ScanStripes(func(first int, block *tensor.Dense) error {
+			for i := 0; i < block.Rows(); i++ {
+				if err := fn(first+i, block.RawRow(i)); err != nil {
+					return err
+				}
+			}
+			return nil
+		})
+	}
+	for i := 0; i < t.Data.Rows(); i++ {
+		if err := fn(i, t.Data.RawRow(i)); err != nil {
+			return err
+		}
+	}
+	return nil
+}
 
 // ColumnByName returns the index of the named column, or -1.
 func (t *Table) ColumnByName(name string) int {
@@ -142,6 +233,7 @@ func (t *Table) ColumnByName(name string) int {
 
 // SelectColumns returns a new Table containing the given columns, in order.
 func (t *Table) SelectColumns(cols []int) (*Table, error) {
+	d := t.mustDense("SelectColumns")
 	specs := make([]ColumnSpec, len(cols))
 	mats := make([]*tensor.Dense, len(cols))
 	for i, j := range cols {
@@ -149,24 +241,24 @@ func (t *Table) SelectColumns(cols []int) (*Table, error) {
 			return nil, fmt.Errorf("encoding: column index %d out of range %d", j, t.Cols())
 		}
 		specs[i] = t.Specs[j]
-		mats[i] = t.Data.SliceCols(j, j+1)
+		mats[i] = d.SliceCols(j, j+1)
 	}
 	return &Table{Specs: specs, Data: tensor.ConcatCols(mats...)}, nil
 }
 
 // SliceRows returns a new Table with rows [from, to).
 func (t *Table) SliceRows(from, to int) *Table {
-	return &Table{Specs: t.Specs, Data: t.Data.SliceRows(from, to)}
+	return &Table{Specs: t.Specs, Data: t.mustDense("SliceRows").SliceRows(from, to)}
 }
 
 // GatherRows returns a new Table whose row k is t's row idx[k].
 func (t *Table) GatherRows(idx []int) *Table {
-	return &Table{Specs: t.Specs, Data: t.Data.GatherRows(idx)}
+	return &Table{Specs: t.Specs, Data: t.mustDense("GatherRows").GatherRows(idx)}
 }
 
 // ShuffleRows returns a new Table with rows permuted by perm.
 func (t *Table) ShuffleRows(perm []int) *Table {
-	return &Table{Specs: t.Specs, Data: t.Data.ShuffleRows(perm)}
+	return &Table{Specs: t.Specs, Data: t.mustDense("ShuffleRows").ShuffleRows(perm)}
 }
 
 // ConcatColumns horizontally joins tables that share a row count, as the
@@ -184,7 +276,7 @@ func ConcatColumns(tables ...*Table) (*Table, error) {
 			return nil, fmt.Errorf("encoding: row count mismatch %d vs %d", t.Rows(), rows)
 		}
 		specs = append(specs, t.Specs...)
-		mats = append(mats, t.Data)
+		mats = append(mats, t.mustDense("ConcatColumns"))
 	}
 	return &Table{Specs: specs, Data: tensor.ConcatCols(mats...)}, nil
 }

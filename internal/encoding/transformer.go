@@ -72,26 +72,18 @@ type Transformer struct {
 // CTGAN-compatible setup.
 func FitTransformer(rng *rand.Rand, t *Table, cfg gmm.Config) (*Transformer, error) {
 	tr := &Transformer{specs: t.Specs, cols: make([]colEncoder, len(t.Specs))}
-	offset := 0
 	for j := range t.Specs {
 		spec := t.Specs[j]
 		enc := colEncoder{spec: spec}
 		switch spec.Kind {
 		case KindCategorical:
-			tr.spans = append(tr.spans, Span{
-				Column: j, Start: offset, Width: spec.NumCategories(),
-				Type: SpanOneHot, Categorical: true,
-			})
+			// nothing to fit
 		case KindContinuous:
 			m, err := gmm.Fit(rng, t.Column(j), cfg)
 			if err != nil {
 				return nil, fmt.Errorf("encoding: fitting column %q: %w", spec.Name, err)
 			}
 			enc.mixture = m
-			tr.spans = append(tr.spans,
-				Span{Column: j, Start: offset, Width: 1, Type: SpanScalar},
-				Span{Column: j, Start: offset + 1, Width: m.K(), Type: SpanOneHot},
-			)
 		case KindMixed:
 			enc.specialIdx = make(map[float64]int, len(spec.SpecialValues))
 			for i, v := range spec.SpecialValues {
@@ -113,18 +105,44 @@ func FitTransformer(rng *rand.Rand, t *Table, cfg gmm.Config) (*Transformer, err
 				return nil, fmt.Errorf("encoding: fitting mixed column %q: %w", spec.Name, err)
 			}
 			enc.mixture = m
-			tr.spans = append(tr.spans,
-				Span{Column: j, Start: offset, Width: 1, Type: SpanScalar},
-				Span{Column: j, Start: offset + 1, Width: len(spec.SpecialValues) + m.K(), Type: SpanOneHot},
-			)
 		default:
 			return nil, fmt.Errorf("encoding: column %q has invalid kind", spec.Name)
 		}
 		tr.cols[j] = enc
+	}
+	tr.buildLayout()
+	return tr, nil
+}
+
+// buildLayout derives the span list and total width from the fitted
+// per-column encoders. It is shared by FitTransformer and the
+// deserialization path, so a transformer decoded from a gtvcol metadata
+// blob lays out its columns exactly like the one that was fitted.
+func (tr *Transformer) buildLayout() {
+	tr.spans = tr.spans[:0]
+	offset := 0
+	for j := range tr.cols {
+		enc := &tr.cols[j]
+		switch enc.spec.Kind {
+		case KindCategorical:
+			tr.spans = append(tr.spans, Span{
+				Column: j, Start: offset, Width: enc.spec.NumCategories(),
+				Type: SpanOneHot, Categorical: true,
+			})
+		case KindContinuous:
+			tr.spans = append(tr.spans,
+				Span{Column: j, Start: offset, Width: 1, Type: SpanScalar},
+				Span{Column: j, Start: offset + 1, Width: enc.mixture.K(), Type: SpanOneHot},
+			)
+		case KindMixed:
+			tr.spans = append(tr.spans,
+				Span{Column: j, Start: offset, Width: 1, Type: SpanScalar},
+				Span{Column: j, Start: offset + 1, Width: len(enc.spec.SpecialValues) + enc.mixture.K(), Type: SpanOneHot},
+			)
+		}
 		offset += enc.width()
 	}
 	tr.width = offset
-	return tr, nil
 }
 
 // Width returns the total encoded width.
@@ -159,38 +177,68 @@ func (tr *Transformer) Transform(rng *rand.Rand, t *Table) (*tensor.Dense, error
 		return nil, fmt.Errorf("encoding: table has %d columns, transformer fitted on %d", len(t.Specs), len(tr.specs))
 	}
 	out := tensor.New(t.Rows(), tr.width)
-	for i := 0; i < t.Rows(); i++ {
-		row := t.Data.RawRow(i)
-		dst := out.RawRow(i)
-		off := 0
-		for j := range tr.cols {
-			enc := &tr.cols[j]
-			v := row[j]
-			switch enc.spec.Kind {
-			case KindCategorical:
-				k := int(v)
-				if k < 0 || k >= enc.spec.NumCategories() {
-					return nil, fmt.Errorf("encoding: row %d column %q invalid category %v", i, enc.spec.Name, v)
-				}
-				dst[off+k] = 1
-			case KindContinuous:
-				mode := enc.mixture.SampleMode(rng, v)
-				dst[off] = enc.mixture.Normalize(v, mode)
-				dst[off+1+mode] = 1
-			case KindMixed:
-				if slot, special := enc.specialIdx[v]; special {
-					dst[off] = 0
-					dst[off+1+slot] = 1
-				} else {
-					mode := enc.mixture.SampleMode(rng, v)
-					dst[off] = enc.mixture.Normalize(v, mode)
-					dst[off+1+len(enc.spec.SpecialValues)+mode] = 1
-				}
-			}
-			off += enc.width()
-		}
+	err := t.ScanRows(func(i int, row []float64) error {
+		return tr.encodeRow(rng, i, row, out.RawRow(i))
+	})
+	if err != nil {
+		return nil, err
 	}
 	return out, nil
+}
+
+// TransformTo streams the encoded rows through emit in row order without
+// ever materializing the full encoded matrix — the out-of-core encode
+// path feeds a coldata.Writer this way. It consumes rng exactly like
+// Transform does (one mode sample per continuous cell, in row-major
+// order), so the two paths produce bit-identical encodings from the same
+// stream position.
+func (tr *Transformer) TransformTo(rng *rand.Rand, t *Table, emit func(row []float64) error) error {
+	if len(t.Specs) != len(tr.specs) {
+		return fmt.Errorf("encoding: table has %d columns, transformer fitted on %d", len(t.Specs), len(tr.specs))
+	}
+	buf := make([]float64, tr.width)
+	return t.ScanRows(func(i int, row []float64) error {
+		for k := range buf {
+			buf[k] = 0
+		}
+		if err := tr.encodeRow(rng, i, row, buf); err != nil {
+			return err
+		}
+		return emit(buf)
+	})
+}
+
+// encodeRow encodes one raw row into dst (len tr.width, pre-zeroed),
+// consuming one rng draw per continuous/mixed-continuous cell.
+func (tr *Transformer) encodeRow(rng *rand.Rand, i int, row, dst []float64) error {
+	off := 0
+	for j := range tr.cols {
+		enc := &tr.cols[j]
+		v := row[j]
+		switch enc.spec.Kind {
+		case KindCategorical:
+			k := int(v)
+			if k < 0 || k >= enc.spec.NumCategories() {
+				return fmt.Errorf("encoding: row %d column %q invalid category %v", i, enc.spec.Name, v)
+			}
+			dst[off+k] = 1
+		case KindContinuous:
+			mode := enc.mixture.SampleMode(rng, v)
+			dst[off] = enc.mixture.Normalize(v, mode)
+			dst[off+1+mode] = 1
+		case KindMixed:
+			if slot, special := enc.specialIdx[v]; special {
+				dst[off] = 0
+				dst[off+1+slot] = 1
+			} else {
+				mode := enc.mixture.SampleMode(rng, v)
+				dst[off] = enc.mixture.Normalize(v, mode)
+				dst[off+1+len(enc.spec.SpecialValues)+mode] = 1
+			}
+		}
+		off += enc.width()
+	}
+	return nil
 }
 
 // Inverse decodes an encoded (or generated) matrix back to a raw table.
@@ -242,8 +290,10 @@ func CategoryFrequencies(t *Table, j int) ([]float64, error) {
 		return nil, fmt.Errorf("encoding: column %d is not categorical", j)
 	}
 	freq := make([]float64, t.Specs[j].NumCategories())
-	for i := 0; i < t.Rows(); i++ {
-		freq[int(t.Data.At(i, j))]++
+	// Column (not Data.At) so stored tables count straight from their
+	// compact categorical blocks.
+	for _, v := range t.Column(j) {
+		freq[int(v)]++
 	}
 	n := float64(t.Rows())
 	if n > 0 {

@@ -91,8 +91,10 @@ type Centralized struct {
 	rng         *rng.Rand
 	transformer *encoding.Transformer
 	sampler     *condvec.Sampler
-	encoded     *tensor.Dense
-	specs       []encoding.ColumnSpec
+	// data serves the encoded real rows: an in-memory matrix for
+	// NewCentralized, a block-cached gtvcol reader for NewCentralizedStored.
+	data  encoding.Backing
+	specs []encoding.ColumnSpec
 
 	gen     *nn.Sequential
 	disc    *nn.Sequential
@@ -104,26 +106,36 @@ type Centralized struct {
 	round int
 }
 
-// NewCentralized fits the feature encoders on the table and builds the GAN.
+// NewCentralized fits the feature encoders on the table and builds the
+// GAN, holding the encoded matrix in memory.
 func NewCentralized(table *encoding.Table, cfg Config) (*Centralized, error) {
+	return NewCentralizedStored(table, cfg, encoding.Storage{})
+}
+
+// NewCentralizedStored is NewCentralized with an optional gtvcol data
+// plane: when st names a data directory, the encoded matrix lives in
+// <dir>/<name>.enc.gtvcol and training batches are gathered through a
+// bounded block cache; a matching cached file skips fitting and encoding
+// entirely. Encoding draws from the dedicated EncodeSeed stream in every
+// path, so in-memory, freshly encoded and cache-hit runs are
+// bit-identical. Close releases the backing when training is done.
+func NewCentralizedStored(table *encoding.Table, cfg Config, st encoding.Storage) (*Centralized, error) {
 	if err := cfg.validate(); err != nil {
 		return nil, err
+	}
+	tr, data, err := encoding.OpenOrEncode(st, table, cfg.Seed, gmm.DefaultConfig())
+	if err != nil {
+		return nil, fmt.Errorf("gan: encoding table: %w", err)
+	}
+	sampler, err := condvec.NewSampler(table, tr)
+	if err != nil {
+		//lint:ignore errdrop the sampler error is the one worth reporting
+		_ = data.Close()
+		return nil, fmt.Errorf("gan: building CV sampler: %w", err)
 	}
 	// The capturable generator (internal/rng) is what makes checkpoints
 	// possible: its state words are serialized and reinstated on resume.
 	prng := rng.New(cfg.Seed)
-	tr, err := encoding.FitTransformer(prng.Rand, table, gmm.DefaultConfig())
-	if err != nil {
-		return nil, fmt.Errorf("gan: fitting transformer: %w", err)
-	}
-	sampler, err := condvec.NewSampler(table, tr)
-	if err != nil {
-		return nil, fmt.Errorf("gan: building CV sampler: %w", err)
-	}
-	enc, err := tr.Transform(prng.Rand, table)
-	if err != nil {
-		return nil, fmt.Errorf("gan: encoding table: %w", err)
-	}
 	dataW := tr.Width()
 	cvW := sampler.Width()
 	c := &Centralized{
@@ -131,7 +143,7 @@ func NewCentralized(table *encoding.Table, cfg Config) (*Centralized, error) {
 		rng:         prng,
 		transformer: tr,
 		sampler:     sampler,
-		encoded:     enc,
+		data:        data,
 		specs:       table.Specs,
 		gen:         NewGenerator(prng.Rand, cfg.NoiseDim+cvW, cfg.BlockDim, cfg.GenBlocks, dataW),
 		disc:        NewDiscriminator(prng.Rand, (dataW+cvW)*cfg.Pac, cfg.BlockDim, cfg.DiscBlocks),
@@ -140,6 +152,10 @@ func NewCentralized(table *encoding.Table, cfg Config) (*Centralized, error) {
 	}
 	return c, nil
 }
+
+// Close releases the encoded-data backing (file handles and block cache
+// for stored trainers; a no-op in memory).
+func (c *Centralized) Close() error { return c.data.Close() }
 
 // Transformer exposes the fitted feature encoder (for inspection/tests).
 func (c *Centralized) Transformer() *encoding.Transformer { return c.transformer }
@@ -195,7 +211,10 @@ func (c *Centralized) trainDiscStep() (float64, error) {
 	if err != nil {
 		return 0, err
 	}
-	realRows := c.encoded.GatherRows(cvb.Rows)
+	realRows, err := c.data.GatherRows(cvb.Rows)
+	if err != nil {
+		return 0, err
+	}
 	cv := cvb.CV
 
 	fakeIn := packRows(ag.ConcatCols(fake.Detach(), ag.Const(cv)), c.cfg.Pac)
@@ -219,6 +238,10 @@ func (c *Centralized) trainDiscStep() (float64, error) {
 	tape.Track(total, fake)
 	tape.Track(grads...)
 	tape.Release()
+	// The gathered real batch is a pooled buffer the backing handed us;
+	// the tape shields Const leaves, so it is returned explicitly now that
+	// the step's graph is gone.
+	realRows.Release()
 	return lossVal, nil
 }
 

@@ -181,6 +181,9 @@ func classifyAcquisition(info *types.Info, id *ast.Ident, rhs ast.Expr) *acquisi
 		if isPkgFunc(info, v, "internal/tensor", "NewPooledBitmap") {
 			return &acquisition{obj: obj, pos: id.Pos(), what: "tensor.NewPooledBitmap buffer"}
 		}
+		if isPkgFunc(info, v, "internal/coldata", "AcquireBlockBuf") {
+			return &acquisition{obj: obj, pos: id.Pos(), what: "coldata.AcquireBlockBuf buffer"}
+		}
 		if isPkgFunc(info, v, "internal/autograd", "NewTape") {
 			return &acquisition{obj: obj, pos: id.Pos(), what: "autograd tape", tape: true}
 		}

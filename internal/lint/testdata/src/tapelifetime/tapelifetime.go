@@ -4,6 +4,7 @@ package tapelifetime
 
 import (
 	ag "repro/internal/autograd"
+	"repro/internal/coldata"
 	"repro/internal/tensor"
 )
 
@@ -42,4 +43,20 @@ func releasedTape(v *ag.Value) {
 func untrackedTape() ag.Tape {
 	var tape ag.Tape // never tracked, and escapes: no finding
 	return tape
+}
+
+func leakBlockBuf() int {
+	bb := coldata.AcquireBlockBuf(512) // want "coldata.AcquireBlockBuf buffer is acquired here but never Released"
+	return len(bb.Bytes())
+}
+
+func releasedBlockBuf() int {
+	bb := coldata.AcquireBlockBuf(512)
+	defer bb.Release()
+	return len(bb.Bytes())
+}
+
+func escapingBlockBuf() *coldata.BlockBuf {
+	bb := coldata.AcquireBlockBuf(64)
+	return bb // ownership transfers to the caller: no finding
 }

@@ -146,12 +146,17 @@ type LocalClient struct {
 	table       *encoding.Table
 	transformer *encoding.Transformer
 	sampler     *condvec.Sampler
-	// encoded is the transformed real table (same rows, encoded columns);
-	// leaking it is equivalent to leaking the table.
+	// data serves the transformed real table (same rows, encoded columns)
+	// from memory or from a block-cached gtvcol file; leaking what it
+	// returns is equivalent to leaking the table.
 	//privacy:source client encoded matrix
-	encoded *tensor.Dense
-	coord   *ShuffleCoordinator
-	rng     *rng.Rand
+	data encoding.Backing
+	// lastRealBuf is the pooled batch the last ForwardReal gathered; it
+	// must stay alive until BackwardDisc recycles the critic graph built
+	// on top of it, then goes back to the pool.
+	lastRealBuf *tensor.Dense
+	coord       *ShuffleCoordinator
+	rng         *rng.Rand
 	// modelRng seeds Configure's weight initialization and keeps feeding
 	// the bottom discriminator's dropout masks during training; snapshots
 	// capture its stream position alongside rng's.
@@ -182,37 +187,57 @@ type LocalClient struct {
 
 var _ Client = (*LocalClient)(nil)
 
-// NewLocalClient fits the client's feature encoders on its local table.
-// coord must be shared by all clients (and hidden from the server); seed
-// drives encoder fitting and local randomness.
+// NewLocalClient fits the client's feature encoders on its local table,
+// holding the encoded matrix in memory. coord must be shared by all
+// clients (and hidden from the server); seed drives encoder fitting and
+// local randomness.
 func NewLocalClient(table *encoding.Table, coord *ShuffleCoordinator, seed int64) (*LocalClient, error) {
+	return NewLocalClientStored(table, coord, seed, encoding.Storage{})
+}
+
+// NewLocalClientStored is NewLocalClient with an optional gtvcol data
+// plane: when st names a data directory, the client's encoded matrix
+// lives in <dir>/<name>.enc.gtvcol and real batches are gathered through
+// a bounded block cache (a matching cached file skips fitting and
+// encoding). Encoding always draws from the dedicated EncodeSeed stream,
+// so stored and in-memory clients train bit-identically from the same
+// seed. The raw table stays wherever the caller put it; only the encoded
+// matrix — the rows × encoded-width blow-up — moves out of core.
+func NewLocalClientStored(table *encoding.Table, coord *ShuffleCoordinator, seed int64, st encoding.Storage) (*LocalClient, error) {
 	if table.Rows() == 0 || table.Cols() == 0 {
 		return nil, errors.New("vfl: client table is empty")
 	}
 	if coord == nil {
 		return nil, errors.New("vfl: client requires a shuffle coordinator")
 	}
-	prng := rng.New(seed)
-	tr, err := encoding.FitTransformer(prng.Rand, table, gmm.DefaultConfig())
+	tr, data, err := encoding.OpenOrEncode(st, table, seed, gmm.DefaultConfig())
 	if err != nil {
-		return nil, fmt.Errorf("vfl: fitting client transformer: %w", err)
+		return nil, fmt.Errorf("vfl: encoding client table: %w", err)
 	}
 	sampler, err := condvec.NewSampler(table, tr)
 	if err != nil {
+		//lint:ignore errdrop the sampler error is the one worth reporting
+		_ = data.Close()
 		return nil, fmt.Errorf("vfl: building client CV sampler: %w", err)
-	}
-	enc, err := tr.Transform(prng.Rand, table)
-	if err != nil {
-		return nil, fmt.Errorf("vfl: encoding client table: %w", err)
 	}
 	return &LocalClient{
 		table:       table,
 		transformer: tr,
 		sampler:     sampler,
-		encoded:     enc,
+		data:        data,
 		coord:       coord,
-		rng:         prng,
+		rng:         rng.New(seed),
 	}, nil
+}
+
+// Close releases the encoded-data backing (file handles and block cache
+// for stored clients; a no-op in memory).
+func (c *LocalClient) Close() error {
+	if c.lastRealBuf != nil {
+		c.lastRealBuf.Release()
+		c.lastRealBuf = nil
+	}
+	return c.data.Close()
 }
 
 // Info implements Client.
@@ -349,12 +374,36 @@ func (c *LocalClient) ForwardReal(idx []int) (*tensor.Dense, error) {
 	if err := c.configured(); err != nil {
 		return nil, err
 	}
-	rows := c.encoded
-	if idx != nil {
-		rows = c.encoded.GatherRows(idx)
+	if c.lastRealBuf != nil {
+		// A prior forward's batch was never consumed by a backward pass
+		// (the server re-drove the phase); recycle it before gathering.
+		c.lastRealBuf.Release()
+		c.lastRealBuf = nil
 	}
-	c.lastRealOut = c.disc.Forward(ag.Const(rows), true)
-	return c.lastRealOut.Data(), nil
+	var rows *tensor.Dense
+	if idx == nil {
+		m, owned, err := c.data.Dense()
+		if err != nil {
+			return nil, err
+		}
+		if owned {
+			c.lastRealBuf = m
+		}
+		rows = m
+	} else {
+		m, err := c.data.GatherRows(idx)
+		if err != nil {
+			return nil, err
+		}
+		c.lastRealBuf = m
+		rows = m
+	}
+	// The bottom discriminator's forward is the sanitizing boundary; only
+	// its activations leave the client. Returning the local (rather than
+	// re-reading the field) keeps the sanitized flow visible to privflow.
+	out := c.disc.Forward(ag.Const(rows), true)
+	c.lastRealOut = out
+	return out.Data(), nil
 }
 
 // BackwardDisc implements Client.
@@ -384,6 +433,13 @@ func (c *LocalClient) BackwardDisc(gradSynth, gradReal *tensor.Dense) error {
 	tape.Track(proxy, c.lastDiscGen)
 	tape.Track(grads...)
 	tape.Release()
+	// The gathered real batch is a pooled buffer the backing handed us;
+	// the tape shields Const leaves, so it is returned explicitly now that
+	// the critic graph is gone.
+	if c.lastRealBuf != nil {
+		c.lastRealBuf.Release()
+		c.lastRealBuf = nil
+	}
 	c.lastSynthOut, c.lastRealOut, c.lastDiscGen = nil, nil, nil
 	return nil
 }
@@ -426,7 +482,9 @@ func (c *LocalClient) EndRound(round int) error {
 	seed := c.coord.SeedForRound(round)
 	perm := rand.New(rand.NewSource(seed)).Perm(c.table.Rows())
 	c.table = c.table.ShuffleRows(perm)
-	c.encoded = c.encoded.ShuffleRows(perm)
+	if err := c.data.Shuffle(perm); err != nil {
+		return fmt.Errorf("vfl: shuffling encoded data: %w", err)
+	}
 	if err := c.sampler.Reindex(perm); err != nil {
 		return fmt.Errorf("vfl: reindexing CV sampler: %w", err)
 	}

@@ -268,7 +268,9 @@ func (c *LocalClient) Restore(state []byte) error {
 			comp, next = next, comp
 		}
 		c.table = c.table.ShuffleRows(comp)
-		c.encoded = c.encoded.ShuffleRows(comp)
+		if err := c.data.Shuffle(comp); err != nil {
+			return fmt.Errorf("vfl: shuffling encoded data on restore: %w", err)
+		}
 		if err := c.sampler.Reindex(comp); err != nil {
 			return fmt.Errorf("vfl: reindexing CV sampler on restore: %w", err)
 		}
